@@ -1,0 +1,422 @@
+// Root benchmark harness: one benchmark (family) per experiment E1–E9
+// from EXPERIMENTS.md. Absolute numbers are machine-dependent; the
+// *shapes* asserted in EXPERIMENTS.md (who wins, by roughly what
+// factor) are what reproduce the paper. cmd/benchtables prints the
+// richer tables; these benches give `go test -bench` one-line
+// comparables per experiment.
+package repro_test
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"os"
+	"sync"
+	"testing"
+
+	"repro/internal/aggregate"
+	"repro/internal/cluster"
+	"repro/internal/dfa"
+	"repro/internal/diskstore"
+	"repro/internal/gpusim"
+	"repro/internal/layers"
+	"repro/internal/mapreduce"
+	"repro/internal/memstore"
+	"repro/internal/rdbms"
+	"repro/internal/synth"
+	"repro/internal/yelt"
+)
+
+var (
+	benchOnce sync.Once
+	benchScen *synth.Scenario // general scenario (with aggregate terms)
+	benchOcc  *synth.Scenario // occurrence-only scenario (device engines)
+	benchErr  error
+)
+
+// benchTrials is sized so the sequential engine takes O(100ms) per
+// iteration — large enough to measure, small enough to iterate.
+const benchTrials = 50_000
+
+func scenarios(b *testing.B) (*synth.Scenario, *synth.Scenario) {
+	b.Helper()
+	benchOnce.Do(func() {
+		p := synth.Params{
+			Seed: 42, NumEvents: 5_000, NumContracts: 8,
+			LocationsPerContract: 150, NumTrials: benchTrials,
+			MeanEventsPerYear: 10, TwoLayers: true,
+		}
+		benchScen, benchErr = synth.Build(context.Background(), p)
+		if benchErr != nil {
+			return
+		}
+		p.OccurrenceOnly = true
+		benchOcc, benchErr = synth.Build(context.Background(), p)
+	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
+	return benchScen, benchOcc
+}
+
+func aggInput(s *synth.Scenario) *aggregate.Input {
+	return &aggregate.Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio}
+}
+
+// --- E1: aggregate analysis, sequential vs parallel ---
+
+func BenchmarkE1SequentialEngine(b *testing.B) {
+	s, _ := scenarios(b)
+	in := aggInput(s)
+	cfg := aggregate.Config{Seed: 1, Sampling: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (aggregate.Sequential{}).Run(context.Background(), in, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchTrials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+func BenchmarkE1ParallelEngine(b *testing.B) {
+	s, _ := scenarios(b)
+	in := aggInput(s)
+	cfg := aggregate.Config{Seed: 1, Sampling: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (aggregate.Parallel{}).Run(context.Background(), in, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(benchTrials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+// --- E2: the million-trial single-contract quote ---
+
+func BenchmarkE2MillionTrialContract(b *testing.B) {
+	s, _ := scenarios(b)
+	y, err := yelt.Generate(s.Catalog, yelt.Config{NumTrials: 1_000_000}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	in := &aggregate.Input{
+		YELT:      y,
+		ELTs:      s.ELTs[:1],
+		Portfolio: singleContract(s, 0),
+	}
+	cfg := aggregate.Config{Seed: 2, Sampling: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (aggregate.Parallel{}).Run(context.Background(), in, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1e6*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+func singleContract(s *synth.Scenario, i int) *layers.Portfolio {
+	c := s.Portfolio.Contracts[i]
+	c.ELTIndex = 0
+	return &layers.Portfolio{Contracts: []layers.Contract{c}}
+}
+
+// --- E3: data-volume generation throughput ---
+
+func BenchmarkE3YELTGeneration(b *testing.B) {
+	s, _ := scenarios(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		y, err := yelt.Generate(s.Catalog, yelt.Config{NumTrials: benchTrials}, uint64(i))
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.SetBytes(y.SizeBytes())
+	}
+}
+
+// --- E4: chunked vs naive device kernels (modeled cycles reported) ---
+
+func BenchmarkE4ChunkedKernel(b *testing.B) {
+	_, occ := scenarios(b)
+	in := aggInput(occ)
+	eng := &aggregate.Chunked{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(context.Background(), in, aggregate.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(eng.LastStats.BlockCycles), "devcycles")
+	b.ReportMetric(eng.LastStats.ModeledSeconds(gpusim.DefaultConfig())*1e3, "devms")
+}
+
+func BenchmarkE4NaiveKernel(b *testing.B) {
+	_, occ := scenarios(b)
+	in := aggInput(occ)
+	eng := &aggregate.Chunked{Naive: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(context.Background(), in, aggregate.Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(eng.LastStats.BlockCycles), "devcycles")
+	b.ReportMetric(eng.LastStats.ModeledSeconds(gpusim.DefaultConfig())*1e3, "devms")
+}
+
+// --- E5: scan vs indexed random access ---
+
+func e5Table(b *testing.B, s *synth.Scenario) *rdbms.Table {
+	b.Helper()
+	tbl, err := rdbms.New(1, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	loss := map[uint64]float64{}
+	for _, e := range s.ELTs {
+		for _, r := range e.Records {
+			loss[uint64(r.EventID)] += r.MeanLoss
+		}
+	}
+	for k, v := range loss {
+		if err := tbl.Insert(k, []float64{v}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return tbl
+}
+
+func BenchmarkE5RandomAccess(b *testing.B) {
+	s, _ := scenarios(b)
+	tbl := e5Table(b, s)
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		for _, occ := range s.YELT.Occs {
+			if v, ok := tbl.Get(uint64(occ.EventID)); ok {
+				sink += v[0]
+			}
+		}
+	}
+	_ = sink
+	b.ReportMetric(float64(len(s.YELT.Occs))*float64(b.N)/b.Elapsed().Seconds(), "lookups/s")
+}
+
+func BenchmarkE5Scan(b *testing.B) {
+	s, _ := scenarios(b)
+	tbl := e5Table(b, s)
+	var maxID uint32
+	for _, o := range s.YELT.Occs {
+		if o.EventID > maxID {
+			maxID = o.EventID
+		}
+	}
+	counts := make([]float64, maxID+1)
+	for _, o := range s.YELT.Occs {
+		counts[o.EventID]++
+	}
+	b.ResetTimer()
+	var sink float64
+	for i := 0; i < b.N; i++ {
+		if err := tbl.Scan(func(k uint64, vals []float64) error {
+			sink += vals[0] * counts[k]
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	_ = sink
+	b.ReportMetric(float64(len(s.YELT.Occs))*float64(b.N)/b.Elapsed().Seconds(), "equiv-lookups/s")
+}
+
+// --- E6: in-memory vs MapReduce-over-files per-trial aggregation ---
+
+func lossVec(s *synth.Scenario) []float64 {
+	var maxID uint32
+	for _, e := range s.ELTs {
+		if n := e.Len(); n > 0 && e.Records[n-1].EventID > maxID {
+			maxID = e.Records[n-1].EventID
+		}
+	}
+	vec := make([]float64, maxID+1)
+	for _, e := range s.ELTs {
+		for _, r := range e.Records {
+			vec[r.EventID] += r.MeanLoss
+		}
+	}
+	return vec
+}
+
+func BenchmarkE6InMemory(b *testing.B) {
+	s, _ := scenarios(b)
+	vec := lossVec(s)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tbl := memstore.NewTable(memstore.Schema{
+			Float64Cols: []string{"loss"}, Uint32Cols: []string{"trial"},
+		}, nil, 1<<15)
+		for trial := 0; trial < s.YELT.NumTrials; trial++ {
+			for _, occ := range s.YELT.OccurrencesOf(trial) {
+				var l float64
+				if int(occ.EventID) < len(vec) {
+					l = vec[occ.EventID]
+				}
+				if err := tbl.Append([]float64{l}, []uint32{uint32(trial)}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+		sums := make([]float64, s.YELT.NumTrials)
+		if err := tbl.Scan(func(v memstore.ChunkView) error {
+			for r := 0; r < v.Rows(); r++ {
+				sums[v.U32[0][r]] += v.F64[0][r]
+			}
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE6MapReduce(b *testing.B) {
+	s, _ := scenarios(b)
+	vec := lossVec(s)
+	dir, err := os.MkdirTemp("", "e6bench-*")
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer os.RemoveAll(dir)
+	store, err := diskstore.Create(dir, 4)
+	if err != nil {
+		b.Fatal(err)
+	}
+	const parts = 8
+	per := (s.YELT.NumTrials + parts - 1) / parts
+	type split struct{ part, lo, hi int }
+	var splits []split
+	for p := 0; p < parts; p++ {
+		lo, hi := p*per, (p+1)*per
+		if hi > s.YELT.NumTrials {
+			hi = s.YELT.NumTrials
+		}
+		if lo >= hi {
+			break
+		}
+		sub, err := s.YELT.Slice(lo, hi)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := store.WritePartition("yelt", p, func(w io.Writer) error {
+			_, err := sub.WriteTo(w)
+			return err
+		}); err != nil {
+			b.Fatal(err)
+		}
+		splits = append(splits, split{p, lo, hi})
+	}
+	sum := func(_ uint64, vs []float64) (float64, error) {
+		var t float64
+		for _, v := range vs {
+			t += v
+		}
+		return t, nil
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := mapreduce.Run(context.Background(), splits,
+			func(_ context.Context, sp split, emit func(uint64, float64)) error {
+				return store.ReadPartition("yelt", sp.part, func(r io.Reader) error {
+					sub, err := yelt.Read(r)
+					if err != nil {
+						return err
+					}
+					for trial := 0; trial < sub.NumTrials; trial++ {
+						var t float64
+						for _, occ := range sub.OccurrencesOf(trial) {
+							if int(occ.EventID) < len(vec) {
+								t += vec[occ.EventID]
+							}
+						}
+						emit(uint64(sp.lo+trial), t)
+					}
+					return nil
+				})
+			}, sum, sum, mapreduce.Config{Reducers: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- E7: provisioning policies over the bursty demand profile ---
+
+func BenchmarkE7Elasticity(b *testing.B) {
+	phases := cluster.PipelinePhases(3600)
+	policies := []cluster.Policy{
+		cluster.Static{N: 8}, cluster.Static{N: 5000}, cluster.Elastic{Max: 5000},
+	}
+	var results []*cluster.Result
+	for i := 0; i < b.N; i++ {
+		var err error
+		results, err = cluster.Compare(phases, policies)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	if len(results) == 3 {
+		b.ReportMetric(100*results[1].Utilization, "staticUtil%")
+		b.ReportMetric(100*results[2].Utilization, "elasticUtil%")
+	}
+}
+
+// --- E8: trial-count scaling per engine ---
+
+func BenchmarkE8TrialsSweep(b *testing.B) {
+	s, _ := scenarios(b)
+	for _, trials := range []int{1_000, 10_000, 100_000} {
+		y, err := yelt.Generate(s.Catalog, yelt.Config{NumTrials: trials}, 9)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := &aggregate.Input{YELT: y, ELTs: s.ELTs, Portfolio: s.Portfolio}
+		b.Run(fmt.Sprintf("trials=%d", trials), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (aggregate.Parallel{}).Run(context.Background(), in,
+					aggregate.Config{Seed: 3, Sampling: true}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(trials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
+	}
+}
+
+// --- E9: DFA integration scaling with source count ---
+
+func BenchmarkE9DFAIntegration(b *testing.B) {
+	s, _ := scenarios(b)
+	res, err := (aggregate.Parallel{}).Run(context.Background(), aggInput(s), aggregate.Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	cat := res.Portfolio
+	for _, k := range []int{2, 6, 24} {
+		base := dfa.StandardSources(cat.Mean())
+		sources := make([]dfa.Source, 0, k)
+		for len(sources) < k {
+			sources = append(sources, base[len(sources)%len(base)])
+		}
+		ig := &dfa.Integrator{Sources: sources}
+		b.Run(fmt.Sprintf("sources=%d", k), func(b *testing.B) {
+			var bytes int64
+			for i := 0; i < b.N; i++ {
+				dres, err := ig.Run(context.Background(), cat, dfa.Config{Seed: 7, Rho: 0.2})
+				if err != nil {
+					b.Fatal(err)
+				}
+				bytes = dres.TotalBytes
+			}
+			b.ReportMetric(float64(bytes)/1e6, "MB-out")
+		})
+	}
+}

@@ -1,0 +1,14 @@
+// Package repro reproduces Varghese & Rau-Chaplin, "Data Challenges in
+// High-Performance Risk Analytics" (SC 2012, arXiv:1311.5685): the
+// three-stage reinsurance risk analytics pipeline — catastrophe
+// modelling, portfolio aggregate analysis, dynamic financial analysis —
+// together with the data-management substrates the paper discusses
+// (in-memory columnar analytics, distributed-file MapReduce, a
+// traditional-RDBMS baseline, a simulated many-core device with
+// shared/constant-memory chunking, and an elastic cluster model).
+//
+// The public API lives in repro/risk; runnable tools in cmd/; worked
+// examples in examples/; the experiment reproduction index in
+// DESIGN.md and EXPERIMENTS.md. Root-level benchmarks (bench_test.go)
+// regenerate every experiment's headline measurement.
+package repro

@@ -1,0 +1,53 @@
+// Enterprise DFA: integrate a catastrophe book with custom investment,
+// reserve and counterparty risk models under different dependency
+// assumptions, and show how correlation fattens the enterprise tail —
+// the reason stage 3 must simulate risks jointly rather than adding
+// stand-alone capital numbers.
+//
+//	go run ./examples/enterprise_dfa
+package main
+
+import (
+	"context"
+	"fmt"
+	"log"
+
+	"repro/internal/dfa"
+	"repro/risk"
+)
+
+func main() {
+	ctx := context.Background()
+	cfg := risk.DefaultConfig()
+	cfg.Events = 5_000
+	cfg.Contracts = 8
+	cfg.Trials = 50_000
+	cfg.Sampling = true
+
+	study := risk.NewStudy(cfg)
+	report, err := study.Run(ctx)
+	if err != nil {
+		log.Fatalf("enterprise_dfa: %v", err)
+	}
+	catAAL := report.Catastrophe.AAL
+	fmt.Printf("catastrophe book: AAL %.0f, 99.5%% TVaR %.0f\n\n", catAAL, report.Catastrophe.TVaR995)
+
+	// A custom enterprise risk set: heavier invested assets and a
+	// fragile counterparty panel.
+	sources := []dfa.Source{
+		dfa.Investment{Assets: 30 * catAAL, MeanReturn: 0.04, Volatility: 0.15},
+		dfa.Reserve{Reserves: 10 * catAAL, CoV: 0.12},
+		dfa.Counterparty{Recoverables: 4 * catAAL, N: 20, PD: 0.02, LGD: 0.6, FactorRho: 0.35},
+		dfa.Operational{Freq: 2, SevMean: 0.03 * catAAL, SevCoV: 2, StressBeta: 0.3},
+	}
+
+	fmt.Printf("%-22s %16s %16s\n", "dependency", "enterprise AAL", "99.5% TVaR")
+	for _, rho := range []float64{0.0, 0.2, 0.5} {
+		sum, err := study.IntegrateEnterprise(ctx, sources, rho)
+		if err != nil {
+			log.Fatalf("enterprise_dfa: rho=%v: %v", rho, err)
+		}
+		fmt.Printf("rho = %-16.1f %16.0f %16.0f\n", rho, sum.AAL, sum.TVaR995)
+	}
+	fmt.Println("\nnote: AAL barely moves with rho — dependency is a tail phenomenon.")
+}

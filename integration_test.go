@@ -1,0 +1,307 @@
+// Cross-module integration tests: end-to-end shape assertions for the
+// experiment claims (fast, scaled-down versions of EXPERIMENTS.md) and
+// failure-injection scenarios across the storage/compute substrates.
+package repro_test
+
+import (
+	"context"
+	"errors"
+	"io"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/catalog"
+	"repro/internal/cluster"
+	"repro/internal/diskstore"
+	"repro/internal/mapreduce"
+	"repro/internal/metrics"
+	"repro/internal/postevent"
+	"repro/internal/rdbms"
+	"repro/internal/synth"
+	"repro/internal/yelt"
+)
+
+func smallScenario(t *testing.T, seed uint64, occOnly bool) *synth.Scenario {
+	t.Helper()
+	p := synth.Small(seed)
+	p.OccurrenceOnly = occOnly
+	s, err := synth.Build(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// E1 shape: the parallel engine must beat sequential on multi-core
+// hosts for a non-trivial workload (wall-clock, not modeled).
+func TestShapeParallelFasterThanSequential(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing-sensitive")
+	}
+	p := synth.Small(3)
+	p.NumTrials = 30_000
+	s, err := synth.Build(context.Background(), p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &aggregate.Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio}
+	cfg := aggregate.Config{Seed: 1, Sampling: true}
+
+	timeIt := func(e aggregate.Engine) float64 {
+		t0 := nowSeconds()
+		if _, err := e.Run(context.Background(), in, cfg); err != nil {
+			t.Fatal(err)
+		}
+		return nowSeconds() - t0
+	}
+	// Warm up, then measure.
+	timeIt(aggregate.Sequential{})
+	seq := timeIt(aggregate.Sequential{})
+	par := timeIt(aggregate.Parallel{})
+	if par > seq {
+		t.Fatalf("parallel (%vs) slower than sequential (%vs)", par, seq)
+	}
+}
+
+// E4 shape: chunked device kernel must cost fewer modeled cycles than
+// the naive kernel while agreeing numerically with the host engines.
+func TestShapeChunkingBeatsNaive(t *testing.T) {
+	s := smallScenario(t, 4, true)
+	in := &aggregate.Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio}
+	seq, err := (aggregate.Sequential{}).Run(context.Background(), in, aggregate.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunked := &aggregate.Chunked{}
+	cres, err := chunked.Run(context.Background(), in, aggregate.Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	naive := &aggregate.Chunked{Naive: true}
+	if _, err := naive.Run(context.Background(), in, aggregate.Config{}); err != nil {
+		t.Fatal(err)
+	}
+	if chunked.LastStats.BlockCycles*2 > naive.LastStats.BlockCycles {
+		t.Fatalf("chunking advantage below 2x: %d vs %d cycles",
+			chunked.LastStats.BlockCycles, naive.LastStats.BlockCycles)
+	}
+	for i := range seq.Portfolio.Agg {
+		if math.Abs(seq.Portfolio.Agg[i]-cres.Portfolio.Agg[i]) > 1e-9*(1+seq.Portfolio.Agg[i]) {
+			t.Fatalf("device result diverges from host at trial %d", i)
+		}
+	}
+}
+
+// E5 shape: per-row page touches of indexed access must exceed those
+// of a scan by at least the tree height.
+func TestShapeScanBeatsRandomAccessOnPages(t *testing.T) {
+	s := smallScenario(t, 5, false)
+	tbl, err := rdbms.New(1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range s.ELTs {
+		for _, r := range e.Records {
+			if err := tbl.Insert(uint64(r.EventID), []float64{r.MeanLoss}); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	tbl.ResetStats()
+	for _, occ := range s.YELT.Occs[:10_000] {
+		tbl.Get(uint64(occ.EventID))
+	}
+	randPages := tbl.Stats().PageReads
+	tbl.ResetStats()
+	if err := tbl.Scan(func(uint64, []float64) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	scanPages := tbl.Stats().PageReads
+	if randPages < 10*scanPages {
+		t.Fatalf("random pages %d should dwarf scan pages %d", randPages, scanPages)
+	}
+}
+
+// E6 shape: MapReduce over diskstore partitions must agree exactly
+// with a direct in-memory computation of the same per-trial sums.
+func TestShapeMapReduceMatchesDirect(t *testing.T) {
+	s := smallScenario(t, 6, false)
+	vec := map[uint32]float64{}
+	for _, e := range s.ELTs {
+		for _, r := range e.Records {
+			vec[r.EventID] += r.MeanLoss
+		}
+	}
+	direct := make([]float64, s.YELT.NumTrials)
+	for trial := 0; trial < s.YELT.NumTrials; trial++ {
+		for _, occ := range s.YELT.OccurrencesOf(trial) {
+			direct[trial] += vec[occ.EventID]
+		}
+	}
+
+	dir := t.TempDir()
+	store, err := diskstore.Create(dir, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type split struct{ part, lo, hi int }
+	var splits []split
+	const parts = 5
+	per := (s.YELT.NumTrials + parts - 1) / parts
+	for p := 0; p < parts; p++ {
+		lo, hi := p*per, (p+1)*per
+		if hi > s.YELT.NumTrials {
+			hi = s.YELT.NumTrials
+		}
+		sub, err := s.YELT.Slice(lo, hi)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := store.WritePartition("y", p, func(w io.Writer) error {
+			_, err := sub.WriteTo(w)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		splits = append(splits, split{p, lo, hi})
+	}
+	sum := func(_ uint64, vs []float64) (float64, error) {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		return s, nil
+	}
+	got, err := mapreduce.Run(context.Background(), splits,
+		func(_ context.Context, sp split, emit func(uint64, float64)) error {
+			return store.ReadPartition("y", sp.part, func(r io.Reader) error {
+				return yelt.StreamTrials(r, func(trial int, occs []yelt.Occurrence) error {
+					var s float64
+					for _, occ := range occs {
+						s += vec[occ.EventID]
+					}
+					emit(uint64(sp.lo+trial), s)
+					return nil
+				})
+			})
+		}, sum, sum, mapreduce.Config{Reducers: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for trial, want := range direct {
+		if g := got[uint64(trial)]; math.Abs(g-want) > 1e-9*(1+want) {
+			t.Fatalf("trial %d: mapreduce %v vs direct %v", trial, g, want)
+		}
+	}
+}
+
+// Failure injection: a corrupted partition must fail the job with a
+// diagnosable error after exhausting retries, not hang or misreport.
+func TestFailureInjectionCorruptPartition(t *testing.T) {
+	s := smallScenario(t, 7, false)
+	dir := t.TempDir()
+	store, err := diskstore.Create(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sub, err := s.YELT.Slice(0, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p := 0; p < 3; p++ {
+		if err := store.WritePartition("y", p, func(w io.Writer) error {
+			_, err := sub.WriteTo(w)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := store.Corrupt("y", 1); err != nil {
+		t.Fatal(err)
+	}
+	sum := func(_ uint64, vs []float64) (float64, error) { return float64(len(vs)), nil }
+	_, err = mapreduce.Run(context.Background(), []int{0, 1, 2},
+		func(_ context.Context, part int, emit func(uint64, float64)) error {
+			return store.ReadPartition("y", part, func(r io.Reader) error {
+				return yelt.StreamTrials(r, func(trial int, _ []yelt.Occurrence) error {
+					emit(uint64(trial), 1)
+					return nil
+				})
+			})
+		}, nil, sum, mapreduce.Config{MaxAttempts: 2})
+	if !errors.Is(err, mapreduce.ErrTooManyFailures) {
+		t.Fatalf("err = %v, want ErrTooManyFailures", err)
+	}
+}
+
+// Post-event rapid estimation integrates with the stage-1 portfolio:
+// the estimate for a catalogue event should be of the same order as
+// that event's ELT row (same modules, different aggregation paths).
+func TestPostEventConsistentWithELT(t *testing.T) {
+	s := smallScenario(t, 8, false)
+	est, err := postevent.New(s.Exposures[:1], nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Find an event with a substantial ELT loss on contract 1.
+	var best catalog.Event
+	var bestLoss float64
+	for _, r := range s.ELTs[0].Records {
+		if r.MeanLoss > bestLoss {
+			ev, ok := s.Catalog.Lookup(r.EventID)
+			if ok {
+				best, bestLoss = ev, r.MeanLoss
+			}
+		}
+	}
+	if bestLoss == 0 {
+		t.Skip("scenario produced no material losses")
+	}
+	res, err := est.Estimate(context.Background(), best)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.GrossMean <= 0 {
+		t.Fatal("post-event estimate is zero for the book's worst event")
+	}
+	ratio := res.GrossMean / bestLoss
+	if ratio < 0.5 || ratio > 2 {
+		t.Fatalf("post-event estimate %v vs ELT mean %v (ratio %v) — paths diverged", res.GrossMean, bestLoss, ratio)
+	}
+}
+
+// E7 shape plus E8 linkage: the measured stage-2 work fits the
+// elasticity model's premise that stage 2 dominates stage 1.
+func TestShapeStage2DominatesStage1(t *testing.T) {
+	phases := cluster.PipelinePhases(100)
+	if phases[1].Work/phases[0].Work < 100 {
+		t.Fatal("demand profile should make stage 2 dominate")
+	}
+}
+
+// Metrics sanity across the whole pipeline: OEP <= AEP at every return
+// period of a real stage-2 output.
+func TestShapeOEPBelowAEP(t *testing.T) {
+	s := smallScenario(t, 9, false)
+	res, err := (aggregate.Parallel{}).Run(context.Background(),
+		&aggregate.Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio},
+		aggregate.Config{Seed: 2, Sampling: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := metrics.Summarize(res.Portfolio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, row := range sum.ReturnRows {
+		if row.OEP > row.AEP+1e-9 {
+			t.Fatalf("RP %v: OEP %v > AEP %v", row.ReturnPeriod, row.OEP, row.AEP)
+		}
+	}
+}
+
+func nowSeconds() float64 {
+	return float64(time.Now().UnixNano()) / 1e9
+}

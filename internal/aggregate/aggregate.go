@@ -1,0 +1,299 @@
+// Package aggregate implements stage 2's core computation — aggregate
+// analysis: "An additional Monte Carlo simulation ... is necessary for
+// generating an alternate view of which events occur and in which
+// order they occur within a contractual year" (§II). For every
+// pre-simulated trial year in the YELT, the engine walks the year's
+// event occurrences in date order, looks up each contract's loss in
+// its ELT, applies per-occurrence and annual-aggregate reinsurance
+// terms, and emits the trial's loss into a Year-Loss Table.
+//
+// Three engines share one trial kernel:
+//
+//   - Sequential: single goroutine, the paper's CPU baseline.
+//   - Parallel: trials partitioned across goroutines (the native
+//     realization of the paper's data-parallel GPU engine; experiment
+//     E1's measured speedup).
+//   - Chunked: runs the ground-up portfolio aggregation on the
+//     simulated many-core device (internal/gpusim), staging ELT chunks
+//     through shared memory — the paper's "chunking" memory strategy
+//     (experiment E4's modeled-cycle ablation).
+//
+// All engines are bit-deterministic for a given (input, seed) and
+// agree with each other; determinism comes from per-trial RNG streams,
+// never from scheduling.
+package aggregate
+
+import (
+	"context"
+	"errors"
+	"fmt"
+
+	"repro/internal/elt"
+	"repro/internal/layers"
+	"repro/internal/rng"
+	"repro/internal/stream"
+	"repro/internal/yelt"
+	"repro/internal/ylt"
+)
+
+// Config controls a run.
+type Config struct {
+	// Seed drives secondary-uncertainty sampling. Each trial uses the
+	// substream rng.NewStream(Seed, trial), so results are independent
+	// of engine choice and worker count.
+	Seed uint64
+	// Sampling enables beta-distributed secondary uncertainty around
+	// each ELT record's mean loss. When false the mean loss is used —
+	// the deterministic "expected mode" also used by the device
+	// engine.
+	Sampling bool
+	// Workers bounds parallel engines; <= 0 means GOMAXPROCS.
+	Workers int
+	// PerContract requests per-contract YLTs in addition to the
+	// portfolio table.
+	PerContract bool
+}
+
+// Input is one aggregate-analysis problem: the pre-simulated years,
+// the per-contract ELTs, and the book of contracts with their layers.
+type Input struct {
+	YELT      *yelt.Table
+	ELTs      []*elt.Table
+	Portfolio *layers.Portfolio
+}
+
+// Validate checks the input's internal consistency.
+func (in *Input) Validate() error {
+	if in.YELT == nil || in.YELT.NumTrials == 0 {
+		return errors.New("aggregate: missing YELT")
+	}
+	if len(in.ELTs) == 0 {
+		return errors.New("aggregate: no ELTs")
+	}
+	if in.Portfolio == nil {
+		return errors.New("aggregate: missing portfolio")
+	}
+	if err := in.Portfolio.Validate(); err != nil {
+		return err
+	}
+	for _, c := range in.Portfolio.Contracts {
+		if c.ELTIndex < 0 || c.ELTIndex >= len(in.ELTs) {
+			return fmt.Errorf("aggregate: contract %d references ELT %d of %d", c.ID, c.ELTIndex, len(in.ELTs))
+		}
+	}
+	return nil
+}
+
+// Result is the output of a run.
+type Result struct {
+	// Portfolio is the whole-book YLT: aggregate annual recovery and
+	// largest per-occurrence recovery per trial.
+	Portfolio *ylt.Table
+	// PerContract, when requested, holds one YLT per contract in
+	// portfolio order.
+	PerContract []*ylt.Table
+}
+
+// Engine runs aggregate analysis over an input.
+type Engine interface {
+	// Name identifies the engine in benchmarks and reports.
+	Name() string
+	// Run executes the analysis. Implementations must be deterministic
+	// functions of (in, cfg).
+	Run(ctx context.Context, in *Input, cfg Config) (*Result, error)
+}
+
+// trialScratch holds per-worker reusable buffers so the per-trial hot
+// path is allocation-free.
+type trialScratch struct {
+	layerAgg [][]float64 // [contract][layer] annual occurrence-recovery sums
+	occLoss  []float64   // per-occurrence portfolio recovery, reused
+}
+
+func newTrialScratch(pf *layers.Portfolio) *trialScratch {
+	s := &trialScratch{layerAgg: make([][]float64, len(pf.Contracts))}
+	for i, c := range pf.Contracts {
+		s.layerAgg[i] = make([]float64, len(c.Layers))
+	}
+	return s
+}
+
+// runTrial computes one trial year. It returns the portfolio aggregate
+// recovery, the largest single-occurrence portfolio recovery, and (if
+// perContract is non-nil) adds each contract's annual recovery into
+// perContract[c].
+//
+// Ordering contract: occurrences are walked in YELT (day) order and
+// contracts in portfolio order; all sampling draws happen in that
+// order from the trial's own stream. Every engine reproduces exactly
+// this sequence.
+func runTrial(
+	occs []yelt.Occurrence,
+	in *Input,
+	cfg Config,
+	st *rng.Stream,
+	scratch *trialScratch,
+	perContract []float64,
+	perContractOcc []float64,
+) (agg, occMax float64) {
+	contracts := in.Portfolio.Contracts
+	for ci := range scratch.layerAgg {
+		la := scratch.layerAgg[ci]
+		for li := range la {
+			la[li] = 0
+		}
+	}
+	if cap(scratch.occLoss) < len(contracts) {
+		scratch.occLoss = make([]float64, len(contracts))
+	}
+
+	for _, occ := range occs {
+		var portfolioOccLoss float64
+		for ci := range contracts {
+			c := &contracts[ci]
+			rec, ok := in.ELTs[c.ELTIndex].Lookup(occ.EventID)
+			if !ok || rec.MeanLoss <= 0 {
+				continue
+			}
+			loss := rec.MeanLoss
+			if cfg.Sampling {
+				loss = elt.SampleLoss(st, rec)
+			}
+			var contractOcc float64
+			for li := range c.Layers {
+				r := c.Layers[li].ApplyOccurrence(loss)
+				scratch.layerAgg[ci][li] += r
+				contractOcc += r
+			}
+			portfolioOccLoss += contractOcc
+			if perContractOcc != nil && contractOcc > perContractOcc[ci] {
+				perContractOcc[ci] = contractOcc
+			}
+		}
+		if portfolioOccLoss > occMax {
+			occMax = portfolioOccLoss
+		}
+	}
+
+	for ci := range contracts {
+		c := &contracts[ci]
+		var contractAnnual float64
+		for li := range c.Layers {
+			contractAnnual += c.Layers[li].ApplyAggregate(scratch.layerAgg[ci][li])
+		}
+		agg += contractAnnual
+		if perContract != nil {
+			perContract[ci] += contractAnnual
+		}
+	}
+	return agg, occMax
+}
+
+// runRange executes trials [r.Lo, r.Hi) into the result tables.
+func runRange(in *Input, cfg Config, r stream.Range, res *Result, scratch *trialScratch) {
+	nc := len(in.Portfolio.Contracts)
+	perContract := make([]float64, nc)
+	perContractOcc := make([]float64, nc)
+	for trial := r.Lo; trial < r.Hi; trial++ {
+		st := rng.NewStream(cfg.Seed, uint64(trial))
+		var pc, pco []float64
+		if res.PerContract != nil {
+			for i := range perContract {
+				perContract[i] = 0
+				perContractOcc[i] = 0
+			}
+			pc, pco = perContract, perContractOcc
+		}
+		agg, occMax := runTrial(in.YELT.OccurrencesOf(trial), in, cfg, st, scratch, pc, pco)
+		res.Portfolio.Agg[trial] = agg
+		res.Portfolio.OccMax[trial] = occMax
+		if res.PerContract != nil {
+			for ci := 0; ci < nc; ci++ {
+				res.PerContract[ci].Agg[trial] = perContract[ci]
+				res.PerContract[ci].OccMax[trial] = perContractOcc[ci]
+			}
+		}
+	}
+}
+
+func newResult(in *Input, cfg Config) *Result {
+	n := in.YELT.NumTrials
+	res := &Result{Portfolio: ylt.New("portfolio", n)}
+	if cfg.PerContract {
+		res.PerContract = make([]*ylt.Table, len(in.Portfolio.Contracts))
+		for i, c := range in.Portfolio.Contracts {
+			res.PerContract[i] = ylt.New(fmt.Sprintf("contract-%d", c.ID), n)
+		}
+	}
+	return res
+}
+
+// Sequential is the single-threaded reference engine — the paper's
+// "sequential counterpart" that the many-core engine is measured
+// against.
+type Sequential struct{}
+
+// Name implements Engine.
+func (Sequential) Name() string { return "sequential" }
+
+// Run implements Engine.
+func (Sequential) Run(ctx context.Context, in *Input, cfg Config) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	res := newResult(in, cfg)
+	scratch := newTrialScratch(in.Portfolio)
+	const checkEvery = 4096
+	for lo := 0; lo < in.YELT.NumTrials; lo += checkEvery {
+		select {
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		default:
+		}
+		hi := lo + checkEvery
+		if hi > in.YELT.NumTrials {
+			hi = in.YELT.NumTrials
+		}
+		runRange(in, cfg, stream.Range{Lo: lo, Hi: hi}, res, scratch)
+	}
+	return res, nil
+}
+
+// Parallel partitions trials across a goroutine pool. Because trials
+// are independent given the pre-simulated YELT (that is the point of
+// pre-simulation), the engine is embarrassingly parallel; each worker
+// writes disjoint trial slots so no synchronization is needed beyond
+// the final join.
+type Parallel struct{}
+
+// Name implements Engine.
+func (Parallel) Name() string { return "parallel" }
+
+// Run implements Engine.
+func (Parallel) Run(ctx context.Context, in *Input, cfg Config) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	res := newResult(in, cfg)
+	err := stream.ForEachRange(ctx, in.YELT.NumTrials, cfg.Workers, func(ctx context.Context, r stream.Range, _ int) error {
+		scratch := newTrialScratch(in.Portfolio)
+		const checkEvery = 4096
+		for lo := r.Lo; lo < r.Hi; lo += checkEvery {
+			select {
+			case <-ctx.Done():
+				return ctx.Err()
+			default:
+			}
+			hi := lo + checkEvery
+			if hi > r.Hi {
+				hi = r.Hi
+			}
+			runRange(in, cfg, stream.Range{Lo: lo, Hi: hi}, res, scratch)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,140 @@
+package aggregate
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+var (
+	benchMu   sync.Mutex
+	benchScen map[bool]*synth.Scenario
+)
+
+func benchScenario(b *testing.B, occOnly bool) *synth.Scenario {
+	b.Helper()
+	benchMu.Lock()
+	defer benchMu.Unlock()
+	if benchScen == nil {
+		benchScen = map[bool]*synth.Scenario{}
+	}
+	if s, ok := benchScen[occOnly]; ok {
+		return s
+	}
+	p := synth.Params{
+		Seed: 101, NumEvents: 4_000, NumContracts: 8,
+		LocationsPerContract: 120, NumTrials: 20_000,
+		MeanEventsPerYear: 10, TwoLayers: true, OccurrenceOnly: occOnly,
+	}
+	s, err := synth.Build(context.Background(), p)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benchScen[occOnly] = s
+	return s
+}
+
+func BenchmarkSequentialExpected(b *testing.B) {
+	s := benchScenario(b, false)
+	in := &Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Sequential{}).Run(context.Background(), in, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.YELT.NumTrials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+func BenchmarkSequentialSampling(b *testing.B) {
+	s := benchScenario(b, false)
+	in := &Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (Sequential{}).Run(context.Background(), in, Config{Sampling: true, Seed: 1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(s.YELT.NumTrials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+func BenchmarkParallelSampling(b *testing.B) {
+	s := benchScenario(b, false)
+	in := &Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio}
+	for _, w := range []int{2, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", w), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (Parallel{}).Run(context.Background(), in, Config{Sampling: true, Seed: 1, Workers: w}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(s.YELT.NumTrials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
+	}
+}
+
+func BenchmarkDeviceChunked(b *testing.B) {
+	s := benchScenario(b, true)
+	in := &Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio}
+	eng := &Chunked{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(context.Background(), in, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(eng.LastStats.BlockCycles), "devcycles")
+}
+
+func BenchmarkDeviceNaive(b *testing.B) {
+	s := benchScenario(b, true)
+	in := &Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio}
+	eng := &Chunked{Naive: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(context.Background(), in, Config{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(eng.LastStats.BlockCycles), "devcycles")
+}
+
+// Ablation: trials-per-block on the device engine. Small blocks leave
+// SMs idle between launches of the staging loop; huge blocks crowd the
+// occurrence stage out of shared memory and force the degenerate
+// global-probe fallback. The default (ThreadsPerBlock) sits in the
+// flat middle of this curve — the design choice DESIGN.md calls out.
+func BenchmarkDeviceTrialsPerBlock(b *testing.B) {
+	s := benchScenario(b, true)
+	in := &Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio}
+	for _, tpb := range []int{32, 128, 256, 1024} {
+		eng := &Chunked{TrialsPerBlock: tpb}
+		b.Run(fmt.Sprintf("tpb=%d", tpb), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(context.Background(), in, Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(eng.LastStats.BlockCycles), "devcycles")
+		})
+	}
+}
+
+// Ablation: per-contract output costs an extra write per (trial,
+// contract) — quantify it so the default stays justified.
+func BenchmarkPerContractOverhead(b *testing.B) {
+	s := benchScenario(b, false)
+	in := &Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio}
+	for _, pc := range []bool{false, true} {
+		b.Run(fmt.Sprintf("perContract=%v", pc), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := (Parallel{}).Run(context.Background(), in, Config{Sampling: true, Seed: 1, PerContract: pc}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

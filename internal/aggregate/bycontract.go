@@ -1,0 +1,111 @@
+package aggregate
+
+import (
+	"context"
+
+	"repro/internal/stream"
+)
+
+// ByContract is the alternative parallel decomposition: one worker per
+// contract (each scanning every trial) instead of one worker per trial
+// range. The paper's companion engine chose trial-parallelism; this
+// engine exists to justify that choice empirically — with tens of
+// thousands of contracts it load-balances well, but per-worker memory
+// traffic repeats the whole YELT scan per contract, so on books with
+// few contracts it underutilizes cores and trashes cache. See
+// BenchmarkByContractVsByTrial.
+//
+// Results are identical to the other engines in expected mode; in
+// sampling mode they are *internally* consistent but differ from the
+// trial-ordered engines, because draws interleave by contract rather
+// than by occurrence. ByContract therefore refuses sampling mode
+// rather than silently produce a differently-ordered stochastic
+// result.
+type ByContract struct{}
+
+// Name implements Engine.
+func (ByContract) Name() string { return "by-contract" }
+
+// Run implements Engine.
+func (ByContract) Run(ctx context.Context, in *Input, cfg Config) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.Sampling {
+		return nil, ErrUnsupportedOnDevice // reuse the sentinel: unsupported configuration
+	}
+	n := in.YELT.NumTrials
+	contracts := in.Portfolio.Contracts
+	res := newResult(in, cfg)
+
+	// Per-contract partial tables, merged after the parallel phase.
+	partialAgg := make([][]float64, len(contracts))
+
+	err := stream.ForEach(ctx, len(contracts), cfg.Workers, func(ctx context.Context, ci int) error {
+		c := &contracts[ci]
+		tbl := in.ELTs[c.ELTIndex]
+		agg := make([]float64, n)
+		occ := make([]float64, n)
+		layerSums := make([]float64, len(c.Layers))
+		for trial := 0; trial < n; trial++ {
+			if trial%8192 == 0 {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				default:
+				}
+			}
+			for li := range layerSums {
+				layerSums[li] = 0
+			}
+			var occMax float64
+			for _, o := range in.YELT.OccurrencesOf(trial) {
+				rec, ok := tbl.Lookup(o.EventID)
+				if !ok || rec.MeanLoss <= 0 {
+					continue
+				}
+				var occTotal float64
+				for li := range c.Layers {
+					r := c.Layers[li].ApplyOccurrence(rec.MeanLoss)
+					layerSums[li] += r
+					occTotal += r
+				}
+				if occTotal > occMax {
+					occMax = occTotal
+				}
+			}
+			var annual float64
+			for li := range c.Layers {
+				annual += c.Layers[li].ApplyAggregate(layerSums[li])
+			}
+			agg[trial] = annual
+			occ[trial] = occMax
+		}
+		partialAgg[ci] = agg
+		if res.PerContract != nil {
+			copy(res.PerContract[ci].Agg, agg)
+			copy(res.PerContract[ci].OccMax, occ)
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	// Merge: portfolio agg is the sum; portfolio OccMax needs the max
+	// over *events*, which per-contract maxima only bound from below.
+	// To stay exact we recompute OccMax with one trial-ordered pass —
+	// cheap relative to the per-contract scans, and a concrete cost of
+	// this decomposition worth keeping visible.
+	for _, pa := range partialAgg {
+		for t, v := range pa {
+			res.Portfolio.Agg[t] += v
+		}
+	}
+	scratch := newTrialScratch(in.Portfolio)
+	for trial := 0; trial < n; trial++ {
+		_, occMax := runTrial(in.YELT.OccurrencesOf(trial), in, Config{}, nil, scratch, nil, nil)
+		res.Portfolio.OccMax[trial] = occMax
+	}
+	return res, nil
+}

@@ -1,0 +1,93 @@
+package aggregate
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/synth"
+)
+
+func TestByContractMatchesSequentialExpectedMode(t *testing.T) {
+	s := buildScenario(t, synth.Small(41))
+	cfg := Config{}
+	seq, err := Sequential{}.Run(context.Background(), input(s), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := ByContract{}.Run(context.Background(), input(s), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range seq.Portfolio.Agg {
+		if math.Abs(seq.Portfolio.Agg[i]-bc.Portfolio.Agg[i]) > 1e-9*(1+seq.Portfolio.Agg[i]) {
+			t.Fatalf("agg trial %d: %v vs %v", i, seq.Portfolio.Agg[i], bc.Portfolio.Agg[i])
+		}
+		if math.Abs(seq.Portfolio.OccMax[i]-bc.Portfolio.OccMax[i]) > 1e-9*(1+seq.Portfolio.OccMax[i]) {
+			t.Fatalf("occmax trial %d: %v vs %v", i, seq.Portfolio.OccMax[i], bc.Portfolio.OccMax[i])
+		}
+	}
+}
+
+func TestByContractPerContractOutput(t *testing.T) {
+	s := buildScenario(t, synth.Small(42))
+	cfg := Config{PerContract: true}
+	seq, err := Sequential{}.Run(context.Background(), input(s), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bc, err := ByContract{}.Run(context.Background(), input(s), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(bc.PerContract) != len(seq.PerContract) {
+		t.Fatal("per-contract table counts differ")
+	}
+	for ci := range seq.PerContract {
+		for trial := range seq.PerContract[ci].Agg {
+			a := seq.PerContract[ci].Agg[trial]
+			b := bc.PerContract[ci].Agg[trial]
+			if math.Abs(a-b) > 1e-9*(1+a) {
+				t.Fatalf("contract %d trial %d: %v vs %v", ci, trial, a, b)
+			}
+		}
+	}
+}
+
+func TestByContractRefusesSampling(t *testing.T) {
+	s := buildScenario(t, synth.Small(43))
+	if _, err := (ByContract{}).Run(context.Background(), input(s), Config{Sampling: true}); err == nil {
+		t.Fatal("sampling mode should be refused (draw order differs)")
+	}
+}
+
+func TestByContractCancellation(t *testing.T) {
+	s := buildScenario(t, synth.Small(44))
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := (ByContract{}).Run(ctx, input(s), Config{}); err == nil {
+		t.Fatal("cancelled run should error")
+	}
+}
+
+// The decomposition ablation: by-trial vs by-contract parallelism on a
+// book with few contracts (the common case — a portfolio has orders of
+// magnitude fewer contracts than trials).
+func BenchmarkByContractVsByTrial(b *testing.B) {
+	s := benchScenario(b, false)
+	in := &Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio}
+	b.Run("by-trial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (Parallel{}).Run(context.Background(), in, Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("by-contract", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := (ByContract{}).Run(context.Background(), in, Config{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

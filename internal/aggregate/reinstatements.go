@@ -1,0 +1,147 @@
+package aggregate
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/elt"
+	"repro/internal/layers"
+	"repro/internal/rng"
+	"repro/internal/stream"
+	"repro/internal/ylt"
+)
+
+// ReinstatementInput extends an Input with per-contract-layer
+// reinstatement terms, enabling the stateful occurrence-ordered path:
+// each trial year walks events in date order, eroding and reinstating
+// layer limits (see internal/layers). Terms[ci][li] corresponds to
+// Portfolio.Contracts[ci].Layers[li].
+type ReinstatementInput struct {
+	*Input
+	Terms [][]layers.ReinstatementTerms
+}
+
+// Validate extends Input.Validate with terms-shape checks.
+func (in *ReinstatementInput) Validate() error {
+	if err := in.Input.Validate(); err != nil {
+		return err
+	}
+	if len(in.Terms) != len(in.Portfolio.Contracts) {
+		return fmt.Errorf("aggregate: %d term rows for %d contracts", len(in.Terms), len(in.Portfolio.Contracts))
+	}
+	for ci, c := range in.Portfolio.Contracts {
+		if len(in.Terms[ci]) != len(c.Layers) {
+			return fmt.Errorf("aggregate: contract %d: %d term entries for %d layers",
+				c.ID, len(in.Terms[ci]), len(c.Layers))
+		}
+		for li, t := range in.Terms[ci] {
+			if t.Count < 0 || t.PremiumRate < 0 || t.UpfrontPremium < 0 {
+				return fmt.Errorf("aggregate: contract %d layer %d: negative reinstatement terms", c.ID, li)
+			}
+		}
+	}
+	return nil
+}
+
+// ReinstatementResult is the stateful path's output: the portfolio
+// YLT plus the reinstatement premium earned per trial year.
+type ReinstatementResult struct {
+	Portfolio *ylt.Table
+	// ReinstPremium[t] is the total reinstatement premium charged in
+	// trial t across the book (reinsurer income offsetting recoveries).
+	ReinstPremium []float64
+}
+
+// RunReinstatements executes the occurrence-ordered stateful analysis
+// in parallel over trials. Like the stateless engines it is a pure
+// function of (input, cfg); the YELT's day-of-year ordering is what
+// makes limit erosion well-defined.
+func RunReinstatements(ctx context.Context, in *ReinstatementInput, cfg Config) (*ReinstatementResult, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	n := in.YELT.NumTrials
+	res := &ReinstatementResult{
+		Portfolio:     ylt.New("portfolio-reinst", n),
+		ReinstPremium: make([]float64, n),
+	}
+	contracts := in.Portfolio.Contracts
+
+	err := stream.ForEachRange(ctx, n, cfg.Workers, func(ctx context.Context, r stream.Range, _ int) error {
+		// Per-worker year states and annual sums, reused across trials.
+		states := make([][]layers.YearState, len(contracts))
+		sums := make([][]float64, len(contracts))
+		for ci, c := range contracts {
+			states[ci] = make([]layers.YearState, len(c.Layers))
+			sums[ci] = make([]float64, len(c.Layers))
+		}
+		for trial := r.Lo; trial < r.Hi; trial++ {
+			if trial%4096 == 0 {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				default:
+				}
+			}
+			st := rng.NewStream(cfg.Seed, uint64(trial))
+			for ci, c := range contracts {
+				for li := range c.Layers {
+					states[ci][li] = c.Layers[li].NewYearState(in.Terms[ci][li])
+					sums[ci][li] = 0
+				}
+			}
+			var occMax, premium float64
+			for _, occ := range in.YELT.OccurrencesOf(trial) {
+				var occTotal float64
+				for ci := range contracts {
+					c := &contracts[ci]
+					rec, ok := in.ELTs[c.ELTIndex].Lookup(occ.EventID)
+					if !ok || rec.MeanLoss <= 0 {
+						continue
+					}
+					loss := rec.MeanLoss
+					if cfg.Sampling {
+						loss = elt.SampleLoss(st, rec)
+					}
+					for li := range c.Layers {
+						rcv, p := states[ci][li].Occurrence(loss)
+						sums[ci][li] += rcv
+						occTotal += rcv
+						premium += p
+					}
+				}
+				if occTotal > occMax {
+					occMax = occTotal
+				}
+			}
+			var agg float64
+			for ci := range contracts {
+				for li := range sums[ci] {
+					agg += states[ci][li].CloseYear(sums[ci][li])
+				}
+			}
+			res.Portfolio.Agg[trial] = agg
+			res.Portfolio.OccMax[trial] = occMax
+			res.ReinstPremium[trial] = premium
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// UnlimitedReinstatements builds terms that never bind (a large count
+// and no premium), under which RunReinstatements must agree with the
+// stateless engines — the consistency check the tests pin down.
+func UnlimitedReinstatements(pf *layers.Portfolio) [][]layers.ReinstatementTerms {
+	out := make([][]layers.ReinstatementTerms, len(pf.Contracts))
+	for ci, c := range pf.Contracts {
+		out[ci] = make([]layers.ReinstatementTerms, len(c.Layers))
+		for li := range c.Layers {
+			out[ci][li] = layers.ReinstatementTerms{Count: 1 << 20}
+		}
+	}
+	return out
+}

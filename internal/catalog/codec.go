@@ -1,0 +1,102 @@
+package catalog
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary catalogue format: magic "CAT1", u32 event count, then per
+// event: u32 id, u8 peril, u16 region, 5×f64 (lat, lon, magnitude,
+// radius, rate). Stream-oriented like the other pipeline codecs:
+// catalogues are written once by the modelling team and scanned by
+// every downstream consumer.
+var magic = [4]byte{'C', 'A', 'T', '1'}
+
+// ErrBadFormat reports a malformed serialized catalogue.
+var ErrBadFormat = errors.New("catalog: bad format")
+
+const eventRecordSize = 4 + 1 + 2 + 5*8
+
+// WriteTo serializes the catalogue. It implements io.WriterTo.
+func (c *Catalog) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var written int64
+	if _, err := bw.Write(magic[:]); err != nil {
+		return written, err
+	}
+	written += 4
+	var u4 [4]byte
+	binary.LittleEndian.PutUint32(u4[:], uint32(len(c.Events)))
+	if _, err := bw.Write(u4[:]); err != nil {
+		return written, err
+	}
+	written += 4
+	var rec [eventRecordSize]byte
+	for _, ev := range c.Events {
+		binary.LittleEndian.PutUint32(rec[0:4], ev.ID)
+		rec[4] = byte(ev.Peril)
+		binary.LittleEndian.PutUint16(rec[5:7], ev.RegionID)
+		binary.LittleEndian.PutUint64(rec[7:15], math.Float64bits(ev.Lat))
+		binary.LittleEndian.PutUint64(rec[15:23], math.Float64bits(ev.Lon))
+		binary.LittleEndian.PutUint64(rec[23:31], math.Float64bits(ev.Magnitude))
+		binary.LittleEndian.PutUint64(rec[31:39], math.Float64bits(ev.RadiusKm))
+		binary.LittleEndian.PutUint64(rec[39:47], math.Float64bits(ev.AnnualRate))
+		if _, err := bw.Write(rec[:]); err != nil {
+			return written, err
+		}
+		written += eventRecordSize
+	}
+	return written, bw.Flush()
+}
+
+// Read deserializes a catalogue written by WriteTo.
+func Read(r io.Reader) (*Catalog, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("catalog: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, m)
+	}
+	var u4 [4]byte
+	if _, err := io.ReadFull(br, u4[:]); err != nil {
+		return nil, fmt.Errorf("catalog: reading count: %w", err)
+	}
+	count := binary.LittleEndian.Uint32(u4[:])
+	const maxEvents = 1 << 26
+	if count > maxEvents {
+		return nil, fmt.Errorf("%w: event count %d", ErrBadFormat, count)
+	}
+	events := make([]Event, count)
+	var rec [eventRecordSize]byte
+	for i := range events {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("catalog: reading event %d: %w", i, err)
+		}
+		p := Peril(rec[4])
+		if int(p) >= NumPerils {
+			return nil, fmt.Errorf("%w: peril %d", ErrBadFormat, rec[4])
+		}
+		events[i] = Event{
+			ID:         binary.LittleEndian.Uint32(rec[0:4]),
+			Peril:      p,
+			RegionID:   binary.LittleEndian.Uint16(rec[5:7]),
+			Lat:        math.Float64frombits(binary.LittleEndian.Uint64(rec[7:15])),
+			Lon:        math.Float64frombits(binary.LittleEndian.Uint64(rec[15:23])),
+			Magnitude:  math.Float64frombits(binary.LittleEndian.Uint64(rec[23:31])),
+			RadiusKm:   math.Float64frombits(binary.LittleEndian.Uint64(rec[31:39])),
+			AnnualRate: math.Float64frombits(binary.LittleEndian.Uint64(rec[39:47])),
+		}
+	}
+	return NewCatalog(events), nil
+}
+
+// SizeBytes returns the serialized size of the catalogue.
+func (c *Catalog) SizeBytes() int64 {
+	return int64(4 + 4 + len(c.Events)*eventRecordSize)
+}

@@ -1,0 +1,96 @@
+package catalog
+
+import (
+	"bytes"
+	"testing"
+	"testing/quick"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumEvents = 1000
+	c, err := Generate(cfg, 55)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := c.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != c.SizeBytes() || int64(buf.Len()) != n {
+		t.Fatalf("size: reported %d, SizeBytes %d, wrote %d", n, c.SizeBytes(), buf.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != c.Len() {
+		t.Fatal("length mismatch")
+	}
+	for i := range c.Events {
+		if got.Events[i] != c.Events[i] {
+			t.Fatalf("event %d mismatch", i)
+		}
+	}
+	if got.TotalRate() != c.TotalRate() {
+		t.Fatal("aggregates not rebuilt")
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("NOPE0000"))); err == nil {
+		t.Fatal("bad magic should error")
+	}
+	if _, err := Read(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty read should error")
+	}
+	// Truncation.
+	cfg := DefaultConfig()
+	cfg.NumEvents = 10
+	c, _ := Generate(cfg, 1)
+	var buf bytes.Buffer
+	if _, err := c.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes()[:buf.Len()-3])); err == nil {
+		t.Fatal("truncated catalogue should error")
+	}
+	// Corrupt peril byte.
+	raw := append([]byte(nil), buf.Bytes()...)
+	raw[8+4] = 200 // first event's peril
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Fatal("invalid peril should error")
+	}
+}
+
+func TestCodecPropertyRoundTrip(t *testing.T) {
+	f := func(seed uint64, nRaw uint8) bool {
+		cfg := DefaultConfig()
+		cfg.NumEvents = int(nRaw%50) + 1
+		c, err := Generate(cfg, seed)
+		if err != nil {
+			return false
+		}
+		var buf bytes.Buffer
+		if _, err := c.WriteTo(&buf); err != nil {
+			return false
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			return false
+		}
+		if got.Len() != c.Len() {
+			return false
+		}
+		for i := range c.Events {
+			if got.Events[i] != c.Events[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}

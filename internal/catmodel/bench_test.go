@@ -1,0 +1,58 @@
+package catmodel
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/exposure"
+)
+
+func benchWorld(b *testing.B, nEvents, nLocs int) (*catalog.Catalog, *exposure.Database) {
+	b.Helper()
+	ccfg := catalog.DefaultConfig()
+	ccfg.NumEvents = nEvents
+	cat, err := catalog.Generate(ccfg, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ecfg := exposure.DefaultConfig()
+	ecfg.NumLocations = nLocs
+	db, err := exposure.Generate(ecfg, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cat, db
+}
+
+func BenchmarkRunEventExposurePairs(b *testing.B) {
+	cat, db := benchWorld(b, 5_000, 300)
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			eng := New()
+			eng.Workers = workers
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(context.Background(), cat, db, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+			pairs := float64(cat.Len()) * float64(len(db.Interests))
+			b.ReportMetric(pairs*float64(b.N)/b.Elapsed().Seconds(), "pairs/s")
+		})
+	}
+}
+
+func BenchmarkRunScalesWithEvents(b *testing.B) {
+	for _, events := range []int{1_000, 10_000} {
+		cat, db := benchWorld(b, events, 200)
+		b.Run(fmt.Sprintf("events=%d", events), func(b *testing.B) {
+			eng := New()
+			for i := 0; i < b.N; i++ {
+				if _, err := eng.Run(context.Background(), cat, db, 1); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

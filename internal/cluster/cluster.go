@@ -1,0 +1,144 @@
+// Package cluster simulates the elastic processor demand of the risk
+// analytics pipeline: "While in the first stage less than ten
+// processors may be sufficient to handle the data, in the second and
+// third stages thousands or even tens of thousands of processors need
+// to be put together ... The elastic demand ... makes cloud-based
+// computing attractive" (§II). The simulator runs a phase sequence
+// under a provisioning policy and accounts allocated versus busy
+// processor-time, which is what experiment E7 tabulates.
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// Phase is one pipeline stage's resource demand: an amount of work and
+// the maximum parallelism the stage can exploit.
+type Phase struct {
+	Name string
+	// Work is the total processor-seconds the phase needs.
+	Work float64
+	// MaxParallelism is the stage's scaling ceiling.
+	MaxParallelism int
+}
+
+// PipelinePhases returns the canonical three-stage demand profile,
+// parameterized by the stage-1 work unit: stage 2 dominates compute by
+// orders of magnitude (millions of trials), stage 3 sits between.
+func PipelinePhases(stage1Work float64) []Phase {
+	return []Phase{
+		{Name: "risk-modelling", Work: stage1Work, MaxParallelism: 8},
+		{Name: "portfolio-risk", Work: 500 * stage1Work, MaxParallelism: 5000},
+		{Name: "dfa", Work: 120 * stage1Work, MaxParallelism: 2000},
+	}
+}
+
+// Policy decides how many processors are provisioned while a phase
+// with the given demand ceiling runs.
+type Policy interface {
+	// Name labels the policy in reports.
+	Name() string
+	// Provision returns processors allocated (billed) for a demand.
+	Provision(demand int) int
+}
+
+// Static provisions a fixed fleet regardless of demand — the owned
+// cluster. Capacity idles through low-demand phases, and high-demand
+// phases are capped at the fleet size.
+type Static struct{ N int }
+
+// Name implements Policy.
+func (s Static) Name() string { return fmt.Sprintf("static-%d", s.N) }
+
+// Provision implements Policy.
+func (s Static) Provision(int) int { return s.N }
+
+// Elastic provisions up to demand, bounded by a provider cap — the
+// cloud model the paper argues for.
+type Elastic struct{ Max int }
+
+// Name implements Policy.
+func (e Elastic) Name() string { return fmt.Sprintf("elastic-max%d", e.Max) }
+
+// Provision implements Policy.
+func (e Elastic) Provision(demand int) int {
+	if demand > e.Max {
+		return e.Max
+	}
+	return demand
+}
+
+// Sample is one timeline point of the simulation.
+type Sample struct {
+	T         float64
+	Phase     string
+	Demand    int
+	Allocated int
+	Busy      int
+}
+
+// Result aggregates a simulated run.
+type Result struct {
+	Policy        string
+	Makespan      float64 // wall-clock seconds
+	AllocatedSecs float64 // Σ allocated processors · time (the bill)
+	BusySecs      float64 // Σ busy processors · time (useful work)
+	Utilization   float64 // BusySecs / AllocatedSecs
+	Timeline      []Sample
+}
+
+// Simulate runs the phases sequentially under the policy. sampleEvery
+// controls timeline resolution (<= 0 disables the timeline).
+func Simulate(phases []Phase, policy Policy, sampleEvery float64) (*Result, error) {
+	if len(phases) == 0 {
+		return nil, errors.New("cluster: no phases")
+	}
+	res := &Result{Policy: policy.Name()}
+	now := 0.0
+	nextSample := 0.0
+	for _, ph := range phases {
+		if ph.Work <= 0 || ph.MaxParallelism <= 0 {
+			return nil, fmt.Errorf("cluster: invalid phase %+v", ph)
+		}
+		alloc := policy.Provision(ph.MaxParallelism)
+		if alloc <= 0 {
+			return nil, fmt.Errorf("cluster: policy %s provisioned %d processors", policy.Name(), alloc)
+		}
+		busy := alloc
+		if busy > ph.MaxParallelism {
+			busy = ph.MaxParallelism
+		}
+		dur := ph.Work / float64(busy)
+		if sampleEvery > 0 {
+			for ; nextSample < now+dur; nextSample += sampleEvery {
+				res.Timeline = append(res.Timeline, Sample{
+					T: nextSample, Phase: ph.Name,
+					Demand: ph.MaxParallelism, Allocated: alloc, Busy: busy,
+				})
+			}
+		}
+		now += dur
+		res.AllocatedSecs += float64(alloc) * dur
+		res.BusySecs += float64(busy) * dur
+	}
+	res.Makespan = now
+	if res.AllocatedSecs > 0 {
+		res.Utilization = res.BusySecs / res.AllocatedSecs
+	}
+	return res, nil
+}
+
+// Compare runs every policy over the same phases and returns results
+// in input order — the rows of the E7 table.
+func Compare(phases []Phase, policies []Policy) ([]*Result, error) {
+	out := make([]*Result, 0, len(policies))
+	for _, p := range policies {
+		r, err := Simulate(phases, p, 0)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}

@@ -1,0 +1,249 @@
+// Package core orchestrates the paper's three-stage high-performance
+// risk analytics pipeline end to end: risk modelling (catastrophe
+// models producing ELTs), portfolio risk management (aggregate
+// analysis over a pre-simulated YELT producing YLTs), and dynamic
+// financial analysis (integrating catastrophe YLTs with the other
+// enterprise risks). Each stage is timed and its output data volume
+// accounted, which exposes the paper's headline observation: the
+// pipeline's data and compute demand *bursts* between stages (§II).
+package core
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/catalog"
+	"repro/internal/catmodel"
+	"repro/internal/dfa"
+	"repro/internal/elt"
+	"repro/internal/exposure"
+	"repro/internal/layers"
+	"repro/internal/metrics"
+	"repro/internal/synth"
+	"repro/internal/yelt"
+	"repro/internal/ylt"
+)
+
+// Config sizes and seeds a pipeline run.
+type Config struct {
+	Seed uint64
+	// Stage 1: catalogue and book shape.
+	NumEvents            int
+	NumContracts         int
+	LocationsPerContract int
+	MeanEventsPerYear    float64
+	// Stage 2: trial count and engine.
+	NumTrials int
+	Engine    aggregate.Engine // nil = Parallel
+	Sampling  bool
+	// Stage 3.
+	Sources []dfa.Source // nil = StandardSources scaled to the cat AAL
+	Rho     float64      // copula equicorrelation
+	// Workers bounds every parallel phase; <= 0 means GOMAXPROCS.
+	Workers int
+	// TwoLayers adds working layers to each program.
+	TwoLayers bool
+}
+
+// DefaultConfig returns a laptop-scale full pipeline run.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                 1,
+		NumEvents:            10_000,
+		NumContracts:         16,
+		LocationsPerContract: 300,
+		MeanEventsPerYear:    10,
+		NumTrials:            100_000,
+		Rho:                  0.25,
+		TwoLayers:            true,
+	}
+}
+
+// StageReport records one stage's cost and output volume.
+type StageReport struct {
+	Name     string
+	Duration time.Duration
+	// OutputBytes is the serialized size of the artifacts the stage
+	// hands to the next stage — the "burst of data" measurement.
+	OutputBytes int64
+	// Items counts the stage's principal outputs (ELT records, YLT
+	// trials, ...).
+	Items int64
+}
+
+// Report is the output of a full pipeline run.
+type Report struct {
+	Stages      []StageReport
+	Catastrophe *metrics.Summary
+	Enterprise  *metrics.Summary
+}
+
+// Pipeline holds the artifacts as stages execute. Create with New,
+// then either call Run or drive stages individually.
+type Pipeline struct {
+	Cfg Config
+
+	Catalog   *catalog.Catalog
+	Exposures []*exposure.Database
+	ELTs      []*elt.Table
+	Portfolio *layers.Portfolio
+	YELT      *yelt.Table
+	CatYLT    *ylt.Table
+	AggResult *aggregate.Result
+	DFAResult *dfa.Result
+
+	Stages []StageReport
+}
+
+// New returns a pipeline for cfg with defaults filled in.
+func New(cfg Config) *Pipeline {
+	def := DefaultConfig()
+	if cfg.NumEvents <= 0 {
+		cfg.NumEvents = def.NumEvents
+	}
+	if cfg.NumContracts <= 0 {
+		cfg.NumContracts = def.NumContracts
+	}
+	if cfg.LocationsPerContract <= 0 {
+		cfg.LocationsPerContract = def.LocationsPerContract
+	}
+	if cfg.MeanEventsPerYear <= 0 {
+		cfg.MeanEventsPerYear = def.MeanEventsPerYear
+	}
+	if cfg.NumTrials <= 0 {
+		cfg.NumTrials = def.NumTrials
+	}
+	if cfg.Engine == nil {
+		cfg.Engine = aggregate.Parallel{}
+	}
+	return &Pipeline{Cfg: cfg}
+}
+
+// RunStage1 executes risk modelling: catalogue generation, synthetic
+// exposure, and the catastrophe-model engine producing one ELT per
+// contract.
+func (p *Pipeline) RunStage1(ctx context.Context) error {
+	start := time.Now()
+	ccfg := catalog.DefaultConfig()
+	ccfg.NumEvents = p.Cfg.NumEvents
+	ccfg.MeanEventsPerYear = p.Cfg.MeanEventsPerYear
+	cat, err := catalog.Generate(ccfg, p.Cfg.Seed)
+	if err != nil {
+		return fmt.Errorf("core: stage 1: %w", err)
+	}
+	p.Catalog = cat
+
+	eng := catmodel.New()
+	eng.Workers = p.Cfg.Workers
+	p.Exposures = p.Exposures[:0]
+	p.ELTs = p.ELTs[:0]
+	var bytes, items int64
+	for c := 0; c < p.Cfg.NumContracts; c++ {
+		ecfg := exposure.DefaultConfig()
+		ecfg.NumLocations = p.Cfg.LocationsPerContract
+		db, err := exposure.Generate(ecfg, p.Cfg.Seed+uint64(1000+c))
+		if err != nil {
+			return fmt.Errorf("core: stage 1 exposure %d: %w", c, err)
+		}
+		p.Exposures = append(p.Exposures, db)
+		tbl, err := eng.Run(ctx, cat, db, uint32(c+1))
+		if err != nil {
+			return fmt.Errorf("core: stage 1 contract %d: %w", c, err)
+		}
+		p.ELTs = append(p.ELTs, tbl)
+		bytes += tbl.SizeBytes()
+		items += int64(tbl.Len())
+	}
+	p.Portfolio = synth.BuildPortfolio(p.ELTs, false, p.Cfg.TwoLayers)
+	p.Stages = append(p.Stages, StageReport{
+		Name: "risk-modelling", Duration: time.Since(start),
+		OutputBytes: bytes, Items: items,
+	})
+	return nil
+}
+
+// RunStage2 executes portfolio risk management: YELT pre-simulation
+// and aggregate analysis producing the catastrophe YLT.
+func (p *Pipeline) RunStage2(ctx context.Context) error {
+	if p.Catalog == nil {
+		return errors.New("core: stage 2 requires stage 1 artifacts")
+	}
+	start := time.Now()
+	y, err := yelt.Generate(p.Catalog, yelt.Config{NumTrials: p.Cfg.NumTrials, Workers: p.Cfg.Workers}, p.Cfg.Seed+7)
+	if err != nil {
+		return fmt.Errorf("core: stage 2 yelt: %w", err)
+	}
+	p.YELT = y
+
+	in := &aggregate.Input{YELT: y, ELTs: p.ELTs, Portfolio: p.Portfolio}
+	res, err := p.Cfg.Engine.Run(ctx, in, aggregate.Config{
+		Seed:     p.Cfg.Seed + 13,
+		Sampling: p.Cfg.Sampling,
+		Workers:  p.Cfg.Workers,
+	})
+	if err != nil {
+		return fmt.Errorf("core: stage 2 aggregate: %w", err)
+	}
+	p.AggResult = res
+	p.CatYLT = res.Portfolio
+	p.Stages = append(p.Stages, StageReport{
+		Name: "portfolio-risk", Duration: time.Since(start),
+		OutputBytes: y.SizeBytes() + res.Portfolio.SizeBytes(),
+		Items:       int64(y.Len()),
+	})
+	return nil
+}
+
+// RunStage3 executes dynamic financial analysis over the catastrophe
+// YLT.
+func (p *Pipeline) RunStage3(ctx context.Context) error {
+	if p.CatYLT == nil {
+		return errors.New("core: stage 3 requires stage 2 artifacts")
+	}
+	start := time.Now()
+	sources := p.Cfg.Sources
+	if sources == nil {
+		sources = dfa.StandardSources(p.CatYLT.Mean())
+	}
+	ig := &dfa.Integrator{Sources: sources}
+	res, err := ig.Run(ctx, p.CatYLT, dfa.Config{
+		Seed:    p.Cfg.Seed + 29,
+		Workers: p.Cfg.Workers,
+		Rho:     p.Cfg.Rho,
+	})
+	if err != nil {
+		return fmt.Errorf("core: stage 3: %w", err)
+	}
+	p.DFAResult = res
+	p.Stages = append(p.Stages, StageReport{
+		Name: "dfa", Duration: time.Since(start),
+		OutputBytes: res.TotalBytes,
+		Items:       int64(res.Enterprise.NumTrials()) * int64(len(res.PerSource)+2),
+	})
+	return nil
+}
+
+// Run executes all three stages and assembles the report.
+func (p *Pipeline) Run(ctx context.Context) (*Report, error) {
+	if err := p.RunStage1(ctx); err != nil {
+		return nil, err
+	}
+	if err := p.RunStage2(ctx); err != nil {
+		return nil, err
+	}
+	if err := p.RunStage3(ctx); err != nil {
+		return nil, err
+	}
+	catSum, err := metrics.Summarize(p.CatYLT)
+	if err != nil {
+		return nil, fmt.Errorf("core: cat summary: %w", err)
+	}
+	entSum, err := metrics.Summarize(p.DFAResult.Enterprise)
+	if err != nil {
+		return nil, fmt.Errorf("core: enterprise summary: %w", err)
+	}
+	return &Report{Stages: p.Stages, Catastrophe: catSum, Enterprise: entSum}, nil
+}

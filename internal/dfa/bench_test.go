@@ -1,0 +1,45 @@
+package dfa
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func newBenchStream() *rng.Stream { return rng.New(77) }
+
+func BenchmarkIntegrate(b *testing.B) {
+	cat := catTable(100_000, 3)
+	for _, k := range []int{6, 24} {
+		base := StandardSources(cat.Mean())
+		sources := make([]Source, 0, k)
+		for len(sources) < k {
+			sources = append(sources, base[len(sources)%len(base)])
+		}
+		ig := &Integrator{Sources: sources}
+		b.Run(fmt.Sprintf("sources=%d", k), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := ig.Run(context.Background(), cat, Config{Seed: 7, Rho: 0.2}); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(cat.NumTrials())*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+		})
+	}
+}
+
+func BenchmarkSourceDraws(b *testing.B) {
+	cat := catTable(1000, 4)
+	for _, src := range StandardSources(cat.Mean()) {
+		b.Run(src.Name(), func(b *testing.B) {
+			st := newBenchStream()
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				sink += src.Loss(0.3+0.4*float64(i%2), st)
+			}
+			_ = sink
+		})
+	}
+}

@@ -1,0 +1,178 @@
+// Package diskstore is the "accumulate large distributed file space"
+// strategy from the paper (§II, §III): datasets partitioned across the
+// local directories of a set of (simulated) storage nodes, written
+// once and consumed by sequential scans. It is the storage layer under
+// internal/mapreduce, standing in for HDFS-style distributed file
+// systems, and it deliberately offers no random access — matching the
+// paper's observation that these workloads scan.
+package diskstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ErrNotFound is returned for missing datasets or partitions.
+var ErrNotFound = errors.New("diskstore: not found")
+
+// Store is a dataset namespace partitioned across node directories.
+type Store struct {
+	root  string
+	nodes int
+}
+
+// Create initializes a store rooted at dir with the given node count,
+// creating node directories. dir is created if missing.
+func Create(dir string, nodes int) (*Store, error) {
+	if nodes <= 0 {
+		return nil, fmt.Errorf("diskstore: node count %d", nodes)
+	}
+	for i := 0; i < nodes; i++ {
+		if err := os.MkdirAll(nodeDir(dir, i), 0o755); err != nil {
+			return nil, fmt.Errorf("diskstore: creating node %d: %w", i, err)
+		}
+	}
+	return &Store{root: dir, nodes: nodes}, nil
+}
+
+// Open attaches to an existing store, discovering its node count.
+func Open(dir string) (*Store, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("diskstore: %w", err)
+	}
+	nodes := 0
+	for _, e := range entries {
+		if e.IsDir() && strings.HasPrefix(e.Name(), "node-") {
+			nodes++
+		}
+	}
+	if nodes == 0 {
+		return nil, fmt.Errorf("%w: no node directories under %s", ErrNotFound, dir)
+	}
+	return &Store{root: dir, nodes: nodes}, nil
+}
+
+func nodeDir(root string, i int) string {
+	return filepath.Join(root, fmt.Sprintf("node-%03d", i))
+}
+
+// Nodes returns the number of storage nodes.
+func (s *Store) Nodes() int { return s.nodes }
+
+// NodeOf returns the node a partition lives on (round-robin placement).
+func (s *Store) NodeOf(part int) int { return part % s.nodes }
+
+func (s *Store) partPath(dataset string, part int) string {
+	return filepath.Join(nodeDir(s.root, s.NodeOf(part)),
+		fmt.Sprintf("%s.part-%05d", dataset, part))
+}
+
+// WritePartition creates partition part of dataset, streaming content
+// through fn. A partially written partition is removed on error.
+func (s *Store) WritePartition(dataset string, part int, fn func(io.Writer) error) error {
+	path := s.partPath(dataset, part)
+	f, err := os.Create(path)
+	if err != nil {
+		return fmt.Errorf("diskstore: create %s: %w", path, err)
+	}
+	if err := fn(f); err != nil {
+		f.Close()
+		os.Remove(path)
+		return fmt.Errorf("diskstore: write %s: %w", path, err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(path)
+		return fmt.Errorf("diskstore: close %s: %w", path, err)
+	}
+	return nil
+}
+
+// ReadPartition streams partition part of dataset through fn.
+func (s *Store) ReadPartition(dataset string, part int, fn func(io.Reader) error) error {
+	path := s.partPath(dataset, part)
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %s part %d", ErrNotFound, dataset, part)
+		}
+		return fmt.Errorf("diskstore: open %s: %w", path, err)
+	}
+	defer f.Close()
+	return fn(f)
+}
+
+// Partitions returns the sorted partition numbers of a dataset.
+func (s *Store) Partitions(dataset string) ([]int, error) {
+	var parts []int
+	prefix := dataset + ".part-"
+	for n := 0; n < s.nodes; n++ {
+		entries, err := os.ReadDir(nodeDir(s.root, n))
+		if err != nil {
+			return nil, fmt.Errorf("diskstore: listing node %d: %w", n, err)
+		}
+		for _, e := range entries {
+			if !strings.HasPrefix(e.Name(), prefix) {
+				continue
+			}
+			p, err := strconv.Atoi(strings.TrimPrefix(e.Name(), prefix))
+			if err != nil {
+				continue
+			}
+			parts = append(parts, p)
+		}
+	}
+	if len(parts) == 0 {
+		return nil, fmt.Errorf("%w: dataset %s", ErrNotFound, dataset)
+	}
+	sort.Ints(parts)
+	return parts, nil
+}
+
+// SizeBytes returns the total on-disk size of a dataset.
+func (s *Store) SizeBytes(dataset string) (int64, error) {
+	parts, err := s.Partitions(dataset)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, p := range parts {
+		info, err := os.Stat(s.partPath(dataset, p))
+		if err != nil {
+			return 0, fmt.Errorf("diskstore: stat part %d: %w", p, err)
+		}
+		total += info.Size()
+	}
+	return total, nil
+}
+
+// Delete removes all partitions of a dataset.
+func (s *Store) Delete(dataset string) error {
+	parts, err := s.Partitions(dataset)
+	if err != nil {
+		return err
+	}
+	for _, p := range parts {
+		if err := os.Remove(s.partPath(dataset, p)); err != nil {
+			return fmt.Errorf("diskstore: delete part %d: %w", p, err)
+		}
+	}
+	return nil
+}
+
+// Corrupt truncates a partition to half its size — a failure-injection
+// hook for recovery tests.
+func (s *Store) Corrupt(dataset string, part int) error {
+	path := s.partPath(dataset, part)
+	info, err := os.Stat(path)
+	if err != nil {
+		return fmt.Errorf("%w: %s part %d", ErrNotFound, dataset, part)
+	}
+	return os.Truncate(path, info.Size()/2)
+}

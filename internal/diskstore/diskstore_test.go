@@ -1,0 +1,192 @@
+package diskstore
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func newStore(t *testing.T, nodes int) *Store {
+	t.Helper()
+	s, err := Create(t.TempDir(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCreateValidation(t *testing.T) {
+	if _, err := Create(t.TempDir(), 0); err == nil {
+		t.Fatal("zero nodes should error")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	s := newStore(t, 3)
+	for p := 0; p < 7; p++ {
+		p := p
+		err := s.WritePartition("yelt", p, func(w io.Writer) error {
+			_, err := fmt.Fprintf(w, "partition-%d", p)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p := 0; p < 7; p++ {
+		var got string
+		err := s.ReadPartition("yelt", p, func(r io.Reader) error {
+			b, err := io.ReadAll(r)
+			got = string(b)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("partition-%d", p); got != want {
+			t.Fatalf("partition %d = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestPartitionsSortedAndPlacement(t *testing.T) {
+	s := newStore(t, 3)
+	for _, p := range []int{4, 0, 2, 1, 3} {
+		if err := s.WritePartition("ds", p, func(w io.Writer) error {
+			_, err := w.Write([]byte{1})
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	parts, err := s.Partitions("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range parts {
+		if p != i {
+			t.Fatalf("Partitions = %v", parts)
+		}
+	}
+	// Round-robin placement across nodes.
+	if s.NodeOf(0) != 0 || s.NodeOf(4) != 1 || s.NodeOf(5) != 2 {
+		t.Fatal("placement broken")
+	}
+	if s.Nodes() != 3 {
+		t.Fatal("Nodes()")
+	}
+}
+
+func TestMissingDataset(t *testing.T) {
+	s := newStore(t, 2)
+	if _, err := s.Partitions("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if err := s.ReadPartition("nope", 0, func(io.Reader) error { return nil }); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.SizeBytes("nope"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestWriteErrorCleansUp(t *testing.T) {
+	s := newStore(t, 1)
+	boom := errors.New("write boom")
+	err := s.WritePartition("bad", 0, func(io.Writer) error { return boom })
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := s.Partitions("bad"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("failed write should leave no partition behind")
+	}
+}
+
+func TestSizeAndDelete(t *testing.T) {
+	s := newStore(t, 2)
+	payload := make([]byte, 1000)
+	for p := 0; p < 4; p++ {
+		if err := s.WritePartition("big", p, func(w io.Writer) error {
+			_, err := w.Write(payload)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	size, err := s.SizeBytes("big")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 4000 {
+		t.Fatalf("size = %d", size)
+	}
+	if err := s.Delete("big"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Partitions("big"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("dataset should be gone")
+	}
+}
+
+func TestCorruptTruncates(t *testing.T) {
+	s := newStore(t, 1)
+	if err := s.WritePartition("c", 0, func(w io.Writer) error {
+		_, err := w.Write(make([]byte, 100))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Corrupt("c", 0); err != nil {
+		t.Fatal(err)
+	}
+	var n int
+	if err := s.ReadPartition("c", 0, func(r io.Reader) error {
+		b, err := io.ReadAll(r)
+		n = len(b)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if n != 50 {
+		t.Fatalf("corrupted partition has %d bytes, want 50", n)
+	}
+	if err := s.Corrupt("c", 9); !errors.Is(err, ErrNotFound) {
+		t.Fatal("corrupting a missing partition should report not found")
+	}
+}
+
+func TestOpenDiscoversNodes(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Create(dir, 4); err != nil {
+		t.Fatal(err)
+	}
+	s, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Nodes() != 4 {
+		t.Fatalf("Nodes = %d", s.Nodes())
+	}
+	empty := t.TempDir()
+	if _, err := Open(empty); !errors.Is(err, ErrNotFound) {
+		t.Fatal("empty dir should not open")
+	}
+	if _, err := Open(filepath.Join(empty, "missing")); err == nil {
+		t.Fatal("missing dir should error")
+	}
+}
+
+func TestNodeDirectoriesOnDisk(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := Create(dir, 2); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("node-%03d", i))); err != nil {
+			t.Fatalf("node dir %d missing: %v", i, err)
+		}
+	}
+}

@@ -1,0 +1,253 @@
+// Package elt implements the Event-Loss Table, the artifact stage 1
+// produces and stage 2 consumes: "An ELT is the risk associated with an
+// individual reinsurance contract, and is the output of the first
+// stage" (§II).
+//
+// Each record carries the loss distribution a single catalogue event
+// inflicts on the contract, in the industry-standard moment form:
+// mean loss, independent and correlated standard deviations, and the
+// exposed value (the maximum possible loss). Tables are kept sorted by
+// event ID; lookup is binary search, the access pattern the aggregate
+// engines rely on.
+package elt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+
+	"repro/internal/rng"
+)
+
+// Record is one event's loss distribution on a contract.
+type Record struct {
+	EventID uint32
+	// MeanLoss is the expected gross loss if the event occurs.
+	MeanLoss float64
+	// SigmaI is the independent (site-diversifiable) loss std dev.
+	SigmaI float64
+	// SigmaC is the correlated (systemic) loss std dev.
+	SigmaC float64
+	// ExposedValue is the maximum possible loss (limit of the
+	// distribution's support).
+	ExposedValue float64
+}
+
+// Sigma returns the total standard deviation. Following ELT
+// convention the independent and correlated components are stored
+// separately and added when a single spread is needed.
+func (r Record) Sigma() float64 {
+	return r.SigmaI + r.SigmaC
+}
+
+// Table is an Event-Loss Table for one contract, sorted by EventID.
+type Table struct {
+	ContractID uint32
+	Records    []Record
+}
+
+// New returns a table over the given records, sorting them by event ID
+// and coalescing duplicates by moment addition.
+func New(contractID uint32, records []Record) *Table {
+	t := &Table{ContractID: contractID, Records: records}
+	t.normalize()
+	return t
+}
+
+func (t *Table) normalize() {
+	sort.Slice(t.Records, func(i, j int) bool { return t.Records[i].EventID < t.Records[j].EventID })
+	out := t.Records[:0]
+	for _, r := range t.Records {
+		if n := len(out); n > 0 && out[n-1].EventID == r.EventID {
+			out[n-1] = addRecords(out[n-1], r)
+			continue
+		}
+		out = append(out, r)
+	}
+	t.Records = out
+}
+
+// addRecords merges two loss distributions for the same event on
+// (sub)portfolios: means and exposed values add, correlated sigmas add
+// linearly, independent sigmas add in quadrature.
+func addRecords(a, b Record) Record {
+	return Record{
+		EventID:      a.EventID,
+		MeanLoss:     a.MeanLoss + b.MeanLoss,
+		SigmaI:       math.Sqrt(a.SigmaI*a.SigmaI + b.SigmaI*b.SigmaI),
+		SigmaC:       a.SigmaC + b.SigmaC,
+		ExposedValue: a.ExposedValue + b.ExposedValue,
+	}
+}
+
+// Len returns the number of event records.
+func (t *Table) Len() int { return len(t.Records) }
+
+// Lookup returns the record for an event ID via binary search.
+func (t *Table) Lookup(eventID uint32) (Record, bool) {
+	i := sort.Search(len(t.Records), func(i int) bool { return t.Records[i].EventID >= eventID })
+	if i < len(t.Records) && t.Records[i].EventID == eventID {
+		return t.Records[i], true
+	}
+	return Record{}, false
+}
+
+// ExpectedLoss returns the summed mean loss across all events (the
+// contract's loss if every catalogue event occurred exactly once).
+func (t *Table) ExpectedLoss() float64 {
+	var s float64
+	for _, r := range t.Records {
+		s += r.MeanLoss
+	}
+	return s
+}
+
+// Merge returns a new table combining t and other (for the same or a
+// consolidated contract): the union of events with moment addition on
+// overlaps. Merge is commutative and associative up to float rounding.
+func Merge(contractID uint32, tables ...*Table) *Table {
+	var n int
+	for _, t := range tables {
+		n += len(t.Records)
+	}
+	recs := make([]Record, 0, n)
+	for _, t := range tables {
+		recs = append(recs, t.Records...)
+	}
+	return New(contractID, recs)
+}
+
+// SampleLoss draws a realized loss for record r using the
+// industry-standard beta-on-[0, ExposedValue] secondary-uncertainty
+// model: mean and sigma are matched by method of moments. Degenerate
+// parameters fall back to the mean.
+func SampleLoss(st *rng.Stream, r Record) float64 {
+	if r.MeanLoss <= 0 || r.ExposedValue <= 0 {
+		return 0
+	}
+	sigma := r.Sigma()
+	if sigma <= 0 {
+		return r.MeanLoss
+	}
+	mu := r.MeanLoss / r.ExposedValue
+	v := (sigma / r.ExposedValue) * (sigma / r.ExposedValue)
+	if mu >= 1 {
+		return r.ExposedValue
+	}
+	maxV := mu * (1 - mu)
+	if v >= maxV {
+		v = maxV * 0.99
+	}
+	k := mu*(1-mu)/v - 1
+	if k <= 0 {
+		return r.MeanLoss
+	}
+	return r.ExposedValue * st.Beta(mu*k, (1-mu)*k)
+}
+
+// --- binary codec ---
+
+// Binary layout: magic "ELT1", u32 contractID, u32 count, then per
+// record u32 eventID + 4 float64s, all little-endian. The format is a
+// stand-in for the "small number of very large tables" stage-1 storage;
+// it streams, it does not seek.
+var magic = [4]byte{'E', 'L', 'T', '1'}
+
+// ErrBadFormat is returned when decoding encounters a malformed table.
+var ErrBadFormat = errors.New("elt: bad format")
+
+const recordSize = 4 + 8*4
+
+// WriteTo serializes the table. It implements io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var written int64
+	if _, err := bw.Write(magic[:]); err != nil {
+		return written, err
+	}
+	written += 4
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], t.ContractID)
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(t.Records)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return written, err
+	}
+	written += 8
+	var buf [recordSize]byte
+	for _, r := range t.Records {
+		binary.LittleEndian.PutUint32(buf[0:4], r.EventID)
+		binary.LittleEndian.PutUint64(buf[4:12], math.Float64bits(r.MeanLoss))
+		binary.LittleEndian.PutUint64(buf[12:20], math.Float64bits(r.SigmaI))
+		binary.LittleEndian.PutUint64(buf[20:28], math.Float64bits(r.SigmaC))
+		binary.LittleEndian.PutUint64(buf[28:36], math.Float64bits(r.ExposedValue))
+		if _, err := bw.Write(buf[:]); err != nil {
+			return written, err
+		}
+		written += recordSize
+	}
+	return written, bw.Flush()
+}
+
+// Read deserializes a table written by WriteTo.
+func Read(r io.Reader) (*Table, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("elt: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, m)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("elt: reading header: %w", err)
+	}
+	contractID := binary.LittleEndian.Uint32(hdr[0:4])
+	count := binary.LittleEndian.Uint32(hdr[4:8])
+	const maxRecords = 1 << 28 // 256M records ≈ 9.7 GB; refuse absurd headers
+	if count > maxRecords {
+		return nil, fmt.Errorf("%w: record count %d too large", ErrBadFormat, count)
+	}
+	recs := make([]Record, count)
+	var buf [recordSize]byte
+	for i := range recs {
+		if _, err := io.ReadFull(br, buf[:]); err != nil {
+			return nil, fmt.Errorf("elt: reading record %d: %w", i, err)
+		}
+		recs[i] = Record{
+			EventID:      binary.LittleEndian.Uint32(buf[0:4]),
+			MeanLoss:     math.Float64frombits(binary.LittleEndian.Uint64(buf[4:12])),
+			SigmaI:       math.Float64frombits(binary.LittleEndian.Uint64(buf[12:20])),
+			SigmaC:       math.Float64frombits(binary.LittleEndian.Uint64(buf[20:28])),
+			ExposedValue: math.Float64frombits(binary.LittleEndian.Uint64(buf[28:36])),
+		}
+	}
+	t := &Table{ContractID: contractID, Records: recs}
+	// Stored tables are sorted; tolerate unsorted input defensively.
+	if !sort.SliceIsSorted(t.Records, func(i, j int) bool { return t.Records[i].EventID < t.Records[j].EventID }) {
+		t.normalize()
+	}
+	return t, nil
+}
+
+// SizeBytes returns the serialized size of the table.
+func (t *Table) SizeBytes() int64 {
+	return int64(4 + 8 + len(t.Records)*recordSize)
+}
+
+// Truncate returns a copy keeping only records with MeanLoss >= floor,
+// the standard thinning applied before shipping ELTs downstream: tiny
+// means contribute nothing to portfolio tails but dominate table size.
+func (t *Table) Truncate(floor float64) *Table {
+	recs := make([]Record, 0, len(t.Records))
+	for _, r := range t.Records {
+		if r.MeanLoss >= floor {
+			recs = append(recs, r)
+		}
+	}
+	return &Table{ContractID: t.ContractID, Records: recs}
+}

@@ -1,0 +1,128 @@
+package exposure
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Binary exposure format: magic "EXP1", u32 location count, u32
+// interest count, then locations (u32 id, u16 region, 2×f64) and
+// interests (u32 locIndex, u8 construction, u8 occupancy, f64 value).
+// Exposure databases are the second "very large table" of stage 1 and
+// ship between cedant systems and the modelling cluster in exactly
+// this kind of flat scan-friendly layout.
+var magic = [4]byte{'E', 'X', 'P', '1'}
+
+// ErrBadFormat reports a malformed serialized database.
+var ErrBadFormat = errors.New("exposure: bad format")
+
+const (
+	locRecordSize      = 4 + 2 + 16
+	interestRecordSize = 4 + 1 + 1 + 8
+)
+
+// WriteTo serializes the database. It implements io.WriterTo.
+func (db *Database) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var written int64
+	if _, err := bw.Write(magic[:]); err != nil {
+		return written, err
+	}
+	written += 4
+	var hdr [8]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(db.Locations)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(db.Interests)))
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return written, err
+	}
+	written += 8
+	var lrec [locRecordSize]byte
+	for _, l := range db.Locations {
+		binary.LittleEndian.PutUint32(lrec[0:4], l.ID)
+		binary.LittleEndian.PutUint16(lrec[4:6], l.RegionID)
+		binary.LittleEndian.PutUint64(lrec[6:14], math.Float64bits(l.Lat))
+		binary.LittleEndian.PutUint64(lrec[14:22], math.Float64bits(l.Lon))
+		if _, err := bw.Write(lrec[:]); err != nil {
+			return written, err
+		}
+		written += locRecordSize
+	}
+	var irec [interestRecordSize]byte
+	for _, in := range db.Interests {
+		binary.LittleEndian.PutUint32(irec[0:4], uint32(in.LocationIndex))
+		irec[4] = byte(in.Construction)
+		irec[5] = byte(in.Occupancy)
+		binary.LittleEndian.PutUint64(irec[6:14], math.Float64bits(in.Value))
+		if _, err := bw.Write(irec[:]); err != nil {
+			return written, err
+		}
+		written += interestRecordSize
+	}
+	return written, bw.Flush()
+}
+
+// Read deserializes a database written by WriteTo.
+func Read(r io.Reader) (*Database, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("exposure: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, m)
+	}
+	var hdr [8]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("exposure: reading header: %w", err)
+	}
+	nLocs := binary.LittleEndian.Uint32(hdr[0:4])
+	nInts := binary.LittleEndian.Uint32(hdr[4:8])
+	const maxRecords = 1 << 27
+	if nLocs > maxRecords || nInts > maxRecords {
+		return nil, fmt.Errorf("%w: counts %d/%d", ErrBadFormat, nLocs, nInts)
+	}
+	db := &Database{
+		Locations: make([]Location, nLocs),
+		Interests: make([]Interest, nInts),
+	}
+	var lrec [locRecordSize]byte
+	for i := range db.Locations {
+		if _, err := io.ReadFull(br, lrec[:]); err != nil {
+			return nil, fmt.Errorf("exposure: reading location %d: %w", i, err)
+		}
+		db.Locations[i] = Location{
+			ID:       binary.LittleEndian.Uint32(lrec[0:4]),
+			RegionID: binary.LittleEndian.Uint16(lrec[4:6]),
+			Lat:      math.Float64frombits(binary.LittleEndian.Uint64(lrec[6:14])),
+			Lon:      math.Float64frombits(binary.LittleEndian.Uint64(lrec[14:22])),
+		}
+	}
+	var irec [interestRecordSize]byte
+	for i := range db.Interests {
+		if _, err := io.ReadFull(br, irec[:]); err != nil {
+			return nil, fmt.Errorf("exposure: reading interest %d: %w", i, err)
+		}
+		li := int(binary.LittleEndian.Uint32(irec[0:4]))
+		if li >= int(nLocs) {
+			return nil, fmt.Errorf("%w: interest %d references location %d of %d", ErrBadFormat, i, li, nLocs)
+		}
+		cons := Construction(irec[4])
+		occ := Occupancy(irec[5])
+		if int(cons) >= NumConstruction || int(occ) >= NumOccupancy {
+			return nil, fmt.Errorf("%w: interest %d class bytes (%d,%d)", ErrBadFormat, i, irec[4], irec[5])
+		}
+		v := math.Float64frombits(binary.LittleEndian.Uint64(irec[6:14]))
+		db.Interests[i] = Interest{LocationIndex: li, Construction: cons, Occupancy: occ, Value: v}
+		db.totalTIV += v
+	}
+	return db, nil
+}
+
+// SizeBytes returns the serialized size of the database.
+func (db *Database) SizeBytes() int64 {
+	return int64(4 + 8 + len(db.Locations)*locRecordSize + len(db.Interests)*interestRecordSize)
+}

@@ -1,0 +1,75 @@
+package exposure
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestCodecRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.NumLocations = 300
+	db, err := Generate(cfg, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	n, err := db.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != db.SizeBytes() || int64(buf.Len()) != n {
+		t.Fatalf("size: reported %d, SizeBytes %d, wrote %d", n, db.SizeBytes(), buf.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Locations) != len(db.Locations) || len(got.Interests) != len(db.Interests) {
+		t.Fatal("shape mismatch")
+	}
+	for i := range db.Locations {
+		if got.Locations[i] != db.Locations[i] {
+			t.Fatalf("location %d mismatch", i)
+		}
+	}
+	for i := range db.Interests {
+		if got.Interests[i] != db.Interests[i] {
+			t.Fatalf("interest %d mismatch", i)
+		}
+	}
+	if got.TotalValue() != db.TotalValue() {
+		t.Fatal("TIV not rebuilt")
+	}
+}
+
+func TestCodecRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("XXXX00000000"))); err == nil {
+		t.Fatal("bad magic should error")
+	}
+	cfg := DefaultConfig()
+	cfg.NumLocations = 20
+	db, _ := Generate(cfg, 1)
+	var buf bytes.Buffer
+	if _, err := db.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes()[:buf.Len()-3])); err == nil {
+		t.Fatal("truncated database should error")
+	}
+	// Corrupt a construction byte to an invalid class.
+	raw := append([]byte(nil), buf.Bytes()...)
+	locBytes := 4 + 8 + len(db.Locations)*locRecordSize
+	raw[locBytes+4] = 250
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Fatal("invalid construction class should error")
+	}
+	// Corrupt a location index to dangle.
+	raw = append([]byte(nil), buf.Bytes()...)
+	raw[locBytes+0] = 0xff
+	raw[locBytes+1] = 0xff
+	raw[locBytes+2] = 0xff
+	raw[locBytes+3] = 0x0f
+	if _, err := Read(bytes.NewReader(raw)); err == nil {
+		t.Fatal("dangling location index should error")
+	}
+}

@@ -1,0 +1,54 @@
+package gpusim
+
+import "testing"
+
+// Micro-benches of the device model itself: how much host time the
+// cost accounting adds per access kind. These bound the simulation
+// overhead of the Chunked engine (the modeled cycles are the result;
+// the host time is the price of obtaining them).
+func BenchmarkLoadGlobal(b *testing.B) {
+	d := NewDevice(Config{NumSMs: 1}, 1024)
+	buf, _ := d.Alloc(1024)
+	b.ResetTimer()
+	_ = d.Launch(1, func(c *BlockCtx) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += c.LoadGlobal(buf, i&1023)
+		}
+		_ = sink
+	})
+}
+
+func BenchmarkLoadShared(b *testing.B) {
+	d := NewDevice(Config{NumSMs: 1, SharedMemPerBlock: 1024}, 64)
+	b.ResetTimer()
+	_ = d.Launch(1, func(c *BlockCtx) {
+		var sink float64
+		for i := 0; i < b.N; i++ {
+			sink += c.LoadShared(i & 1023)
+		}
+		_ = sink
+	})
+}
+
+func BenchmarkStageToShared(b *testing.B) {
+	d := NewDevice(Config{NumSMs: 1, SharedMemPerBlock: 4096}, 8192)
+	buf, _ := d.Alloc(4096)
+	b.SetBytes(4096 * 8)
+	b.ResetTimer()
+	_ = d.Launch(1, func(c *BlockCtx) {
+		for i := 0; i < b.N; i++ {
+			c.StageToShared(buf, 0, 4096, 0)
+		}
+	})
+}
+
+func BenchmarkLaunchOverhead(b *testing.B) {
+	d := NewDevice(Config{NumSMs: 8}, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := d.Launch(64, func(c *BlockCtx) {}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

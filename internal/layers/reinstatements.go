@@ -1,0 +1,96 @@
+package layers
+
+// Reinstatement support. A catastrophe XL layer is usually written
+// with a limited number of reinstatements: each occurrence's recovery
+// erodes the layer's limit, and the limit is restored ("reinstated")
+// up to K times against a pro-rata premium. Aggregate analysis must
+// therefore walk occurrences *in date order* (the reason the YELT
+// carries day-of-year), maintaining per-layer year state.
+//
+// Relationship to the stateless path: a layer with Reinstatements == 0
+// behaves as its plain occurrence/aggregate terms; engines use the
+// stateful path only when a portfolio declares reinstatements.
+
+// ReinstatementTerms extends a Layer with reinstatement provisions.
+type ReinstatementTerms struct {
+	// Count is the number of reinstatements (limit refills). The
+	// layer's total annual capacity is (Count+1) · OccLimit.
+	Count int
+	// PremiumRate is the reinstatement premium per unit of reinstated
+	// limit, expressed as a fraction of the layer's upfront premium
+	// (1.0 = "at 100%", the market standard quote).
+	PremiumRate float64
+	// UpfrontPremium is the layer's annual premium, the base for
+	// reinstatement premium calculations.
+	UpfrontPremium float64
+}
+
+// YearState tracks one layer's erosion through a trial year.
+type YearState struct {
+	layer     Layer
+	terms     ReinstatementTerms
+	available float64 // remaining limit capacity this year
+	reinstBal float64 // limit amount still reinstatable
+}
+
+// NewYearState starts a fresh contractual year for the layer. For
+// layers without an occurrence limit, reinstatements are meaningless
+// and the state degrades to unlimited capacity.
+func (l Layer) NewYearState(t ReinstatementTerms) YearState {
+	ys := YearState{layer: l, terms: t}
+	if l.OccLimit <= 0 {
+		ys.available = -1 // unlimited
+		return ys
+	}
+	ys.available = l.OccLimit
+	ys.reinstBal = float64(t.Count) * l.OccLimit
+	return ys
+}
+
+// Occurrence processes one event in date order: the recovery is the
+// occurrence-term recovery capped by remaining capacity; consumed
+// limit is reinstated from the reinstatement balance, charging
+// premium pro-rata. It returns the recovery (before Share) and the
+// reinstatement premium incurred.
+func (ys *YearState) Occurrence(loss float64) (recovery, reinstPremium float64) {
+	r := ys.layer.ApplyOccurrence(loss)
+	if r <= 0 {
+		return 0, 0
+	}
+	if ys.available >= 0 {
+		if r > ys.available {
+			r = ys.available
+		}
+		ys.available -= r
+		// Reinstate what was just consumed, while balance remains.
+		reinstate := r
+		if reinstate > ys.reinstBal {
+			reinstate = ys.reinstBal
+		}
+		if reinstate > 0 {
+			ys.reinstBal -= reinstate
+			ys.available += reinstate
+			if ys.layer.OccLimit > 0 && ys.terms.UpfrontPremium > 0 {
+				reinstPremium = ys.terms.PremiumRate * ys.terms.UpfrontPremium * reinstate / ys.layer.OccLimit
+			}
+		}
+	}
+	return r, reinstPremium
+}
+
+// Exhausted reports whether the layer can pay nothing more this year.
+func (ys *YearState) Exhausted() bool {
+	return ys.available == 0 && ys.reinstBal == 0
+}
+
+// Remaining returns the currently available limit (-1 = unlimited).
+func (ys *YearState) Remaining() float64 { return ys.available }
+
+// CloseYear applies the layer's annual terms (aggregate retention,
+// aggregate limit, share) to the year's summed recoveries and returns
+// the annual payout net of nothing (reinstatement premiums are
+// reported separately by Occurrence). sum must be the total of the
+// recoveries returned by Occurrence during the year.
+func (ys *YearState) CloseYear(sum float64) float64 {
+	return ys.layer.ApplyAggregate(sum)
+}

@@ -1,0 +1,59 @@
+package mapreduce
+
+import (
+	"context"
+	"fmt"
+	"testing"
+)
+
+func BenchmarkRunSumJob(b *testing.B) {
+	const itemsPerSplit = 100_000
+	splits := make([]int, 16)
+	for i := range splits {
+		splits[i] = i
+	}
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		for i := 0; i < itemsPerSplit; i++ {
+			emit(uint64(i%1024), float64(i))
+		}
+		return nil
+	}
+	for _, cfg := range []Config{
+		{Mappers: 1, Reducers: 1},
+		{Mappers: 8, Reducers: 4},
+	} {
+		b.Run(fmt.Sprintf("m%dr%d", cfg.Mappers, cfg.Reducers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(context.Background(), splits, mapf, sumReduce, sumReduce, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ReportMetric(float64(len(splits)*itemsPerSplit)*float64(b.N)/b.Elapsed().Seconds(), "records/s")
+		})
+	}
+}
+
+func BenchmarkCombinerEffect(b *testing.B) {
+	splits := make([]int, 8)
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		for i := 0; i < 200_000; i++ {
+			emit(uint64(i%64), 1) // few keys, many values: combiner shines
+		}
+		return nil
+	}
+	for _, withCombiner := range []bool{false, true} {
+		name := "without"
+		comb := ReduceFunc[uint64, float64](nil)
+		if withCombiner {
+			name = "with"
+			comb = sumReduce
+		}
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Run(context.Background(), splits, mapf, comb, sumReduce, Config{}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

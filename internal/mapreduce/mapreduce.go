@@ -1,0 +1,208 @@
+// Package mapreduce is a stdlib-only MapReduce engine, the execution
+// model the paper proposes for the distributed-file strategy: "relying
+// on MapReduce or Hadoop style computations on the cloud" (§II). Jobs
+// map over dataset splits in parallel, optionally combine map-side,
+// shuffle by key hash into reducer buckets, and reduce in parallel.
+// Mapper failures are retried with bounded attempts, mirroring
+// speculative re-execution in the systems it stands in for.
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"hash/maphash"
+	"runtime"
+	"sync"
+
+	"repro/internal/stream"
+)
+
+// Config tunes a job.
+type Config struct {
+	// Mappers bounds concurrent map tasks; <= 0 means GOMAXPROCS.
+	Mappers int
+	// Reducers is the shuffle fan-in; <= 0 means GOMAXPROCS.
+	Reducers int
+	// MaxAttempts per map task (>= 1). Transient map failures are
+	// retried up to this bound.
+	MaxAttempts int
+}
+
+func (c Config) normalized() Config {
+	if c.Mappers <= 0 {
+		c.Mappers = runtime.GOMAXPROCS(0)
+	}
+	if c.Reducers <= 0 {
+		c.Reducers = runtime.GOMAXPROCS(0)
+	}
+	if c.MaxAttempts <= 0 {
+		c.MaxAttempts = 1
+	}
+	return c
+}
+
+// MapFunc processes one split, emitting key/value pairs. It may be
+// retried; it must be idempotent from the job's perspective (emissions
+// of failed attempts are discarded).
+type MapFunc[S any, K comparable, V any] func(ctx context.Context, split S, emit func(K, V)) error
+
+// ReduceFunc folds the values of one key. Values arrive in unspecified
+// order; the function must be insensitive to it (commutative monoid),
+// which is what makes the computation deterministic under parallelism.
+type ReduceFunc[K comparable, V any] func(key K, values []V) (V, error)
+
+// ErrTooManyFailures is returned when a map task exhausts its attempts.
+var ErrTooManyFailures = errors.New("mapreduce: map task exhausted attempts")
+
+// Run executes a MapReduce job over splits and returns the reduced
+// key/value map. combine, if non-nil, is applied map-side per split to
+// shrink shuffle volume (classic combiner; usually the same function
+// as reduce for associative aggregations).
+func Run[S any, K comparable, V any](
+	ctx context.Context,
+	splits []S,
+	mapf MapFunc[S, K, V],
+	combine ReduceFunc[K, V],
+	reduce ReduceFunc[K, V],
+	cfg Config,
+) (map[K]V, error) {
+	if mapf == nil || reduce == nil {
+		return nil, errors.New("mapreduce: nil map or reduce function")
+	}
+	cfg = cfg.normalized()
+	if len(splits) == 0 {
+		return map[K]V{}, nil
+	}
+
+	seed := maphash.MakeSeed()
+	nRed := cfg.Reducers
+
+	// Each map task owns a private bucket set; buckets are merged into
+	// reducer inputs after the map phase (no locks on the hot path).
+	type bucketSet struct {
+		buckets []map[K][]V
+	}
+	taskBuckets := make([]*bucketSet, len(splits))
+
+	mapErr := stream.ForEach(ctx, len(splits), cfg.Mappers, func(ctx context.Context, i int) error {
+		var lastErr error
+		for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
+			bs := &bucketSet{buckets: make([]map[K][]V, nRed)}
+			emit := func(k K, v V) {
+				var h maphash.Hash
+				h.SetSeed(seed)
+				writeKey(&h, k)
+				b := int(h.Sum64() % uint64(nRed))
+				if bs.buckets[b] == nil {
+					bs.buckets[b] = make(map[K][]V)
+				}
+				bs.buckets[b][k] = append(bs.buckets[b][k], v)
+			}
+			if err := mapf(ctx, splits[i], emit); err != nil {
+				lastErr = err
+				continue // retry with fresh buckets
+			}
+			// Map-side combine.
+			if combine != nil {
+				for _, bucket := range bs.buckets {
+					for k, vs := range bucket {
+						if len(vs) > 1 {
+							c, err := combine(k, vs)
+							if err != nil {
+								return fmt.Errorf("mapreduce: combine: %w", err)
+							}
+							bucket[k] = append(vs[:0], c)
+						}
+					}
+				}
+			}
+			taskBuckets[i] = bs
+			return nil
+		}
+		return fmt.Errorf("%w: split %d after %d attempts: %v", ErrTooManyFailures, i, cfg.MaxAttempts, lastErr)
+	})
+	if mapErr != nil {
+		return nil, mapErr
+	}
+
+	// Shuffle: merge per-task buckets into per-reducer inputs.
+	reducerIn := make([]map[K][]V, nRed)
+	for r := 0; r < nRed; r++ {
+		reducerIn[r] = make(map[K][]V)
+	}
+	for _, bs := range taskBuckets {
+		if bs == nil {
+			continue
+		}
+		for r, bucket := range bs.buckets {
+			for k, vs := range bucket {
+				reducerIn[r][k] = append(reducerIn[r][k], vs...)
+			}
+		}
+	}
+
+	// Reduce phase: one goroutine per reducer partition.
+	results := make([]map[K]V, nRed)
+	var wg sync.WaitGroup
+	errCh := make(chan error, nRed)
+	wg.Add(nRed)
+	for r := 0; r < nRed; r++ {
+		go func(r int) {
+			defer wg.Done()
+			out := make(map[K]V, len(reducerIn[r]))
+			for k, vs := range reducerIn[r] {
+				v, err := reduce(k, vs)
+				if err != nil {
+					errCh <- fmt.Errorf("mapreduce: reduce key %v: %w", k, err)
+					return
+				}
+				out[k] = v
+			}
+			results[r] = out
+		}(r)
+	}
+	wg.Wait()
+	select {
+	case err := <-errCh:
+		return nil, err
+	default:
+	}
+
+	final := make(map[K]V)
+	for _, m := range results {
+		for k, v := range m {
+			final[k] = v
+		}
+	}
+	return final, nil
+}
+
+// writeKey hashes a comparable key. Common key kinds get fast paths;
+// everything else goes through fmt, which is slower but total.
+func writeKey[K comparable](h *maphash.Hash, k K) {
+	switch v := any(k).(type) {
+	case string:
+		h.WriteString(v)
+	case int:
+		writeUint64(h, uint64(v))
+	case int64:
+		writeUint64(h, uint64(v))
+	case uint64:
+		writeUint64(h, v)
+	case uint32:
+		writeUint64(h, uint64(v))
+	case int32:
+		writeUint64(h, uint64(v))
+	default:
+		fmt.Fprintf(h, "%v", v)
+	}
+}
+
+func writeUint64(h *maphash.Hash, v uint64) {
+	var buf [8]byte
+	for i := range buf {
+		buf[i] = byte(v >> (8 * i))
+	}
+	h.Write(buf[:])
+}

@@ -1,0 +1,245 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"sync/atomic"
+	"testing"
+	"testing/quick"
+)
+
+func sumReduce(_ uint64, vs []float64) (float64, error) {
+	var s float64
+	for _, v := range vs {
+		s += v
+	}
+	return s, nil
+}
+
+func TestWordCountStyleSum(t *testing.T) {
+	// Splits are integer ranges; map emits (i%10, i).
+	splits := []int{0, 1, 2, 3}
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		for i := split * 250; i < (split+1)*250; i++ {
+			emit(uint64(i%10), float64(i))
+		}
+		return nil
+	}
+	got, err := Run(context.Background(), splits, mapf, sumReduce, sumReduce, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("keys = %d", len(got))
+	}
+	// Reference computation.
+	want := map[uint64]float64{}
+	for i := 0; i < 1000; i++ {
+		want[uint64(i%10)] += float64(i)
+	}
+	for k, v := range want {
+		if got[k] != v {
+			t.Fatalf("key %d: %v, want %v", k, got[k], v)
+		}
+	}
+}
+
+func TestDeterministicAcrossConfigs(t *testing.T) {
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		for i := 0; i < 500; i++ {
+			emit(uint64((split*7+i)%31), float64(i)*1.5)
+		}
+		return nil
+	}
+	splits := []int{0, 1, 2, 3, 4, 5, 6, 7}
+	base, err := Run(context.Background(), splits, mapf, nil, sumReduce, Config{Mappers: 1, Reducers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cfg := range []Config{
+		{Mappers: 4, Reducers: 2},
+		{Mappers: 8, Reducers: 8},
+		{Mappers: 2, Reducers: 5, MaxAttempts: 3},
+	} {
+		got, err := Run(context.Background(), splits, mapf, sumReduce, sumReduce, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("cfg %+v: key count %d vs %d", cfg, len(got), len(base))
+		}
+		for k, v := range base {
+			if d := got[k] - v; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("cfg %+v key %d: %v vs %v", cfg, k, got[k], v)
+			}
+		}
+	}
+}
+
+func TestCombinerEquivalenceProperty(t *testing.T) {
+	f := func(data []uint16) bool {
+		splits := [][]uint16{data}
+		if len(data) > 4 {
+			mid := len(data) / 2
+			splits = [][]uint16{data[:mid], data[mid:]}
+		}
+		mapf := func(_ context.Context, split []uint16, emit func(uint64, float64)) error {
+			for _, v := range split {
+				emit(uint64(v%13), float64(v))
+			}
+			return nil
+		}
+		with, err1 := Run(context.Background(), splits, mapf, sumReduce, sumReduce, Config{Reducers: 3})
+		without, err2 := Run(context.Background(), splits, mapf, nil, sumReduce, Config{Reducers: 3})
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		if len(with) != len(without) {
+			return false
+		}
+		for k, v := range with {
+			d := without[k] - v
+			if d > 1e-9 || d < -1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMapFailureRetried(t *testing.T) {
+	var attempts atomic.Int32
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		if split == 1 && attempts.Add(1) < 3 {
+			return errors.New("transient")
+		}
+		emit(uint64(split), 1)
+		return nil
+	}
+	got, err := Run(context.Background(), []int{0, 1, 2}, mapf, nil, sumReduce, Config{MaxAttempts: 3, Mappers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 1 {
+		t.Fatalf("retried split result = %v", got[1])
+	}
+	if attempts.Load() != 3 {
+		t.Fatalf("attempts = %d, want 3", attempts.Load())
+	}
+}
+
+func TestMapFailureExhaustsAttempts(t *testing.T) {
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		return errors.New("permanent")
+	}
+	_, err := Run(context.Background(), []int{0}, mapf, nil, sumReduce, Config{MaxAttempts: 2})
+	if !errors.Is(err, ErrTooManyFailures) {
+		t.Fatalf("err = %v, want ErrTooManyFailures", err)
+	}
+}
+
+func TestFailedAttemptEmissionsDiscarded(t *testing.T) {
+	// A map task that emits then fails must not leak its emissions.
+	var first atomic.Bool
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		emit(7, 100)
+		if first.CompareAndSwap(false, true) {
+			return errors.New("fail after emitting")
+		}
+		return nil
+	}
+	got, err := Run(context.Background(), []int{0}, mapf, nil, sumReduce, Config{MaxAttempts: 2, Mappers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[7] != 100 {
+		t.Fatalf("key 7 = %v, want 100 (single successful attempt)", got[7])
+	}
+}
+
+func TestReduceErrorPropagates(t *testing.T) {
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		emit(1, 1)
+		return nil
+	}
+	boom := errors.New("reduce boom")
+	_, err := Run(context.Background(), []int{0}, mapf, nil,
+		func(uint64, []float64) (float64, error) { return 0, boom }, Config{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCombineErrorPropagates(t *testing.T) {
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		emit(1, 1)
+		emit(1, 2)
+		return nil
+	}
+	boom := errors.New("combine boom")
+	_, err := Run(context.Background(), []int{0}, mapf,
+		func(uint64, []float64) (float64, error) { return 0, boom },
+		sumReduce, Config{})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestEmptySplits(t *testing.T) {
+	got, err := Run(context.Background(), nil,
+		func(_ context.Context, _ int, _ func(uint64, float64)) error { return nil },
+		nil, sumReduce, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 0 {
+		t.Fatal("no splits should yield no keys")
+	}
+}
+
+func TestNilFuncsRejected(t *testing.T) {
+	if _, err := Run[int, uint64, float64](context.Background(), []int{1}, nil, nil, sumReduce, Config{}); err == nil {
+		t.Fatal("nil map should error")
+	}
+	mapf := func(_ context.Context, _ int, _ func(uint64, float64)) error { return nil }
+	if _, err := Run[int, uint64, float64](context.Background(), []int{1}, mapf, nil, nil, Config{}); err == nil {
+		t.Fatal("nil reduce should error")
+	}
+}
+
+func TestStringKeys(t *testing.T) {
+	mapf := func(_ context.Context, split int, emit func(string, float64)) error {
+		emit("alpha", 1)
+		emit("beta", 2)
+		return nil
+	}
+	red := func(_ string, vs []float64) (float64, error) {
+		var s float64
+		for _, v := range vs {
+			s += v
+		}
+		return s, nil
+	}
+	got, err := Run(context.Background(), []int{0, 1, 2}, mapf, red, red, Config{Reducers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got["alpha"] != 3 || got["beta"] != 6 {
+		t.Fatalf("got %v", got)
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		emit(1, 1)
+		return nil
+	}
+	if _, err := Run(ctx, make([]int, 10000), mapf, nil, sumReduce, Config{}); err == nil {
+		t.Fatal("cancelled job should error")
+	}
+}

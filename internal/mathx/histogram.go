@@ -1,0 +1,206 @@
+package mathx
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Histogram is a fixed-width-bin histogram over [Lo, Hi). Values below
+// Lo are counted in an underflow bucket and values >= Hi in an overflow
+// bucket so no observation is silently dropped.
+type Histogram struct {
+	Lo, Hi    float64
+	Counts    []uint64
+	Underflow uint64
+	Overflow  uint64
+	Total     uint64
+}
+
+// NewHistogram returns a histogram with bins equal-width buckets over
+// [lo, hi). It panics if bins <= 0 or hi <= lo, which are programming
+// errors rather than data conditions.
+func NewHistogram(lo, hi float64, bins int) *Histogram {
+	if bins <= 0 || hi <= lo {
+		panic(fmt.Sprintf("mathx: invalid histogram [%g,%g) bins=%d", lo, hi, bins))
+	}
+	return &Histogram{Lo: lo, Hi: hi, Counts: make([]uint64, bins)}
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.Total++
+	switch {
+	case x < h.Lo:
+		h.Underflow++
+	case x >= h.Hi:
+		h.Overflow++
+	default:
+		i := int(float64(len(h.Counts)) * (x - h.Lo) / (h.Hi - h.Lo))
+		if i >= len(h.Counts) { // guard rounding at the right edge
+			i = len(h.Counts) - 1
+		}
+		h.Counts[i]++
+	}
+}
+
+// BinCenter returns the midpoint of bin i.
+func (h *Histogram) BinCenter(i int) float64 {
+	w := (h.Hi - h.Lo) / float64(len(h.Counts))
+	return h.Lo + (float64(i)+0.5)*w
+}
+
+// Merge adds the counts of other into h. Both histograms must have
+// identical bounds and bin counts; Merge reports whether they did.
+// This is the reduction step when per-worker histograms are combined.
+func (h *Histogram) Merge(other *Histogram) bool {
+	if other.Lo != h.Lo || other.Hi != h.Hi || len(other.Counts) != len(h.Counts) {
+		return false
+	}
+	for i, c := range other.Counts {
+		h.Counts[i] += c
+	}
+	h.Underflow += other.Underflow
+	h.Overflow += other.Overflow
+	h.Total += other.Total
+	return true
+}
+
+// String renders a compact ASCII bar chart, used by the CLI tools.
+func (h *Histogram) String() string {
+	var b strings.Builder
+	var maxC uint64 = 1
+	for _, c := range h.Counts {
+		if c > maxC {
+			maxC = c
+		}
+	}
+	for i, c := range h.Counts {
+		bar := int(math.Round(40 * float64(c) / float64(maxC)))
+		fmt.Fprintf(&b, "%12.4g |%s %d\n", h.BinCenter(i), strings.Repeat("#", bar), c)
+	}
+	if h.Underflow > 0 {
+		fmt.Fprintf(&b, "underflow: %d\n", h.Underflow)
+	}
+	if h.Overflow > 0 {
+		fmt.Fprintf(&b, "overflow: %d\n", h.Overflow)
+	}
+	return b.String()
+}
+
+// P2Quantile is the P² (Jain & Chlamtac) streaming quantile estimator.
+// It maintains five markers and estimates a single quantile in O(1)
+// space, which lets the pipeline report tail statistics on YELT-scale
+// streams without materializing them (the paper's stage-2 data sets do
+// not fit in memory at full scale).
+type P2Quantile struct {
+	p       float64
+	n       int
+	q       [5]float64 // marker heights
+	pos     [5]float64 // marker positions (1-based)
+	desired [5]float64
+	incr    [5]float64
+	init    []float64
+}
+
+// NewP2Quantile returns a streaming estimator for the p-quantile.
+func NewP2Quantile(p float64) *P2Quantile {
+	e := &P2Quantile{p: Clamp(p, 0, 1)}
+	e.incr = [5]float64{0, e.p / 2, e.p, (1 + e.p) / 2, 1}
+	return e
+}
+
+// Add feeds one observation into the estimator.
+func (e *P2Quantile) Add(x float64) {
+	if e.n < 5 {
+		e.init = append(e.init, x)
+		e.n++
+		if e.n == 5 {
+			insertionSort(e.init)
+			for i := 0; i < 5; i++ {
+				e.q[i] = e.init[i]
+				e.pos[i] = float64(i + 1)
+			}
+			e.desired = [5]float64{1, 1 + 2*e.p, 1 + 4*e.p, 3 + 2*e.p, 5}
+			e.init = nil
+		}
+		return
+	}
+	e.n++
+
+	var k int
+	switch {
+	case x < e.q[0]:
+		e.q[0] = x
+		k = 0
+	case x >= e.q[4]:
+		e.q[4] = x
+		k = 3
+	default:
+		for k = 0; k < 4; k++ {
+			if x < e.q[k+1] {
+				break
+			}
+		}
+	}
+	for i := k + 1; i < 5; i++ {
+		e.pos[i]++
+	}
+	for i := 0; i < 5; i++ {
+		e.desired[i] += e.incr[i]
+	}
+
+	for i := 1; i <= 3; i++ {
+		d := e.desired[i] - e.pos[i]
+		if (d >= 1 && e.pos[i+1]-e.pos[i] > 1) || (d <= -1 && e.pos[i-1]-e.pos[i] < -1) {
+			s := 1.0
+			if d < 0 {
+				s = -1.0
+			}
+			qn := e.parabolic(i, s)
+			if e.q[i-1] < qn && qn < e.q[i+1] {
+				e.q[i] = qn
+			} else {
+				e.q[i] = e.linear(i, s)
+			}
+			e.pos[i] += s
+		}
+	}
+}
+
+func (e *P2Quantile) parabolic(i int, s float64) float64 {
+	return e.q[i] + s/(e.pos[i+1]-e.pos[i-1])*
+		((e.pos[i]-e.pos[i-1]+s)*(e.q[i+1]-e.q[i])/(e.pos[i+1]-e.pos[i])+
+			(e.pos[i+1]-e.pos[i]-s)*(e.q[i]-e.q[i-1])/(e.pos[i]-e.pos[i-1]))
+}
+
+func (e *P2Quantile) linear(i int, s float64) float64 {
+	j := i + int(s)
+	return e.q[i] + s*(e.q[j]-e.q[i])/(e.pos[j]-e.pos[i])
+}
+
+// Value returns the current quantile estimate. Before five samples
+// have been seen it falls back to the exact small-sample quantile.
+func (e *P2Quantile) Value() float64 {
+	if e.n == 0 {
+		return 0
+	}
+	if e.n < 5 {
+		tmp := make([]float64, len(e.init))
+		copy(tmp, e.init)
+		insertionSort(tmp)
+		return QuantileSorted(tmp, e.p)
+	}
+	return e.q[2]
+}
+
+// Count returns the number of observations seen so far.
+func (e *P2Quantile) Count() int { return e.n }
+
+func insertionSort(xs []float64) {
+	for i := 1; i < len(xs); i++ {
+		for j := i; j > 0 && xs[j] < xs[j-1]; j-- {
+			xs[j], xs[j-1] = xs[j-1], xs[j]
+		}
+	}
+}

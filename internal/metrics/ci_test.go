@@ -1,0 +1,91 @@
+package metrics
+
+import (
+	"errors"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func heavyLosses(n int, seed uint64) []float64 {
+	st := rng.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		if st.Float64() < 0.4 {
+			xs[i] = st.Pareto(1e5, 2.0)
+		}
+	}
+	return xs
+}
+
+func TestReturnPeriodCIBracketsPoint(t *testing.T) {
+	losses := heavyLosses(20_000, 5)
+	ci, err := ReturnPeriodCI(losses, 100, 0.90, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo > ci.Point || ci.Hi < ci.Point {
+		t.Fatalf("CI [%v, %v] does not bracket point %v", ci.Lo, ci.Hi, ci.Point)
+	}
+	if ci.Lo >= ci.Hi {
+		t.Fatal("degenerate interval")
+	}
+}
+
+func TestReturnPeriodCITightensWithTrials(t *testing.T) {
+	small, err := ReturnPeriodCI(heavyLosses(2_000, 11), 50, 0.90, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big, err := ReturnPeriodCI(heavyLosses(50_000, 11), 50, 0.90, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	relSmall := (small.Hi - small.Lo) / small.Point
+	relBig := (big.Hi - big.Lo) / big.Point
+	if relBig >= relSmall {
+		t.Fatalf("more trials should tighten the interval: %v vs %v", relBig, relSmall)
+	}
+}
+
+func TestReturnPeriodCIDeterministic(t *testing.T) {
+	losses := heavyLosses(5_000, 3)
+	a, err := ReturnPeriodCI(losses, 100, 0.95, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ReturnPeriodCI(losses, 100, 0.95, 200, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("bootstrap not reproducible from seed")
+	}
+}
+
+func TestReturnPeriodCIValidation(t *testing.T) {
+	if _, err := ReturnPeriodCI(nil, 100, 0.9, 100, 1); !errors.Is(err, ErrNoData) {
+		t.Fatal("empty input should error")
+	}
+	if _, err := ReturnPeriodCI([]float64{1, 2}, 0.5, 0.9, 100, 1); err == nil {
+		t.Fatal("rp <= 1 should error")
+	}
+}
+
+func TestTVaRCI(t *testing.T) {
+	losses := heavyLosses(20_000, 9)
+	ci, err := TVaRCI(losses, 0.99, 0.90, 300, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ci.Lo > ci.Point || ci.Hi < ci.Point {
+		t.Fatalf("CI [%v, %v] does not bracket point %v", ci.Lo, ci.Hi, ci.Point)
+	}
+	if _, err := TVaRCI(nil, 0.99, 0.9, 100, 1); !errors.Is(err, ErrNoData) {
+		t.Fatal("empty input should error")
+	}
+	// Default resamples path.
+	if _, err := TVaRCI(losses[:500], 0.95, 0.9, 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}

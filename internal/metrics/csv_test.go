@@ -1,0 +1,104 @@
+package metrics
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestWriteSummaryCSV(t *testing.T) {
+	tbl := buildYLT(5000)
+	s, err := Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteSummaryCSV(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"aal", "tvar_99", "return_period_years"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("CSV missing %q:\n%s", want, out)
+		}
+	}
+	// Parse back: the header section has 2 columns, the RP section 3;
+	// use FieldsPerRecord=-1 and count RP rows.
+	r := csv.NewReader(strings.NewReader(out))
+	r.FieldsPerRecord = -1
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rpRows int
+	var inRP bool
+	for _, rec := range recs {
+		if rec[0] == "return_period_years" {
+			inRP = true
+			continue
+		}
+		if inRP {
+			if len(rec) != 3 {
+				t.Fatalf("RP row has %d fields: %v", len(rec), rec)
+			}
+			rpRows++
+			if _, err := strconv.ParseFloat(rec[1], 64); err != nil {
+				t.Fatalf("OEP not numeric: %v", rec)
+			}
+		}
+	}
+	if rpRows != len(s.ReturnRows) {
+		t.Fatalf("CSV has %d RP rows, summary %d", rpRows, len(s.ReturnRows))
+	}
+}
+
+func TestWriteEPCurveCSV(t *testing.T) {
+	losses := make([]float64, 10_000)
+	for i := range losses {
+		losses[i] = float64(i)
+	}
+	c, err := NewEPCurve(losses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := WriteEPCurveCSV(&buf, c, 50); err != nil {
+		t.Fatal(err)
+	}
+	r := csv.NewReader(&buf)
+	recs, err := r.ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 51 { // header + 50 points
+		t.Fatalf("rows = %d", len(recs))
+	}
+	// Probabilities strictly decreasing, losses non-decreasing.
+	var prevP, prevL float64
+	for i, rec := range recs[1:] {
+		p, err := strconv.ParseFloat(rec[0], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l, err := strconv.ParseFloat(rec[1], 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if i > 0 {
+			if p >= prevP {
+				t.Fatalf("probabilities should decrease: %v then %v", prevP, p)
+			}
+			if l < prevL {
+				t.Fatalf("losses should not decrease as p falls: %v then %v", prevL, l)
+			}
+		}
+		prevP, prevL = p, l
+	}
+	// Default points path.
+	var buf2 bytes.Buffer
+	if err := WriteEPCurveCSV(&buf2, c, 0); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,212 @@
+// Package metrics derives portfolio risk measures from Year-Loss
+// Tables: "From a YLT, a reinsurer can derive important portfolio risk
+// metrics such as the Probable Maximum Loss (PML) and the Tail Value
+// at Risk (TVAR) which are used for both internal risk management and
+// reporting to regulators and rating agencies" (§II).
+//
+// Conventions: exceedance-probability curves come in occurrence form
+// (OEP, from per-trial maximum occurrence losses) and aggregate form
+// (AEP, from per-trial annual losses). PML at a return period R is the
+// OEP loss quantile with exceedance probability 1/R; VaR/TVaR are
+// quantile and tail-conditional mean of the aggregate distribution.
+package metrics
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/mathx"
+	"repro/internal/ylt"
+)
+
+// ErrNoData is returned when a metric is requested over no trials.
+var ErrNoData = errors.New("metrics: no data")
+
+// ErrNoOccurrence is returned for occurrence-basis metrics on a YLT
+// without occurrence detail.
+var ErrNoOccurrence = errors.New("metrics: YLT has no occurrence data")
+
+// StandardReturnPeriods are the rows reinsurers conventionally report.
+var StandardReturnPeriods = []float64{2, 5, 10, 25, 50, 100, 250, 500, 1000}
+
+// EPCurve is an exceedance-probability curve built from per-trial
+// losses. It answers both directions: loss at a given exceedance
+// probability and exceedance probability of a given loss.
+type EPCurve struct {
+	sorted []float64 // ascending
+}
+
+// NewEPCurve builds a curve from per-trial losses (copied, sorted).
+func NewEPCurve(losses []float64) (*EPCurve, error) {
+	if len(losses) == 0 {
+		return nil, ErrNoData
+	}
+	s := make([]float64, len(losses))
+	copy(s, losses)
+	sort.Float64s(s)
+	return &EPCurve{sorted: s}, nil
+}
+
+// Trials returns the number of trials behind the curve.
+func (c *EPCurve) Trials() int { return len(c.sorted) }
+
+// LossAt returns the loss with exceedance probability p — the
+// (1-p)-quantile of the trial losses.
+func (c *EPCurve) LossAt(p float64) float64 {
+	return mathx.QuantileSorted(c.sorted, 1-mathx.Clamp(p, 0, 1))
+}
+
+// LossAtReturnPeriod returns the loss exceeded on average once every
+// rp years. rp must be > 1 trial period.
+func (c *EPCurve) LossAtReturnPeriod(rp float64) (float64, error) {
+	if rp <= 1 {
+		return 0, fmt.Errorf("metrics: return period %g must exceed 1", rp)
+	}
+	return c.LossAt(1 / rp), nil
+}
+
+// ExceedanceProb returns the empirical P(loss > x).
+func (c *EPCurve) ExceedanceProb(x float64) float64 {
+	// First index with value > x.
+	i := sort.SearchFloat64s(c.sorted, x)
+	for i < len(c.sorted) && c.sorted[i] == x {
+		i++
+	}
+	return float64(len(c.sorted)-i) / float64(len(c.sorted))
+}
+
+// VaR returns the p-quantile of per-trial losses (value at risk at
+// confidence p, e.g. 0.99).
+func VaR(losses []float64, p float64) (float64, error) {
+	if len(losses) == 0 {
+		return 0, ErrNoData
+	}
+	return mathx.Quantile(losses, p)
+}
+
+// TVaR returns the tail value at risk at confidence p: the mean of
+// losses at or above the p-quantile. TVaR(p) >= VaR(p) always.
+func TVaR(losses []float64, p float64) (float64, error) {
+	v, err := VaR(losses, p)
+	if err != nil {
+		return 0, err
+	}
+	var sum float64
+	var n int
+	for _, l := range losses {
+		if l >= v {
+			sum += l
+			n++
+		}
+	}
+	if n == 0 {
+		return v, nil
+	}
+	return sum / float64(n), nil
+}
+
+// Summary is the standard one-portfolio risk report.
+type Summary struct {
+	Name       string
+	Trials     int
+	AAL        float64 // average annual loss
+	AggStdDev  float64
+	VaR99      float64
+	TVaR99     float64
+	VaR995     float64
+	TVaR995    float64
+	ReturnRows []ReturnRow
+}
+
+// ReturnRow is one line of the return-period table.
+type ReturnRow struct {
+	ReturnPeriod float64
+	OEP          float64 // occurrence exceedance (PML) — 0 if unavailable
+	AEP          float64 // aggregate exceedance
+}
+
+// Summarize computes the standard report from a YLT. OEP columns are
+// filled only when the table has occurrence detail.
+func Summarize(t *ylt.Table) (*Summary, error) {
+	if t.NumTrials() == 0 {
+		return nil, ErrNoData
+	}
+	aep, err := NewEPCurve(t.Agg)
+	if err != nil {
+		return nil, err
+	}
+	var oep *EPCurve
+	if t.HasOccurrence() {
+		if oep, err = NewEPCurve(t.OccMax); err != nil {
+			return nil, err
+		}
+	}
+	s := &Summary{
+		Name:      t.Name,
+		Trials:    t.NumTrials(),
+		AAL:       t.Mean(),
+		AggStdDev: t.StdDev(),
+	}
+	if s.VaR99, err = VaR(t.Agg, 0.99); err != nil {
+		return nil, err
+	}
+	if s.TVaR99, err = TVaR(t.Agg, 0.99); err != nil {
+		return nil, err
+	}
+	if s.VaR995, err = VaR(t.Agg, 0.995); err != nil {
+		return nil, err
+	}
+	if s.TVaR995, err = TVaR(t.Agg, 0.995); err != nil {
+		return nil, err
+	}
+	for _, rp := range StandardReturnPeriods {
+		if float64(s.Trials) < rp {
+			continue // not enough trials to resolve this tail
+		}
+		row := ReturnRow{ReturnPeriod: rp}
+		if row.AEP, err = aep.LossAtReturnPeriod(rp); err != nil {
+			return nil, err
+		}
+		if oep != nil {
+			if row.OEP, err = oep.LossAtReturnPeriod(rp); err != nil {
+				return nil, err
+			}
+		}
+		s.ReturnRows = append(s.ReturnRows, row)
+	}
+	return s, nil
+}
+
+// PML returns the probable maximum loss at a return period — the
+// occurrence-basis exceedance loss, per Woo's definition the paper
+// cites [8].
+func PML(t *ylt.Table, returnPeriod float64) (float64, error) {
+	if !t.HasOccurrence() {
+		return 0, ErrNoOccurrence
+	}
+	c, err := NewEPCurve(t.OccMax)
+	if err != nil {
+		return 0, err
+	}
+	return c.LossAtReturnPeriod(returnPeriod)
+}
+
+// String renders the summary as the fixed-width report the CLI tools
+// print.
+func (s *Summary) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "Portfolio: %s  (%d trials)\n", s.Name, s.Trials)
+	fmt.Fprintf(&b, "  AAL:        %16.2f\n", s.AAL)
+	fmt.Fprintf(&b, "  Std dev:    %16.2f\n", s.AggStdDev)
+	fmt.Fprintf(&b, "  VaR 99%%:    %16.2f   TVaR 99%%:  %16.2f\n", s.VaR99, s.TVaR99)
+	fmt.Fprintf(&b, "  VaR 99.5%%:  %16.2f   TVaR 99.5%%:%16.2f\n", s.VaR995, s.TVaR995)
+	if len(s.ReturnRows) > 0 {
+		fmt.Fprintf(&b, "  %10s %18s %18s\n", "RP (yr)", "OEP (PML)", "AEP")
+		for _, r := range s.ReturnRows {
+			fmt.Fprintf(&b, "  %10.0f %18.2f %18.2f\n", r.ReturnPeriod, r.OEP, r.AEP)
+		}
+	}
+	return b.String()
+}

@@ -1,0 +1,245 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/ylt"
+)
+
+func TestEPCurveKnown(t *testing.T) {
+	// 100 trials with losses 1..100: the 100-year loss is the max.
+	losses := make([]float64, 100)
+	for i := range losses {
+		losses[i] = float64(i + 1)
+	}
+	c, err := NewEPCurve(losses)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Trials() != 100 {
+		t.Fatalf("Trials = %d", c.Trials())
+	}
+	l100, err := c.LossAtReturnPeriod(100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 1-1/100 quantile of 1..100 (type-7) = 99.01
+	if math.Abs(l100-99.01) > 0.011 {
+		t.Fatalf("100-year loss = %v", l100)
+	}
+	l2, err := c.LossAtReturnPeriod(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(l2-50.5) > 0.01 {
+		t.Fatalf("2-year loss = %v, want ~50.5", l2)
+	}
+}
+
+func TestEPCurveErrors(t *testing.T) {
+	if _, err := NewEPCurve(nil); !errors.Is(err, ErrNoData) {
+		t.Fatal("empty curve should error")
+	}
+	c, _ := NewEPCurve([]float64{1, 2, 3})
+	if _, err := c.LossAtReturnPeriod(0.5); err == nil {
+		t.Fatal("rp <= 1 should error")
+	}
+}
+
+func TestExceedanceProb(t *testing.T) {
+	c, _ := NewEPCurve([]float64{10, 20, 30, 40})
+	cases := []struct{ x, want float64 }{
+		{5, 1}, {10, 0.75}, {25, 0.5}, {40, 0}, {100, 0},
+	}
+	for _, cse := range cases {
+		if got := c.ExceedanceProb(cse.x); got != cse.want {
+			t.Errorf("ExceedanceProb(%v) = %v, want %v", cse.x, got, cse.want)
+		}
+	}
+}
+
+func TestExceedanceInverseProperty(t *testing.T) {
+	// For any p in (0,1), P(L > LossAt(p)) <= p (empirical inverse).
+	losses := make([]float64, 500)
+	s := uint64(3)
+	for i := range losses {
+		s = s*6364136223846793005 + 1442695040888963407
+		losses[i] = float64(s % 100000)
+	}
+	c, _ := NewEPCurve(losses)
+	// Interpolated quantiles sit between order statistics, so the
+	// empirical exceedance can overshoot p by up to one trial weight.
+	slack := 1.0 / float64(c.Trials())
+	f := func(pRaw uint16) bool {
+		p := (float64(pRaw%998) + 1) / 1000
+		return c.ExceedanceProb(c.LossAt(p)) <= p+slack
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestVaRTVaR(t *testing.T) {
+	losses := make([]float64, 1000)
+	for i := range losses {
+		losses[i] = float64(i)
+	}
+	v, err := VaR(losses, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(v-989.01) > 0.02 {
+		t.Fatalf("VaR99 = %v", v)
+	}
+	tv, err := TVaR(losses, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mean of 990..999 = 994.5 (losses >= 989.01)
+	if math.Abs(tv-994.5) > 0.5 {
+		t.Fatalf("TVaR99 = %v", tv)
+	}
+	if tv < v {
+		t.Fatal("TVaR must be >= VaR")
+	}
+	if _, err := VaR(nil, 0.5); !errors.Is(err, ErrNoData) {
+		t.Fatal("VaR of empty should error")
+	}
+	if _, err := TVaR(nil, 0.5); !errors.Is(err, ErrNoData) {
+		t.Fatal("TVaR of empty should error")
+	}
+}
+
+func TestTVaRGeqVaRProperty(t *testing.T) {
+	f := func(raw []uint32, pRaw uint16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		losses := make([]float64, len(raw))
+		for i, v := range raw {
+			losses[i] = float64(v % 1_000_000)
+		}
+		p := float64(pRaw%999) / 1000
+		v, err1 := VaR(losses, p)
+		tv, err2 := TVaR(losses, p)
+		return err1 == nil && err2 == nil && tv >= v-1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTVaRDegenerate(t *testing.T) {
+	// All losses equal: TVaR == VaR == the value.
+	losses := []float64{7, 7, 7, 7}
+	tv, err := TVaR(losses, 0.99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tv != 7 {
+		t.Fatalf("TVaR = %v", tv)
+	}
+}
+
+func buildYLT(n int) *ylt.Table {
+	t := ylt.New("test", n)
+	s := uint64(11)
+	for i := range t.Agg {
+		s = s*6364136223846793005 + 1442695040888963407
+		t.Agg[i] = float64(s % 1_000_000)
+		t.OccMax[i] = t.Agg[i] * 0.6
+	}
+	return t
+}
+
+func TestSummarize(t *testing.T) {
+	tbl := buildYLT(10_000)
+	s, err := Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Trials != 10_000 || s.Name != "test" {
+		t.Fatal("header wrong")
+	}
+	if s.TVaR99 < s.VaR99 || s.TVaR995 < s.VaR995 {
+		t.Fatal("tail metrics inverted")
+	}
+	if s.VaR995 < s.VaR99 {
+		t.Fatal("VaR should grow with confidence")
+	}
+	// 10k trials resolve up to RP 1000: all 9 standard rows.
+	if len(s.ReturnRows) != len(StandardReturnPeriods) {
+		t.Fatalf("return rows = %d", len(s.ReturnRows))
+	}
+	prev := ReturnRow{}
+	for _, r := range s.ReturnRows {
+		if r.AEP < prev.AEP || r.OEP < prev.OEP {
+			t.Fatal("EP losses must grow with return period")
+		}
+		if r.OEP > r.AEP+1e-9 {
+			t.Fatal("OEP cannot exceed AEP (occ max <= annual agg)")
+		}
+		prev = r
+	}
+	if !strings.Contains(s.String(), "AAL") || !strings.Contains(s.String(), "RP") {
+		t.Fatal("String() should render report")
+	}
+}
+
+func TestSummarizeSkipsUnresolvedTails(t *testing.T) {
+	tbl := buildYLT(100)
+	s, err := Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range s.ReturnRows {
+		if r.ReturnPeriod > 100 {
+			t.Fatalf("RP %v not resolvable with 100 trials", r.ReturnPeriod)
+		}
+	}
+}
+
+func TestSummarizeAggOnly(t *testing.T) {
+	tbl := ylt.NewAggOnly("inv", 1000)
+	for i := range tbl.Agg {
+		tbl.Agg[i] = float64(i)
+	}
+	s, err := Summarize(tbl)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range s.ReturnRows {
+		if r.OEP != 0 {
+			t.Fatal("agg-only table should have zero OEP columns")
+		}
+	}
+}
+
+func TestSummarizeEmpty(t *testing.T) {
+	if _, err := Summarize(ylt.New("e", 0)); !errors.Is(err, ErrNoData) {
+		t.Fatal("empty YLT should error")
+	}
+}
+
+func TestPML(t *testing.T) {
+	tbl := buildYLT(5000)
+	p, err := PML(tbl, 250)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p <= 0 {
+		t.Fatal("PML should be positive")
+	}
+	agg := ylt.NewAggOnly("x", 10)
+	if _, err := PML(agg, 100); !errors.Is(err, ErrNoOccurrence) {
+		t.Fatalf("err = %v, want ErrNoOccurrence", err)
+	}
+	empty := &ylt.Table{Name: "z", Agg: []float64{}, OccMax: []float64{}}
+	if _, err := PML(empty, 100); err == nil {
+		t.Fatal("empty occurrence data should error")
+	}
+}

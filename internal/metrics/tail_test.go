@@ -1,0 +1,123 @@
+package metrics
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+)
+
+func paretoSample(n int, alpha float64, seed uint64) []float64 {
+	st := rng.New(seed)
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = st.Pareto(1000, alpha)
+	}
+	return xs
+}
+
+func TestHillRecoversAlpha(t *testing.T) {
+	for _, alpha := range []float64{1.5, 2.5, 4.0} {
+		xs := paretoSample(100_000, alpha, 7)
+		got, err := HillTailIndex(xs, 2000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(got-alpha)/alpha > 0.08 {
+			t.Errorf("alpha = %v, Hill = %v", alpha, got)
+		}
+	}
+}
+
+func TestHillValidation(t *testing.T) {
+	if _, err := HillTailIndex(nil, 10); !errors.Is(err, ErrNoData) {
+		t.Fatal("empty should error")
+	}
+	xs := paretoSample(100, 2, 1)
+	if _, err := HillTailIndex(xs, 1); err == nil {
+		t.Fatal("k < 2 should error")
+	}
+	if _, err := HillTailIndex(xs, 100); err == nil {
+		t.Fatal("k >= n should error")
+	}
+	flat := make([]float64, 100)
+	for i := range flat {
+		flat[i] = 5
+	}
+	if _, err := HillTailIndex(flat, 10); !errors.Is(err, ErrTailDegenerate) {
+		t.Fatal("flat tail should be degenerate")
+	}
+	zeros := make([]float64, 100)
+	if _, err := HillTailIndex(zeros, 10); !errors.Is(err, ErrTailDegenerate) {
+		t.Fatal("zero threshold should be degenerate")
+	}
+}
+
+func TestExtrapolationMatchesTheory(t *testing.T) {
+	alpha := 2.0
+	xs := paretoSample(50_000, alpha, 9)
+	c, err := NewEPCurve(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// True 500,000-year loss for Pareto(1000, 2): 1000·(5e5)^(1/2).
+	rp := 500_000.0
+	want := 1000 * math.Pow(rp, 1/alpha)
+	got, err := c.ExtrapolatedLossAtReturnPeriod(rp, 1000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(got-want)/want > 0.25 {
+		t.Fatalf("extrapolated %v, theory %v", got, want)
+	}
+	// Beyond-sample extrapolation must exceed the observed maximum for
+	// return periods far past the sample size.
+	maxObs := c.sorted[len(c.sorted)-1]
+	if got < maxObs {
+		t.Fatalf("500k-year loss %v below observed max %v", got, maxObs)
+	}
+}
+
+func TestExtrapolationFallsBackEmpirically(t *testing.T) {
+	xs := paretoSample(10_000, 2, 11)
+	c, err := NewEPCurve(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// rp=100 → p=0.01 ≥ k/n=0.05? With k=500, k/n = 0.05 > 0.01 is
+	// false... choose rp=10 → p=0.1 > 0.05: empirical path.
+	emp, err := c.ExtrapolatedLossAtReturnPeriod(10, 500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := c.LossAtReturnPeriod(10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if emp != direct {
+		t.Fatalf("inside empirical range should match: %v vs %v", emp, direct)
+	}
+	if _, err := c.ExtrapolatedLossAtReturnPeriod(0.5, 500); err == nil {
+		t.Fatal("rp <= 1 should error")
+	}
+}
+
+func TestExtrapolationMonotoneInRP(t *testing.T) {
+	xs := paretoSample(20_000, 2.2, 13)
+	c, err := NewEPCurve(xs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prev := 0.0
+	for _, rp := range []float64{100, 1_000, 50_000, 1_000_000} {
+		got, err := c.ExtrapolatedLossAtReturnPeriod(rp, 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got <= prev {
+			t.Fatalf("extrapolated losses must grow with rp: %v then %v", prev, got)
+		}
+		prev = got
+	}
+}

@@ -1,0 +1,216 @@
+package postevent
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/catalog"
+	"repro/internal/exposure"
+	"repro/internal/financial"
+)
+
+func testDBs(t testing.TB, n int, seed uint64) []*exposure.Database {
+	t.Helper()
+	dbs := make([]*exposure.Database, n)
+	for i := range dbs {
+		cfg := exposure.DefaultConfig()
+		cfg.NumLocations = 500
+		db, err := exposure.Generate(cfg, seed+uint64(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		dbs[i] = db
+	}
+	return dbs
+}
+
+func eventNear(dbs []*exposure.Database) catalog.Event {
+	// Drop the event on the first location so the footprint is
+	// guaranteed to touch exposure.
+	loc := dbs[0].Locations[0]
+	return catalog.Event{
+		ID: 77, Peril: catalog.Earthquake,
+		Lat: loc.Lat, Lon: loc.Lon,
+		Magnitude: 7.8, RadiusKm: 80, AnnualRate: 0.001,
+	}
+}
+
+func TestEstimateBasics(t *testing.T) {
+	dbs := testDBs(t, 2, 11)
+	est, err := New(dbs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if est.Sites() == 0 {
+		t.Fatal("no sites indexed")
+	}
+	res, err := est.Estimate(context.Background(), eventNear(dbs))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SitesTouched == 0 {
+		t.Fatal("event on top of exposure touched no sites")
+	}
+	if res.GrossMean <= 0 || res.GroundUpMean <= 0 {
+		t.Fatalf("expected positive losses: %+v", res)
+	}
+	if res.GrossMean > res.GroundUpMean+1e-9 {
+		t.Fatal("gross cannot exceed ground-up")
+	}
+	if res.Low > res.GrossMean || res.High < res.GrossMean {
+		t.Fatal("band must bracket the mean")
+	}
+	if res.Low < 0 {
+		t.Fatal("band floor broken")
+	}
+	if res.Elapsed <= 0 {
+		t.Fatal("no timing")
+	}
+}
+
+func TestIndexedMatchesFullScan(t *testing.T) {
+	dbs := testDBs(t, 3, 13)
+	est, err := New(dbs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := eventNear(dbs)
+	fast, err := est.Estimate(context.Background(), ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow, err := est.EstimateFullScan(context.Background(), ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fast.SitesTouched != slow.SitesTouched {
+		t.Fatalf("indexed touched %d sites, full scan %d", fast.SitesTouched, slow.SitesTouched)
+	}
+	if math.Abs(fast.GrossMean-slow.GrossMean) > 1e-6*(1+slow.GrossMean) {
+		t.Fatalf("indexed %v vs full %v", fast.GrossMean, slow.GrossMean)
+	}
+	if math.Abs(fast.GrossSD-slow.GrossSD) > 1e-6*(1+slow.GrossSD) {
+		t.Fatalf("sd mismatch: %v vs %v", fast.GrossSD, slow.GrossSD)
+	}
+}
+
+func TestRemoteEventTouchesNothing(t *testing.T) {
+	dbs := testDBs(t, 1, 17)
+	est, err := New(dbs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	far := catalog.Event{
+		ID: 1, Peril: catalog.Hurricane,
+		Lat: -44, Lon: 170, // the default regions are all in North America
+		Magnitude: 55, RadiusKm: 150,
+	}
+	res, err := est.Estimate(context.Background(), far)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SitesTouched != 0 || res.GrossMean != 0 {
+		t.Fatalf("antipodal event produced losses: %+v", res)
+	}
+}
+
+func TestSeverityMonotonicity(t *testing.T) {
+	dbs := testDBs(t, 2, 19)
+	est, err := New(dbs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := eventNear(dbs)
+	small := ev
+	small.Magnitude = 5.5
+	big := ev
+	big.Magnitude = 8.4
+	sres, err := est.Estimate(context.Background(), small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bres, err := est.Estimate(context.Background(), big)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bres.GrossMean <= sres.GrossMean {
+		t.Fatalf("M8.4 loss %v should exceed M5.5 loss %v", bres.GrossMean, sres.GrossMean)
+	}
+}
+
+func TestCustomTerms(t *testing.T) {
+	dbs := testDBs(t, 1, 23)
+	full, err := New(dbs, func(exposure.Interest) financial.Terms { return financial.Terms{} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	half, err := New(dbs, func(exposure.Interest) financial.Terms { return financial.Terms{Share: 0.5} })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev := eventNear(dbs)
+	fres, err := full.Estimate(context.Background(), ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hres, err := half.Estimate(context.Background(), ev)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hres.GrossMean-fres.GrossMean/2) > 1e-6*fres.GrossMean {
+		t.Fatalf("50%% share: %v vs full %v", hres.GrossMean, fres.GrossMean)
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(nil, nil); err == nil {
+		t.Fatal("no databases should error")
+	}
+	if _, err := New([]*exposure.Database{{}}, nil); err == nil {
+		t.Fatal("empty databases should error")
+	}
+}
+
+func TestCancellation(t *testing.T) {
+	dbs := testDBs(t, 2, 29)
+	est, err := New(dbs, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := est.EstimateFullScan(ctx, eventNear(dbs)); err == nil {
+		t.Fatal("cancelled estimate should error")
+	}
+}
+
+func BenchmarkEstimateIndexed(b *testing.B) {
+	dbs := testDBs(b, 8, 31)
+	est, err := New(dbs, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := eventNear(dbs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.Estimate(context.Background(), ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEstimateFullScan(b *testing.B) {
+	dbs := testDBs(b, 8, 31)
+	est, err := New(dbs, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ev := eventNear(dbs)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := est.EstimateFullScan(context.Background(), ev); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,65 @@
+package rdbms
+
+import (
+	"fmt"
+	"testing"
+)
+
+func benchTable(b *testing.B, n int) *Table {
+	b.Helper()
+	t, err := New(1, DefaultOrder)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		k := uint64((i * 2654435761) % n)
+		if err := t.Insert(k, []float64{float64(k)}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return t
+}
+
+func BenchmarkInsert(b *testing.B) {
+	t, err := New(1, DefaultOrder)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := t.Insert(uint64(i*2654435761), []float64{1}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	for _, n := range []int{10_000, 1_000_000} {
+		t := benchTable(b, n)
+		b.Run(fmt.Sprintf("rows=%d", n), func(b *testing.B) {
+			var sink float64
+			for i := 0; i < b.N; i++ {
+				if v, ok := t.Get(uint64(i % n)); ok {
+					sink += v[0]
+				}
+			}
+			_ = sink
+		})
+	}
+}
+
+func BenchmarkScan(b *testing.B) {
+	t := benchTable(b, 1_000_000)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sink float64
+		if err := t.Scan(func(_ uint64, vals []float64) error {
+			sink += vals[0]
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+		_ = sink
+	}
+	b.ReportMetric(1e6*float64(b.N)/b.Elapsed().Seconds(), "rows/s")
+}

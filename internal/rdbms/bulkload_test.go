@@ -1,0 +1,209 @@
+package rdbms
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func TestBulkLoadMatchesInsert(t *testing.T) {
+	const n = 20_000
+	keys := make([]uint64, n)
+	vals := make([]float64, n)
+	for i := range keys {
+		keys[i] = uint64(i * 3)
+		vals[i] = float64(i) * 1.5
+	}
+	bulk, err := BulkLoad(1, 32, 0.9, keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ins, err := New(1, 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range keys {
+		if err := ins.Insert(keys[i], vals[i:i+1]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if bulk.Len() != ins.Len() {
+		t.Fatalf("Len: %d vs %d", bulk.Len(), ins.Len())
+	}
+	// Same content via Scan.
+	type row struct {
+		k uint64
+		v float64
+	}
+	collect := func(tb *Table) []row {
+		var out []row
+		if err := tb.Scan(func(k uint64, vals []float64) error {
+			out = append(out, row{k, vals[0]})
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := collect(bulk), collect(ins)
+	if len(a) != len(b) {
+		t.Fatalf("scan lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("row %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	// Point lookups work on the bulk-loaded tree.
+	for i := 0; i < n; i += 97 {
+		v, ok := bulk.Get(keys[i])
+		if !ok || v[0] != vals[i] {
+			t.Fatalf("Get(%d) = %v, %v", keys[i], v, ok)
+		}
+	}
+	if _, ok := bulk.Get(1); ok {
+		t.Fatal("absent key found")
+	}
+}
+
+func TestBulkLoadRejectsUnsorted(t *testing.T) {
+	if _, err := BulkLoad(1, 8, 0.9, []uint64{3, 2}, []float64{1, 2}); !errors.Is(err, ErrUnsorted) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := BulkLoad(1, 8, 0.9, []uint64{2, 2}, []float64{1, 2}); !errors.Is(err, ErrUnsorted) {
+		t.Fatal("duplicates should be rejected")
+	}
+	if _, err := BulkLoad(1, 8, 0.9, []uint64{1}, []float64{1, 2}); !errors.Is(err, ErrWidthMismatch) {
+		t.Fatal("vals/keys mismatch should be rejected")
+	}
+}
+
+func TestBulkLoadEmpty(t *testing.T) {
+	tb, err := BulkLoad(2, 8, 0.9, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tb.Len() != 0 {
+		t.Fatal("empty load should yield empty table")
+	}
+	if _, ok := tb.Get(5); ok {
+		t.Fatal("lookup on empty table")
+	}
+	// Inserts still work after an empty bulk load.
+	if err := tb.Insert(1, []float64{1, 2}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadInsertAfterLoad(t *testing.T) {
+	keys := []uint64{10, 20, 30, 40, 50, 60, 70, 80}
+	vals := make([]float64, len(keys))
+	tb, err := BulkLoad(1, 4, 1.0, keys, vals)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Insert between and beyond loaded keys; tree must stay consistent.
+	for _, k := range []uint64{5, 25, 85, 15} {
+		if err := tb.Insert(k, []float64{float64(k)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tb.Len() != 12 {
+		t.Fatalf("Len = %d", tb.Len())
+	}
+	var prev int64 = -1
+	if err := tb.Scan(func(k uint64, _ []float64) error {
+		if int64(k) <= prev {
+			t.Fatalf("order broken at %d", k)
+		}
+		prev = int64(k)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestBulkLoadPropertyEquivalence(t *testing.T) {
+	f := func(raw []uint16, ffRaw uint8) bool {
+		// Dedup + sort via map trick.
+		seen := map[uint64]bool{}
+		var keys []uint64
+		for _, r := range raw {
+			k := uint64(r)
+			if !seen[k] {
+				seen[k] = true
+				keys = append(keys, k)
+			}
+		}
+		// insertion sort (small n)
+		for i := 1; i < len(keys); i++ {
+			for j := i; j > 0 && keys[j] < keys[j-1]; j-- {
+				keys[j], keys[j-1] = keys[j-1], keys[j]
+			}
+		}
+		vals := make([]float64, len(keys))
+		for i, k := range keys {
+			vals[i] = float64(k) * 2
+		}
+		ff := 0.5 + float64(ffRaw%51)/100
+		tb, err := BulkLoad(1, 6, ff, keys, vals)
+		if err != nil {
+			return false
+		}
+		if tb.Len() != len(keys) {
+			return false
+		}
+		for i, k := range keys {
+			v, ok := tb.Get(k)
+			if !ok || v[0] != vals[i] {
+				return false
+			}
+		}
+		count := 0
+		var prev int64 = -1
+		if err := tb.Scan(func(k uint64, _ []float64) error {
+			if int64(k) <= prev {
+				return errors.New("order")
+			}
+			prev = int64(k)
+			count++
+			return nil
+		}); err != nil {
+			return false
+		}
+		return count == len(keys)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func BenchmarkBulkLoadVsInserts(b *testing.B) {
+	const n = 200_000
+	keys := make([]uint64, n)
+	vals := make([]float64, n)
+	for i := range keys {
+		keys[i] = uint64(i)
+		vals[i] = float64(i)
+	}
+	b.Run("bulkload", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := BulkLoad(1, DefaultOrder, 0.9, keys, vals); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("inserts", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			tb, err := New(1, DefaultOrder)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for j := range keys {
+				if err := tb.Insert(keys[j], vals[j:j+1]); err != nil {
+					b.Fatal(err)
+				}
+			}
+		}
+	})
+}

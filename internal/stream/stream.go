@@ -1,0 +1,300 @@
+// Package stream provides the parallel streaming substrate for stage 1
+// of the pipeline. The paper's stage-1 data challenge (§II) is that
+// "data needs to be organised in a small number of very large tables
+// and streamed by independent processes, further to which the results
+// need to be aggregated" — this package supplies exactly that pattern:
+// range partitioning, bounded worker pools with error propagation and
+// cancellation, and ordered fan-in of per-worker partial results.
+package stream
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Range is a half-open index interval [Lo, Hi).
+type Range struct {
+	Lo, Hi int
+}
+
+// Len returns the number of indices in the range.
+func (r Range) Len() int { return r.Hi - r.Lo }
+
+// Partition splits [0, n) into at most parts contiguous ranges of
+// near-equal size. It never returns empty ranges; fewer than parts
+// ranges are returned when n < parts.
+func Partition(n, parts int) []Range {
+	if n <= 0 || parts <= 0 {
+		return nil
+	}
+	if parts > n {
+		parts = n
+	}
+	out := make([]Range, 0, parts)
+	base := n / parts
+	rem := n % parts
+	lo := 0
+	for i := 0; i < parts; i++ {
+		sz := base
+		if i < rem {
+			sz++
+		}
+		out = append(out, Range{lo, lo + sz})
+		lo += sz
+	}
+	return out
+}
+
+// Chunks splits [0, n) into consecutive ranges of size at most chunk.
+// It is the unit of streaming I/O throughout the repo: YELT scans,
+// memstore scans and mapreduce splits all iterate chunk-wise.
+func Chunks(n, chunk int) []Range {
+	if n <= 0 || chunk <= 0 {
+		return nil
+	}
+	out := make([]Range, 0, (n+chunk-1)/chunk)
+	for lo := 0; lo < n; lo += chunk {
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		out = append(out, Range{lo, hi})
+	}
+	return out
+}
+
+// ForEach runs fn(i) for every i in [0, n) on up to workers goroutines.
+// The first error cancels outstanding work (fn should poll ctx for
+// long-running items); all workers are joined before return.
+func ForEach(ctx context.Context, n, workers int, fn func(ctx context.Context, i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var next int64 = -1
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(atomic.AddInt64(&next, 1))
+				if i >= n {
+					return
+				}
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				if err := fn(ctx, i); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					cancel()
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return e.(error)
+	}
+	return ctx.Err()
+}
+
+// ForEachRange runs fn over a static partition of [0, n) into exactly
+// min(workers, n) contiguous ranges, one goroutine per range. Use this
+// instead of ForEach when per-item dispatch would dominate (the
+// aggregate engines process millions of trials; work-stealing per trial
+// would spend more time on atomics than on losses).
+func ForEachRange(ctx context.Context, n, workers int, fn func(ctx context.Context, r Range, worker int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ranges := Partition(n, workers)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	wg.Add(len(ranges))
+	for w, r := range ranges {
+		go func(w int, r Range) {
+			defer wg.Done()
+			if err := fn(ctx, r, w); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				cancel()
+			}
+		}(w, r)
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return e.(error)
+	}
+	return ctx.Err()
+}
+
+// ErrPipelineClosed is returned by Pipeline.Submit after Close.
+var ErrPipelineClosed = errors.New("stream: pipeline closed")
+
+// Pipeline is a bounded produce/transform/consume pipeline with
+// backpressure: Submit blocks when workers are saturated, so a fast
+// producer (e.g. an event-catalogue reader) cannot flood memory — the
+// in-memory footprint is bounded by queue depth, not table size.
+type Pipeline[In, Out any] struct {
+	in      chan In
+	out     chan Out
+	done    chan struct{}
+	err     atomic.Value
+	wg      sync.WaitGroup
+	closed  atomic.Bool
+	drainWG sync.WaitGroup
+}
+
+// NewPipeline starts workers goroutines applying transform to submitted
+// items, and one consumer goroutine applying consume to each result in
+// arbitrary order. depth bounds both queues.
+func NewPipeline[In, Out any](workers, depth int, transform func(In) (Out, error), consume func(Out) error) *Pipeline[In, Out] {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if depth <= 0 {
+		depth = workers * 2
+	}
+	p := &Pipeline[In, Out]{
+		in:   make(chan In, depth),
+		out:  make(chan Out, depth),
+		done: make(chan struct{}),
+	}
+	p.wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer p.wg.Done()
+			for item := range p.in {
+				o, err := transform(item)
+				if err != nil {
+					p.err.CompareAndSwap(nil, err)
+					continue
+				}
+				select {
+				case p.out <- o:
+				case <-p.done:
+					return
+				}
+			}
+		}()
+	}
+	p.drainWG.Add(1)
+	go func() {
+		defer p.drainWG.Done()
+		for o := range p.out {
+			if err := consume(o); err != nil {
+				p.err.CompareAndSwap(nil, err)
+			}
+		}
+	}()
+	return p
+}
+
+// Submit enqueues one item, blocking when the pipeline is saturated.
+func (p *Pipeline[In, Out]) Submit(item In) error {
+	if p.closed.Load() {
+		return ErrPipelineClosed
+	}
+	if e := p.err.Load(); e != nil {
+		return e.(error)
+	}
+	p.in <- item
+	return nil
+}
+
+// Close drains the pipeline and returns the first error encountered by
+// any transform or the consumer. Close is idempotent.
+func (p *Pipeline[In, Out]) Close() error {
+	if p.closed.Swap(true) {
+		if e := p.err.Load(); e != nil {
+			return e.(error)
+		}
+		return nil
+	}
+	close(p.in)
+	p.wg.Wait()
+	close(p.out)
+	p.drainWG.Wait()
+	close(p.done)
+	if e := p.err.Load(); e != nil {
+		return e.(error)
+	}
+	return nil
+}
+
+// MapReduceLocal computes reduce over fn(i) for i in [0, n) with one
+// partial accumulator per worker and a final sequential merge — the
+// "streamed by independent processes, then aggregated" shape from the
+// paper's stage 1, in process-local form.
+func MapReduceLocal[T any](ctx context.Context, n, workers int, zero func() T, fn func(ctx context.Context, r Range, acc T) error, merge func(into, from T)) (T, error) {
+	var result T
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	ranges := Partition(n, workers)
+	accs := make([]T, len(ranges))
+	for i := range accs {
+		accs[i] = zero()
+	}
+	err := ForEachRange(ctx, n, workers, func(ctx context.Context, r Range, w int) error {
+		return fn(ctx, r, accs[w])
+	})
+	result = zero()
+	if err != nil {
+		return result, err
+	}
+	for _, a := range accs {
+		merge(result, a)
+	}
+	return result, nil
+}
+
+// Progress is a lightweight atomic progress counter that long-running
+// engines expose so CLIs can report throughput without locks.
+type Progress struct {
+	done  atomic.Int64
+	total int64
+}
+
+// NewProgress returns a counter expecting total units of work.
+func NewProgress(total int64) *Progress { return &Progress{total: total} }
+
+// Add records n completed units.
+func (p *Progress) Add(n int64) { p.done.Add(n) }
+
+// Done returns completed units.
+func (p *Progress) Done() int64 { return p.done.Load() }
+
+// Total returns the expected total.
+func (p *Progress) Total() int64 { return p.total }
+
+// String formats as "done/total (pct%)".
+func (p *Progress) String() string {
+	d := p.Done()
+	if p.total <= 0 {
+		return fmt.Sprintf("%d", d)
+	}
+	return fmt.Sprintf("%d/%d (%.1f%%)", d, p.total, 100*float64(d)/float64(p.total))
+}

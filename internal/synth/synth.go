@@ -1,0 +1,163 @@
+// Package synth assembles complete synthetic risk-analytics scenarios:
+// a stochastic catalogue, per-contract exposure databases, stage-1
+// ELTs computed by the catastrophe-model engine, reinsurance programs
+// sized against those ELTs, and a pre-simulated YELT. It is the shared
+// test-bed generator used by integration tests, benchmarks, the CLI
+// tools and the examples, so that every consumer exercises the same
+// end-to-end data path the paper describes.
+package synth
+
+import (
+	"context"
+	"fmt"
+
+	"repro/internal/catalog"
+	"repro/internal/catmodel"
+	"repro/internal/elt"
+	"repro/internal/exposure"
+	"repro/internal/layers"
+	"repro/internal/yelt"
+)
+
+// Params sizes a scenario. The zero value is invalid; use Small or
+// Default and override.
+type Params struct {
+	Seed                 uint64
+	NumEvents            int
+	NumContracts         int
+	LocationsPerContract int
+	NumTrials            int
+	MeanEventsPerYear    float64
+	// OccurrenceOnly builds layers without annual-aggregate terms,
+	// the subset the device engine supports.
+	OccurrenceOnly bool
+	// TwoLayers adds a working layer under the cat layer.
+	TwoLayers bool
+	// Workers is passed to the parallel generators; <= 0 GOMAXPROCS.
+	Workers int
+}
+
+// Small returns a scenario that builds in well under a second — the
+// unit/integration test scale.
+func Small(seed uint64) Params {
+	return Params{
+		Seed:                 seed,
+		NumEvents:            800,
+		NumContracts:         4,
+		LocationsPerContract: 120,
+		NumTrials:            2_000,
+		MeanEventsPerYear:    10,
+	}
+}
+
+// Default returns the example/CLI scale: a few seconds of build time.
+func Default(seed uint64) Params {
+	return Params{
+		Seed:                 seed,
+		NumEvents:            10_000,
+		NumContracts:         16,
+		LocationsPerContract: 400,
+		NumTrials:            50_000,
+		MeanEventsPerYear:    10,
+	}
+}
+
+// Scenario is a fully wired stage-1 + stage-2 input set.
+type Scenario struct {
+	Params    Params
+	Catalog   *catalog.Catalog
+	Exposures []*exposure.Database
+	ELTs      []*elt.Table
+	Portfolio *layers.Portfolio
+	YELT      *yelt.Table
+}
+
+// Build generates the scenario deterministically from p.Seed.
+func Build(ctx context.Context, p Params) (*Scenario, error) {
+	if p.NumEvents <= 0 || p.NumContracts <= 0 || p.NumTrials <= 0 {
+		return nil, fmt.Errorf("synth: invalid params %+v", p)
+	}
+	if p.LocationsPerContract <= 0 {
+		p.LocationsPerContract = 100
+	}
+	if p.MeanEventsPerYear <= 0 {
+		p.MeanEventsPerYear = 10
+	}
+
+	ccfg := catalog.DefaultConfig()
+	ccfg.NumEvents = p.NumEvents
+	ccfg.MeanEventsPerYear = p.MeanEventsPerYear
+	cat, err := catalog.Generate(ccfg, p.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("synth: catalogue: %w", err)
+	}
+
+	s := &Scenario{Params: p, Catalog: cat}
+
+	// Stage 1: one exposure database and ELT per contract.
+	eng := catmodel.New()
+	eng.Workers = p.Workers
+	for c := 0; c < p.NumContracts; c++ {
+		ecfg := exposure.DefaultConfig()
+		ecfg.NumLocations = p.LocationsPerContract
+		db, err := exposure.Generate(ecfg, p.Seed+uint64(1000+c))
+		if err != nil {
+			return nil, fmt.Errorf("synth: exposure %d: %w", c, err)
+		}
+		s.Exposures = append(s.Exposures, db)
+		tbl, err := eng.Run(ctx, cat, db, uint32(c+1))
+		if err != nil {
+			return nil, fmt.Errorf("synth: catmodel %d: %w", c, err)
+		}
+		s.ELTs = append(s.ELTs, tbl)
+	}
+
+	s.Portfolio = BuildPortfolio(s.ELTs, p.OccurrenceOnly, p.TwoLayers)
+
+	// Stage-2 input: the pre-simulated years.
+	s.YELT, err = yelt.Generate(cat, yelt.Config{NumTrials: p.NumTrials, Workers: p.Workers}, p.Seed+7)
+	if err != nil {
+		return nil, fmt.Errorf("synth: yelt: %w", err)
+	}
+	return s, nil
+}
+
+func meanEventLoss(t *elt.Table) float64 {
+	if t.Len() == 0 {
+		return 1
+	}
+	return t.ExpectedLoss() / float64(t.Len())
+}
+
+// BuildPortfolio writes a reinsurance program against each ELT, sized
+// by the contract's mean event loss so layers attach at realistic
+// points of the severity curve. occurrenceOnly strips annual-aggregate
+// terms (the device engine's supported subset); twoLayers adds a
+// working layer under the cat layer.
+func BuildPortfolio(elts []*elt.Table, occurrenceOnly, twoLayers bool) *layers.Portfolio {
+	pf := &layers.Portfolio{}
+	for c, tbl := range elts {
+		mean := meanEventLoss(tbl)
+		var ls []layers.Layer
+		cat := layers.StandardCatXL(mean)
+		if occurrenceOnly {
+			cat.AggRetention = 0
+			cat.AggLimit = 0
+		}
+		ls = append(ls, cat)
+		if twoLayers {
+			wl := layers.WorkingLayer(mean)
+			if occurrenceOnly {
+				wl.AggRetention = 0
+				wl.AggLimit = 0
+			}
+			ls = append(ls, wl)
+		}
+		pf.Contracts = append(pf.Contracts, layers.Contract{
+			ID:       uint32(c + 1),
+			ELTIndex: c,
+			Layers:   ls,
+		})
+	}
+	return pf
+}

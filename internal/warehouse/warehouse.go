@@ -1,0 +1,187 @@
+// Package warehouse applies the paper's stage-3 remedy for query-time
+// cost: "Owing to the large size of data pre-computation techniques
+// such as in parallel data warehousing can be applied" (§II). It
+// materializes a data cube over per-contract Year-Loss Tables: every
+// group-by over the configured dimensions is combined and summarized
+// once, in parallel, so that analyst queries become dictionary
+// lookups instead of trial-level scans.
+package warehouse
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/metrics"
+	"repro/internal/stream"
+	"repro/internal/ylt"
+)
+
+// Input couples per-contract YLTs with their dimensional attributes
+// (e.g. region, line of business, peril bucket).
+type Input struct {
+	Tables []*ylt.Table
+	// Attrs[i] maps dimension name -> value for Tables[i].
+	Attrs []map[string]string
+}
+
+// Validate checks alignment and dimension coverage.
+func (in *Input) Validate(dims []string) error {
+	if len(in.Tables) == 0 {
+		return errors.New("warehouse: no tables")
+	}
+	if len(in.Tables) != len(in.Attrs) {
+		return fmt.Errorf("warehouse: %d tables vs %d attr sets", len(in.Tables), len(in.Attrs))
+	}
+	for i, a := range in.Attrs {
+		for _, d := range dims {
+			if _, ok := a[d]; !ok {
+				return fmt.Errorf("warehouse: table %d missing dimension %q", i, d)
+			}
+		}
+	}
+	return nil
+}
+
+// Cell is one materialized group: the combined YLT and its
+// pre-computed risk summary.
+type Cell struct {
+	Key     string
+	Members int
+	Table   *ylt.Table
+	Summary *metrics.Summary
+}
+
+// Cube is the materialized set of group-bys over the dimensions.
+type Cube struct {
+	dims  []string
+	cells map[string]*Cell
+}
+
+// groupKey renders a canonical key for a subset of dimensions.
+func groupKey(subset []string, attrs map[string]string) string {
+	parts := make([]string, len(subset))
+	for i, d := range subset {
+		parts[i] = d + "=" + attrs[d]
+	}
+	return strings.Join(parts, ",")
+}
+
+// subsets returns every non-empty subset of dims (dims must be small;
+// the cube is 2^d groups-by).
+func subsets(dims []string) [][]string {
+	var out [][]string
+	n := len(dims)
+	for mask := 1; mask < 1<<n; mask++ {
+		var s []string
+		for i := 0; i < n; i++ {
+			if mask&(1<<i) != 0 {
+				s = append(s, dims[i])
+			}
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Build materializes the cube: for every subset of dims and every
+// value combination, the member YLTs are combined and summarized.
+// Groups are processed in parallel (the "parallel data warehousing"
+// of the paper).
+func Build(ctx context.Context, in *Input, dims []string, workers int) (*Cube, error) {
+	if len(dims) == 0 {
+		return nil, errors.New("warehouse: no dimensions")
+	}
+	if len(dims) > 6 {
+		return nil, fmt.Errorf("warehouse: %d dimensions would materialize %d group-bys", len(dims), 1<<len(dims))
+	}
+	if err := in.Validate(dims); err != nil {
+		return nil, err
+	}
+
+	// Partition tables into groups for every dimension subset.
+	type group struct {
+		key     string
+		members []*ylt.Table
+	}
+	var groups []group
+	index := map[string]int{}
+	for _, subset := range subsets(dims) {
+		for i, tbl := range in.Tables {
+			key := groupKey(subset, in.Attrs[i])
+			gi, ok := index[key]
+			if !ok {
+				gi = len(groups)
+				index[key] = gi
+				groups = append(groups, group{key: key})
+			}
+			groups[gi].members = append(groups[gi].members, tbl)
+		}
+	}
+
+	cube := &Cube{dims: append([]string(nil), dims...), cells: make(map[string]*Cell, len(groups))}
+	var mu sync.Mutex
+	err := stream.ForEach(ctx, len(groups), workers, func(_ context.Context, gi int) error {
+		g := groups[gi]
+		combined, err := ylt.Combine(g.key, g.members...)
+		if err != nil {
+			return fmt.Errorf("warehouse: combining %q: %w", g.key, err)
+		}
+		summary, err := metrics.Summarize(combined)
+		if err != nil {
+			return fmt.Errorf("warehouse: summarizing %q: %w", g.key, err)
+		}
+		cell := &Cell{Key: g.key, Members: len(g.members), Table: combined, Summary: summary}
+		mu.Lock()
+		cube.cells[g.key] = cell
+		mu.Unlock()
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return cube, nil
+}
+
+// ErrNoCell is returned by Query when no materialized group matches.
+var ErrNoCell = errors.New("warehouse: no such cell")
+
+// Query returns the pre-computed cell for the given dimension filter,
+// e.g. {"region": "CoastalPeak", "lob": "property"}. All filter keys
+// must be cube dimensions.
+func (c *Cube) Query(filter map[string]string) (*Cell, error) {
+	if len(filter) == 0 {
+		return nil, errors.New("warehouse: empty filter")
+	}
+	subset := make([]string, 0, len(filter))
+	for _, d := range c.dims {
+		if _, ok := filter[d]; ok {
+			subset = append(subset, d)
+		}
+	}
+	if len(subset) != len(filter) {
+		return nil, fmt.Errorf("%w: filter uses non-cube dimensions", ErrNoCell)
+	}
+	key := groupKey(subset, filter)
+	cell, ok := c.cells[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoCell, key)
+	}
+	return cell, nil
+}
+
+// Cells returns the number of materialized groups.
+func (c *Cube) Cells() int { return len(c.cells) }
+
+// Keys returns all materialized group keys, sorted (for reports).
+func (c *Cube) Keys() []string {
+	keys := make([]string, 0, len(c.cells))
+	for k := range c.cells {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

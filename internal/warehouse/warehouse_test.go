@@ -1,0 +1,127 @@
+package warehouse
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/ylt"
+)
+
+func testInput(nTables, nTrials int) *Input {
+	in := &Input{}
+	regions := []string{"coastal", "interior"}
+	lobs := []string{"property", "marine"}
+	st := rng.New(42)
+	for i := 0; i < nTables; i++ {
+		t := ylt.New("c", nTrials)
+		for j := range t.Agg {
+			t.Agg[j] = st.Pareto(1000, 2.5)
+			t.OccMax[j] = t.Agg[j] * 0.8
+		}
+		in.Tables = append(in.Tables, t)
+		in.Attrs = append(in.Attrs, map[string]string{
+			"region": regions[i%2],
+			"lob":    lobs[(i/2)%2],
+		})
+	}
+	return in
+}
+
+func TestBuildAndQuery(t *testing.T) {
+	in := testInput(8, 2000)
+	cube, err := Build(context.Background(), in, []string{"region", "lob"}, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Groups: region (2) + lob (2) + region×lob (4) = 8 cells.
+	if cube.Cells() != 8 {
+		t.Fatalf("cells = %d, want 8 (%v)", cube.Cells(), cube.Keys())
+	}
+	cell, err := cube.Query(map[string]string{"region": "coastal"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Members != 4 {
+		t.Fatalf("coastal members = %d", cell.Members)
+	}
+	if cell.Summary == nil || cell.Summary.AAL <= 0 {
+		t.Fatal("summary not precomputed")
+	}
+	pair, err := cube.Query(map[string]string{"region": "coastal", "lob": "marine"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Members != 2 {
+		t.Fatalf("coastal×marine members = %d", pair.Members)
+	}
+}
+
+func TestCellMatchesDirectCombination(t *testing.T) {
+	in := testInput(4, 1000)
+	cube, err := Build(context.Background(), in, []string{"region"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cell, err := cube.Query(map[string]string{"region": "interior"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Direct combination of the interior tables (indices 1, 3).
+	want, err := ylt.Combine("direct", in.Tables[1], in.Tables[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(cell.Table.Mean()-want.Mean()) > 1e-9*(1+want.Mean()) {
+		t.Fatalf("cube AAL %v != direct %v", cell.Table.Mean(), want.Mean())
+	}
+}
+
+func TestQueryErrors(t *testing.T) {
+	in := testInput(4, 100)
+	cube, err := Build(context.Background(), in, []string{"region"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cube.Query(map[string]string{"region": "atlantis"}); !errors.Is(err, ErrNoCell) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := cube.Query(map[string]string{"zone": "x"}); !errors.Is(err, ErrNoCell) {
+		t.Fatal("non-cube dimension should error")
+	}
+	if _, err := cube.Query(nil); err == nil {
+		t.Fatal("empty filter should error")
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	in := testInput(2, 100)
+	if _, err := Build(context.Background(), in, nil, 1); err == nil {
+		t.Fatal("no dimensions should error")
+	}
+	if _, err := Build(context.Background(), in, []string{"a", "b", "c", "d", "e", "f", "g"}, 1); err == nil {
+		t.Fatal("too many dimensions should error")
+	}
+	if _, err := Build(context.Background(), in, []string{"nonexistent"}, 1); err == nil {
+		t.Fatal("missing attribute should error")
+	}
+	bad := &Input{Tables: in.Tables, Attrs: in.Attrs[:1]}
+	if _, err := Build(context.Background(), bad, []string{"region"}, 1); err == nil {
+		t.Fatal("misaligned attrs should error")
+	}
+	if _, err := Build(context.Background(), &Input{}, []string{"region"}, 1); err == nil {
+		t.Fatal("empty input should error")
+	}
+}
+
+func TestBuildTrialMismatch(t *testing.T) {
+	in := testInput(4, 100)
+	// Tables 0 and 2 share region "coastal"; shortening table 2 makes
+	// that group's combination fail.
+	in.Tables[2] = ylt.New("short", 50)
+	if _, err := Build(context.Background(), in, []string{"region"}, 1); err == nil {
+		t.Fatal("trial mismatch should surface from Combine")
+	}
+}

@@ -1,0 +1,96 @@
+package yelt
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+func benchCatalog(b *testing.B, n int) *catalog.Catalog {
+	b.Helper()
+	cfg := catalog.DefaultConfig()
+	cfg.NumEvents = n
+	cat, err := catalog.Generate(cfg, 99)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return cat
+}
+
+func BenchmarkGenerate(b *testing.B) {
+	cat := benchCatalog(b, 10_000)
+	for _, trials := range []int{10_000, 100_000} {
+		b.Run(fmt.Sprintf("trials=%d", trials), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				t, err := Generate(cat, Config{NumTrials: trials}, uint64(i))
+				if err != nil {
+					b.Fatal(err)
+				}
+				b.SetBytes(t.SizeBytes())
+			}
+		})
+	}
+}
+
+func BenchmarkCodecWrite(b *testing.B) {
+	cat := benchCatalog(b, 5_000)
+	t, err := Generate(cat, Config{NumTrials: 50_000}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(t.SizeBytes())
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var buf bytes.Buffer
+		buf.Grow(int(t.SizeBytes()))
+		if _, err := t.WriteTo(&buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkCodecRead(b *testing.B) {
+	cat := benchCatalog(b, 5_000)
+	t, err := Generate(cat, Config{NumTrials: 50_000}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := t.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Read(bytes.NewReader(data)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkStreamTrials(b *testing.B) {
+	cat := benchCatalog(b, 5_000)
+	t, err := Generate(cat, Config{NumTrials: 50_000}, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := t.WriteTo(&buf); err != nil {
+		b.Fatal(err)
+	}
+	data := buf.Bytes()
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var count int
+		if err := StreamTrials(bytes.NewReader(data), func(int, []Occurrence) error {
+			count++
+			return nil
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

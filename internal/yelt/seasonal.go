@@ -1,0 +1,44 @@
+package yelt
+
+import (
+	"repro/internal/catalog"
+	"repro/internal/rng"
+)
+
+// Seasonal occurrence-day windows per peril. Atlantic hurricane season
+// runs June–November peaking in early September; winter storms cluster
+// November–March; tornado activity peaks in spring; flood timing is
+// broad with a spring bias; earthquakes have no season.
+func seasonalDay(st *rng.Stream, p catalog.Peril) uint16 {
+	switch p {
+	case catalog.Hurricane:
+		return clampedNormalDay(st, 245, 30, 152, 334)
+	case catalog.WinterStorm:
+		// Wrap around new year: sample an offset from Dec 15 (day 349).
+		off := int(st.Normal(0, 38))
+		if off < -60 {
+			off = -60
+		}
+		if off > 95 {
+			off = 95
+		}
+		return uint16((349 + off + 365) % 365)
+	case catalog.Tornado:
+		return clampedNormalDay(st, 135, 40, 60, 212)
+	case catalog.Flood:
+		return clampedNormalDay(st, 120, 70, 0, 364)
+	default: // Earthquake and anything unmapped: uniform
+		return uint16(st.Intn(365))
+	}
+}
+
+func clampedNormalDay(st *rng.Stream, mean, sd float64, lo, hi int) uint16 {
+	d := int(st.Normal(mean, sd))
+	if d < lo {
+		d = lo
+	}
+	if d > hi {
+		d = hi
+	}
+	return uint16(d)
+}

@@ -1,0 +1,139 @@
+package yelt
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/catalog"
+)
+
+// monoPerilCatalog builds a catalogue containing only one peril.
+func monoPerilCatalog(t *testing.T, p catalog.Peril, n int) *catalog.Catalog {
+	t.Helper()
+	events := make([]catalog.Event, n)
+	for i := range events {
+		events[i] = catalog.Event{
+			ID: uint32(i + 1), Peril: p, Lat: 30, Lon: -90,
+			Magnitude: 6, RadiusKm: 50, AnnualRate: 10.0 / float64(n),
+		}
+	}
+	return catalog.NewCatalog(events)
+}
+
+func TestSeasonalHurricaneWindow(t *testing.T) {
+	cat := monoPerilCatalog(t, catalog.Hurricane, 100)
+	tbl, err := Generate(cat, Config{NumTrials: 3000, Seasonal: true}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	for _, o := range tbl.Occs {
+		if o.DayOfYear < 152 || o.DayOfYear > 334 {
+			t.Fatalf("hurricane on day %d outside season", o.DayOfYear)
+		}
+		sum += float64(o.DayOfYear)
+	}
+	mean := sum / float64(len(tbl.Occs))
+	if math.Abs(mean-245) > 8 {
+		t.Fatalf("hurricane mean day = %v, want ~245", mean)
+	}
+}
+
+func TestSeasonalWinterStormWrapsYear(t *testing.T) {
+	cat := monoPerilCatalog(t, catalog.WinterStorm, 100)
+	tbl, err := Generate(cat, Config{NumTrials: 3000, Seasonal: true}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var early, late int
+	for _, o := range tbl.Occs {
+		if o.DayOfYear > 364 {
+			t.Fatalf("day out of range: %d", o.DayOfYear)
+		}
+		switch {
+		case o.DayOfYear < 120:
+			early++ // Jan-Apr tail of the wrapped season
+		case o.DayOfYear >= 289:
+			late++ // Oct-Dec
+		default:
+			t.Fatalf("winter storm on summer day %d", o.DayOfYear)
+		}
+	}
+	if early == 0 || late == 0 {
+		t.Fatalf("season should wrap the year boundary: early=%d late=%d", early, late)
+	}
+}
+
+func TestSeasonalEarthquakeUniform(t *testing.T) {
+	cat := monoPerilCatalog(t, catalog.Earthquake, 100)
+	tbl, err := Generate(cat, Config{NumTrials: 5000, Seasonal: true}, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sum float64
+	var lo, hi uint16 = 365, 0
+	for _, o := range tbl.Occs {
+		sum += float64(o.DayOfYear)
+		if o.DayOfYear < lo {
+			lo = o.DayOfYear
+		}
+		if o.DayOfYear > hi {
+			hi = o.DayOfYear
+		}
+	}
+	mean := sum / float64(len(tbl.Occs))
+	if math.Abs(mean-182) > 6 {
+		t.Fatalf("earthquake mean day = %v, want ~182 (uniform)", mean)
+	}
+	if lo > 10 || hi < 354 {
+		t.Fatalf("earthquakes should cover the whole year: [%d, %d]", lo, hi)
+	}
+}
+
+func TestSeasonalStillSortedAndDeterministic(t *testing.T) {
+	ccfg := catalog.DefaultConfig()
+	ccfg.NumEvents = 500
+	cat, err := catalog.Generate(ccfg, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a, err := Generate(cat, Config{NumTrials: 1000, Seasonal: true, Workers: 1}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Generate(cat, Config{NumTrials: 1000, Seasonal: true, Workers: 6}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Occs {
+		if a.Occs[i] != b.Occs[i] {
+			t.Fatalf("seasonal generation not deterministic across workers at %d", i)
+		}
+	}
+	for trial := 0; trial < a.NumTrials; trial++ {
+		occs := a.OccurrencesOf(trial)
+		for i := 1; i < len(occs); i++ {
+			if occs[i-1].DayOfYear > occs[i].DayOfYear {
+				t.Fatalf("trial %d not day-sorted", trial)
+			}
+		}
+	}
+}
+
+func TestSeasonalOffByDefault(t *testing.T) {
+	cat := monoPerilCatalog(t, catalog.Hurricane, 50)
+	tbl, err := Generate(cat, Config{NumTrials: 2000}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Uniform days: some occurrences must fall outside hurricane season.
+	var outside int
+	for _, o := range tbl.Occs {
+		if o.DayOfYear < 152 || o.DayOfYear > 334 {
+			outside++
+		}
+	}
+	if outside == 0 {
+		t.Fatal("non-seasonal generation should be uniform over the year")
+	}
+}

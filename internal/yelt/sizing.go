@@ -1,0 +1,82 @@
+package yelt
+
+import "fmt"
+
+// SizeModel reproduces the paper's stage-2 data-volume arithmetic
+// (§II): "if an analysis of 10,000 contracts for 100,000 events in
+// 1,000 locations with 50,000 trial years is considered, the
+// Year-Event-Location-Loss Table (YELLT) has over 5×10^16 entries",
+// with the YELT "generally 1000 times smaller than the YELLT and 1000
+// times bigger than the YLT".
+//
+// Two accountings are exposed:
+//
+//   - Dense: the paper's product formula — every (contract, event,
+//     location, trial) cell. This is the storage a naive
+//     fully-materialized analysis would need and is what makes the
+//     5×10^16 number.
+//   - Occurrence-based: entries proportional to events that actually
+//     occur per trial year (rate λ), which is what this repository
+//     materializes. The paper's 1000× ratios correspond to ~1000
+//     locations per contract and ~1000 occurrence rows per trial year.
+type SizeModel struct {
+	Contracts         int
+	Events            int
+	Locations         int
+	Trials            int
+	MeanEventsPerYear float64 // occurrence rate λ of the whole book
+}
+
+// PaperScale returns the exact parameters quoted in §II.
+func PaperScale() SizeModel {
+	return SizeModel{
+		Contracts:         10_000,
+		Events:            100_000,
+		Locations:         1_000,
+		Trials:            50_000,
+		MeanEventsPerYear: 1_000,
+	}
+}
+
+// DenseYELLTEntries is the paper's headline product:
+// contracts × events × locations × trials.
+func (m SizeModel) DenseYELLTEntries() float64 {
+	return float64(m.Contracts) * float64(m.Events) * float64(m.Locations) * float64(m.Trials)
+}
+
+// YELLTEntries is the occurrence-based Year-Event-Location-Loss count:
+// one row per (trial, occurrence, location).
+func (m SizeModel) YELLTEntries() float64 {
+	return float64(m.Trials) * m.MeanEventsPerYear * float64(m.Locations)
+}
+
+// YELTEntries is the occurrence-based Year-Event-Loss count: one row
+// per (trial, occurrence).
+func (m SizeModel) YELTEntries() float64 {
+	return float64(m.Trials) * m.MeanEventsPerYear
+}
+
+// YLTEntries is one row per trial.
+func (m SizeModel) YLTEntries() float64 { return float64(m.Trials) }
+
+// Ratios returns (YELLT/YELT, YELT/YLT) under occurrence accounting —
+// the two "1000×" factors from the paper.
+func (m SizeModel) Ratios() (yelltOverYELT, yeltOverYLT float64) {
+	return float64(m.Locations), m.MeanEventsPerYear
+}
+
+// Bytes converts an entry count to bytes at a given per-entry size.
+func Bytes(entries float64, perEntry int) float64 {
+	return entries * float64(perEntry)
+}
+
+// HumanBytes formats a byte count with binary prefixes for reports.
+func HumanBytes(b float64) string {
+	units := []string{"B", "KiB", "MiB", "GiB", "TiB", "PiB", "EiB"}
+	i := 0
+	for b >= 1024 && i < len(units)-1 {
+		b /= 1024
+		i++
+	}
+	return fmt.Sprintf("%.2f %s", b, units[i])
+}

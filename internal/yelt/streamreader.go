@@ -1,0 +1,66 @@
+package yelt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+)
+
+// TrialVisitor receives one trial year at a time during a streaming
+// read. occs is only valid during the call; implementations must copy
+// if they retain it.
+type TrialVisitor func(trial int, occs []Occurrence) error
+
+// StreamTrials reads a serialized table (the WriteTo format) from r
+// and delivers trials one at a time without materializing the table —
+// the access pattern for YELTs that exceed memory, per the paper's
+// "data needs to be scanned over" observation. Memory use is bounded
+// by the largest single trial year plus the counts header.
+func StreamTrials(r io.Reader, visit TrialVisitor) error {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return fmt.Errorf("yelt: stream magic: %w", err)
+	}
+	if m != magic {
+		return fmt.Errorf("%w: magic %q", ErrBadFormat, m)
+	}
+	var u4 [4]byte
+	if _, err := io.ReadFull(br, u4[:]); err != nil {
+		return fmt.Errorf("yelt: stream trial count: %w", err)
+	}
+	numTrials := int(binary.LittleEndian.Uint32(u4[:]))
+	const maxTrials = 1 << 27
+	if numTrials < 0 || numTrials > maxTrials {
+		return fmt.Errorf("%w: trial count %d", ErrBadFormat, numTrials)
+	}
+	counts := make([]uint32, numTrials)
+	for i := range counts {
+		if _, err := io.ReadFull(br, u4[:]); err != nil {
+			return fmt.Errorf("yelt: stream count %d: %w", i, err)
+		}
+		counts[i] = binary.LittleEndian.Uint32(u4[:])
+	}
+	var buf []Occurrence
+	var rec [EntryBytes]byte
+	for trial, n := range counts {
+		if cap(buf) < int(n) {
+			buf = make([]Occurrence, n)
+		}
+		buf = buf[:n]
+		for i := range buf {
+			if _, err := io.ReadFull(br, rec[:]); err != nil {
+				return fmt.Errorf("yelt: stream occurrence (trial %d): %w", trial, err)
+			}
+			buf[i] = Occurrence{
+				EventID:   binary.LittleEndian.Uint32(rec[0:4]),
+				DayOfYear: binary.LittleEndian.Uint16(rec[4:6]),
+			}
+		}
+		if err := visit(trial, buf); err != nil {
+			return err
+		}
+	}
+	return nil
+}

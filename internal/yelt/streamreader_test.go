@@ -1,0 +1,80 @@
+package yelt
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+func TestStreamTrialsMatchesRead(t *testing.T) {
+	cat := testCatalog(t, 300)
+	tbl, err := Generate(cat, Config{NumTrials: 500}, 77)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var visited int
+	err = StreamTrials(bytes.NewReader(buf.Bytes()), func(trial int, occs []Occurrence) error {
+		want := tbl.OccurrencesOf(trial)
+		if len(occs) != len(want) {
+			t.Fatalf("trial %d: %d occs, want %d", trial, len(occs), len(want))
+		}
+		for i := range occs {
+			if occs[i] != want[i] {
+				t.Fatalf("trial %d occ %d mismatch", trial, i)
+			}
+		}
+		visited++
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if visited != 500 {
+		t.Fatalf("visited %d trials", visited)
+	}
+}
+
+func TestStreamTrialsVisitorError(t *testing.T) {
+	cat := testCatalog(t, 100)
+	tbl, _ := Generate(cat, Config{NumTrials: 50}, 1)
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("visitor boom")
+	var calls int
+	err := StreamTrials(bytes.NewReader(buf.Bytes()), func(trial int, _ []Occurrence) error {
+		calls++
+		if trial == 10 {
+			return boom
+		}
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if calls != 11 {
+		t.Fatalf("visitor called %d times, want 11", calls)
+	}
+}
+
+func TestStreamTrialsRejectsGarbage(t *testing.T) {
+	if err := StreamTrials(bytes.NewReader([]byte("JUNKJUNK")), nil); err == nil {
+		t.Fatal("bad magic should error")
+	}
+	cat := testCatalog(t, 50)
+	tbl, _ := Generate(cat, Config{NumTrials: 20}, 2)
+	var buf bytes.Buffer
+	if _, err := tbl.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-4]
+	err := StreamTrials(bytes.NewReader(trunc), func(int, []Occurrence) error { return nil })
+	if err == nil {
+		t.Fatal("truncated stream should error")
+	}
+}

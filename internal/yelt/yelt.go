@@ -1,0 +1,275 @@
+// Package yelt implements the Year-Event-Loss Table infrastructure of
+// stage 2: the pre-simulated catalogue of alternative contractual
+// years. Per §II of the paper, "rather than using random values
+// generated on-the-fly, a pre-simulated Year-Event-Loss Table (YELT)
+// containing between several thousand and millions of alternative
+// views of a single contractual year is used" so that actuaries see
+// results through a consistent lens.
+//
+// A Table is a flat, trial-major sequence of event occurrences — which
+// events happen in each trial year and on which day — stored in
+// columnar form for scan-oriented access. Losses are not stored here;
+// they are looked up per contract in ELTs during aggregate analysis
+// (that separation is exactly why the YELT is ~1000× smaller than the
+// YELLT).
+package yelt
+
+import (
+	"bufio"
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/catalog"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// Occurrence is one event happening in one trial year.
+type Occurrence struct {
+	EventID   uint32
+	DayOfYear uint16 // 0..364; ordering within the year drives occurrence terms
+}
+
+// Table is a pre-simulated set of trial years in trial-major layout:
+// occurrences of trial t are Occs[Offsets[t]:Offsets[t+1]], sorted by
+// day within each trial.
+type Table struct {
+	NumTrials int
+	Offsets   []int64 // len NumTrials+1
+	Occs      []Occurrence
+}
+
+// OccurrencesOf returns the occurrence slice for one trial.
+func (t *Table) OccurrencesOf(trial int) []Occurrence {
+	return t.Occs[t.Offsets[trial]:t.Offsets[trial+1]]
+}
+
+// Len returns the total number of occurrences across all trials.
+func (t *Table) Len() int { return len(t.Occs) }
+
+// MeanOccurrences returns the average number of events per trial year.
+func (t *Table) MeanOccurrences() float64 {
+	if t.NumTrials == 0 {
+		return 0
+	}
+	return float64(len(t.Occs)) / float64(t.NumTrials)
+}
+
+// EntryBytes is the in-memory/encoded footprint of one occurrence
+// (u32 event + u16 day, padded to 8 in memory; 6 encoded).
+const EntryBytes = 6
+
+// SizeBytes returns the encoded size of the table.
+func (t *Table) SizeBytes() int64 {
+	return int64(16+8*(len(t.Offsets))) + int64(len(t.Occs)*EntryBytes)
+}
+
+// Config controls YELT generation.
+type Config struct {
+	NumTrials int
+	// Workers parallelizes generation across trial blocks; <= 0 means
+	// GOMAXPROCS. Generation is deterministic regardless of Workers.
+	Workers int
+	// Seasonal draws occurrence days from peril-specific seasonal
+	// windows (hurricane season, winter-storm season, tornado spring)
+	// instead of uniformly. Occurrence ordering within the year — what
+	// reinstatement erosion depends on — then reflects real clustering.
+	Seasonal bool
+}
+
+// Generate pre-simulates cfg.NumTrials alternative years against the
+// catalogue: per trial the number of occurrences is Poisson with the
+// catalogue's total rate and event identities follow the per-event
+// rates (sampled by an O(1) alias table). Each trial draws from its
+// own splittable stream, so the table is a pure function of
+// (catalogue, seed, NumTrials) — the "consistent lens" requirement.
+func Generate(cat *catalog.Catalog, cfg Config, seed uint64) (*Table, error) {
+	if cfg.NumTrials <= 0 {
+		return nil, fmt.Errorf("yelt: NumTrials must be positive, got %d", cfg.NumTrials)
+	}
+	if cat.Len() == 0 {
+		return nil, errors.New("yelt: empty catalogue")
+	}
+	alias, err := rng.NewAlias(cat.Rates())
+	if err != nil {
+		return nil, fmt.Errorf("yelt: building event sampler: %w", err)
+	}
+	totalRate := cat.TotalRate()
+
+	type block struct {
+		counts []int32
+		occs   []Occurrence
+	}
+	nBlocks := cfg.Workers
+	if nBlocks <= 0 {
+		nBlocks = 8
+	}
+	blocks := make([]block, 0, nBlocks)
+	ranges := stream.Partition(cfg.NumTrials, nBlocks)
+	blocks = blocks[:0]
+	for range ranges {
+		blocks = append(blocks, block{})
+	}
+
+	err = stream.ForEachRange(context.Background(), cfg.NumTrials, nBlocks, func(_ context.Context, r stream.Range, w int) error {
+		b := &blocks[w]
+		b.counts = make([]int32, r.Len())
+		b.occs = make([]Occurrence, 0, int(float64(r.Len())*totalRate*11/10))
+		for trial := r.Lo; trial < r.Hi; trial++ {
+			st := rng.NewStream(seed, uint64(trial))
+			k := st.Poisson(totalRate)
+			b.counts[trial-r.Lo] = int32(k)
+			start := len(b.occs)
+			for j := 0; j < k; j++ {
+				ev := cat.Events[alias.Draw(st)]
+				day := uint16(st.Intn(365))
+				if cfg.Seasonal {
+					day = seasonalDay(st, ev.Peril)
+				}
+				b.occs = append(b.occs, Occurrence{
+					EventID:   ev.ID,
+					DayOfYear: day,
+				})
+			}
+			year := b.occs[start:]
+			sort.Slice(year, func(i, j int) bool {
+				if year[i].DayOfYear != year[j].DayOfYear {
+					return year[i].DayOfYear < year[j].DayOfYear
+				}
+				return year[i].EventID < year[j].EventID
+			})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{NumTrials: cfg.NumTrials}
+	total := 0
+	for _, b := range blocks {
+		total += len(b.occs)
+	}
+	t.Offsets = make([]int64, 1, cfg.NumTrials+1)
+	t.Occs = make([]Occurrence, 0, total)
+	for _, b := range blocks {
+		for _, c := range b.counts {
+			t.Offsets = append(t.Offsets, t.Offsets[len(t.Offsets)-1]+int64(c))
+		}
+		t.Occs = append(t.Occs, b.occs...)
+	}
+	return t, nil
+}
+
+// --- binary codec ---
+
+// Binary layout: magic "YELT", u32 numTrials, then numTrials u32
+// occurrence counts, then the occurrence stream as (u32 event, u16
+// day) pairs. Like the ELT codec it is stream-oriented: no seeking.
+var magic = [4]byte{'Y', 'E', 'L', 'T'}
+
+// ErrBadFormat reports a malformed serialized table.
+var ErrBadFormat = errors.New("yelt: bad format")
+
+// WriteTo serializes the table. It implements io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var written int64
+	if _, err := bw.Write(magic[:]); err != nil {
+		return written, err
+	}
+	written += 4
+	var u4 [4]byte
+	binary.LittleEndian.PutUint32(u4[:], uint32(t.NumTrials))
+	if _, err := bw.Write(u4[:]); err != nil {
+		return written, err
+	}
+	written += 4
+	for trial := 0; trial < t.NumTrials; trial++ {
+		n := t.Offsets[trial+1] - t.Offsets[trial]
+		binary.LittleEndian.PutUint32(u4[:], uint32(n))
+		if _, err := bw.Write(u4[:]); err != nil {
+			return written, err
+		}
+		written += 4
+	}
+	var rec [EntryBytes]byte
+	for _, o := range t.Occs {
+		binary.LittleEndian.PutUint32(rec[0:4], o.EventID)
+		binary.LittleEndian.PutUint16(rec[4:6], o.DayOfYear)
+		if _, err := bw.Write(rec[:]); err != nil {
+			return written, err
+		}
+		written += EntryBytes
+	}
+	return written, bw.Flush()
+}
+
+// Read deserializes a table written by WriteTo.
+func Read(r io.Reader) (*Table, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("yelt: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, m)
+	}
+	var u4 [4]byte
+	if _, err := io.ReadFull(br, u4[:]); err != nil {
+		return nil, fmt.Errorf("yelt: reading trial count: %w", err)
+	}
+	numTrials := int(binary.LittleEndian.Uint32(u4[:]))
+	const maxTrials = 1 << 27
+	if numTrials < 0 || numTrials > maxTrials {
+		return nil, fmt.Errorf("%w: trial count %d", ErrBadFormat, numTrials)
+	}
+	t := &Table{NumTrials: numTrials, Offsets: make([]int64, numTrials+1)}
+	var total int64
+	for trial := 0; trial < numTrials; trial++ {
+		if _, err := io.ReadFull(br, u4[:]); err != nil {
+			return nil, fmt.Errorf("yelt: reading count %d: %w", trial, err)
+		}
+		total += int64(binary.LittleEndian.Uint32(u4[:]))
+		t.Offsets[trial+1] = total
+	}
+	const maxOccs = 1 << 31
+	if total > maxOccs {
+		return nil, fmt.Errorf("%w: occurrence count %d", ErrBadFormat, total)
+	}
+	t.Occs = make([]Occurrence, total)
+	var rec [EntryBytes]byte
+	for i := range t.Occs {
+		if _, err := io.ReadFull(br, rec[:]); err != nil {
+			return nil, fmt.Errorf("yelt: reading occurrence %d: %w", i, err)
+		}
+		t.Occs[i] = Occurrence{
+			EventID:   binary.LittleEndian.Uint32(rec[0:4]),
+			DayOfYear: binary.LittleEndian.Uint16(rec[4:6]),
+		}
+	}
+	return t, nil
+}
+
+// Slice returns a view of trials [lo, hi) as a standalone table
+// sharing the underlying occurrence storage. It is the unit handed to
+// distributed scans (mapreduce splits, memstore chunks).
+func (t *Table) Slice(lo, hi int) (*Table, error) {
+	if lo < 0 || hi > t.NumTrials || lo > hi {
+		return nil, fmt.Errorf("yelt: slice [%d,%d) outside [0,%d)", lo, hi, t.NumTrials)
+	}
+	sub := &Table{
+		NumTrials: hi - lo,
+		Offsets:   make([]int64, hi-lo+1),
+		Occs:      t.Occs[t.Offsets[lo]:t.Offsets[hi]],
+	}
+	base := t.Offsets[lo]
+	for i := lo; i <= hi; i++ {
+		sub.Offsets[i-lo] = t.Offsets[i] - base
+	}
+	return sub, nil
+}

@@ -1,0 +1,221 @@
+// Package ylt implements the Year-Loss Table — the output of stage-2
+// aggregate analysis and the input to stage-3 DFA (§II): one loss per
+// pre-simulated trial year. Because every YLT produced from the same
+// YELT indexes trials identically, YLTs combine by aligned per-trial
+// addition, which preserves the dependency structure induced by shared
+// catastrophe years ("a consistent lens through which to view
+// results").
+package ylt
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/mathx"
+)
+
+// Table is a Year-Loss Table. Agg holds the annual aggregate loss per
+// trial. OccMax optionally holds the largest single-occurrence loss
+// per trial, which drives occurrence-basis metrics (OEP/PML); it may
+// be nil for YLTs where per-occurrence structure does not exist (e.g.
+// investment risk in DFA).
+type Table struct {
+	Name   string
+	Agg    []float64
+	OccMax []float64
+}
+
+// New returns a zero-filled YLT with n trials, with occurrence data.
+func New(name string, n int) *Table {
+	return &Table{Name: name, Agg: make([]float64, n), OccMax: make([]float64, n)}
+}
+
+// NewAggOnly returns a zero-filled YLT without occurrence structure.
+func NewAggOnly(name string, n int) *Table {
+	return &Table{Name: name, Agg: make([]float64, n)}
+}
+
+// NumTrials returns the number of trial years.
+func (t *Table) NumTrials() int { return len(t.Agg) }
+
+// HasOccurrence reports whether per-occurrence maxima are tracked.
+func (t *Table) HasOccurrence() bool { return t.OccMax != nil }
+
+// Mean returns the average annual loss (the AAL).
+func (t *Table) Mean() float64 { return mathx.Mean(t.Agg) }
+
+// StdDev returns the standard deviation of annual losses.
+func (t *Table) StdDev() float64 { return mathx.StdDev(t.Agg) }
+
+// Scale multiplies all losses by f (e.g. currency or share scaling).
+func (t *Table) Scale(f float64) {
+	for i := range t.Agg {
+		t.Agg[i] *= f
+	}
+	for i := range t.OccMax {
+		t.OccMax[i] *= f
+	}
+}
+
+// EntryBytes is the encoded footprint per trial (one float64 for Agg;
+// occurrence tables carry a second).
+const EntryBytes = 8
+
+// SizeBytes returns the encoded size of the table.
+func (t *Table) SizeBytes() int64 {
+	n := int64(len(t.Agg)) * EntryBytes
+	if t.OccMax != nil {
+		n += int64(len(t.OccMax)) * EntryBytes
+	}
+	return 16 + int64(len(t.Name)) + n
+}
+
+// ErrTrialMismatch is returned when combining tables with different
+// trial counts: aligned addition is only meaningful over the same
+// pre-simulated years.
+var ErrTrialMismatch = errors.New("ylt: trial count mismatch")
+
+// Combine returns the aligned per-trial sum of the given tables. For
+// OccMax the element-wise maximum of the inputs is used — a documented
+// lower bound on the true combined occurrence maximum (exact
+// combination would need event-level detail that the YLT, by design,
+// no longer carries). If any input lacks occurrence data the result is
+// aggregate-only.
+func Combine(name string, tables ...*Table) (*Table, error) {
+	if len(tables) == 0 {
+		return nil, errors.New("ylt: nothing to combine")
+	}
+	n := tables[0].NumTrials()
+	occ := true
+	for _, t := range tables {
+		if t.NumTrials() != n {
+			return nil, fmt.Errorf("%w: %d vs %d", ErrTrialMismatch, t.NumTrials(), n)
+		}
+		occ = occ && t.HasOccurrence()
+	}
+	var out *Table
+	if occ {
+		out = New(name, n)
+	} else {
+		out = NewAggOnly(name, n)
+	}
+	for _, t := range tables {
+		for i, v := range t.Agg {
+			out.Agg[i] += v
+		}
+		if occ {
+			for i, v := range t.OccMax {
+				if v > out.OccMax[i] {
+					out.OccMax[i] = v
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// --- binary codec ---
+
+var magic = [4]byte{'Y', 'L', 'T', '1'}
+
+// ErrBadFormat reports a malformed serialized table.
+var ErrBadFormat = errors.New("ylt: bad format")
+
+// WriteTo serializes the table. It implements io.WriterTo.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	bw := bufio.NewWriterSize(w, 1<<16)
+	var written int64
+	if _, err := bw.Write(magic[:]); err != nil {
+		return written, err
+	}
+	written += 4
+	nameBytes := []byte(t.Name)
+	var hdr [12]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], uint32(len(nameBytes)))
+	binary.LittleEndian.PutUint32(hdr[4:8], uint32(len(t.Agg)))
+	flags := uint32(0)
+	if t.OccMax != nil {
+		flags = 1
+	}
+	binary.LittleEndian.PutUint32(hdr[8:12], flags)
+	if _, err := bw.Write(hdr[:]); err != nil {
+		return written, err
+	}
+	written += 12
+	if _, err := bw.Write(nameBytes); err != nil {
+		return written, err
+	}
+	written += int64(len(nameBytes))
+	var u8 [8]byte
+	writeF := func(xs []float64) error {
+		for _, x := range xs {
+			binary.LittleEndian.PutUint64(u8[:], math.Float64bits(x))
+			if _, err := bw.Write(u8[:]); err != nil {
+				return err
+			}
+			written += 8
+		}
+		return nil
+	}
+	if err := writeF(t.Agg); err != nil {
+		return written, err
+	}
+	if t.OccMax != nil {
+		if err := writeF(t.OccMax); err != nil {
+			return written, err
+		}
+	}
+	return written, bw.Flush()
+}
+
+// Read deserializes a table written by WriteTo.
+func Read(r io.Reader) (*Table, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	var m [4]byte
+	if _, err := io.ReadFull(br, m[:]); err != nil {
+		return nil, fmt.Errorf("ylt: reading magic: %w", err)
+	}
+	if m != magic {
+		return nil, fmt.Errorf("%w: magic %q", ErrBadFormat, m)
+	}
+	var hdr [12]byte
+	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+		return nil, fmt.Errorf("ylt: reading header: %w", err)
+	}
+	nameLen := binary.LittleEndian.Uint32(hdr[0:4])
+	n := binary.LittleEndian.Uint32(hdr[4:8])
+	flags := binary.LittleEndian.Uint32(hdr[8:12])
+	const maxTrials = 1 << 28
+	if nameLen > 1<<16 || n > maxTrials {
+		return nil, fmt.Errorf("%w: name %d trials %d", ErrBadFormat, nameLen, n)
+	}
+	nameBytes := make([]byte, nameLen)
+	if _, err := io.ReadFull(br, nameBytes); err != nil {
+		return nil, fmt.Errorf("ylt: reading name: %w", err)
+	}
+	t := &Table{Name: string(nameBytes), Agg: make([]float64, n)}
+	var u8 [8]byte
+	readF := func(xs []float64) error {
+		for i := range xs {
+			if _, err := io.ReadFull(br, u8[:]); err != nil {
+				return err
+			}
+			xs[i] = math.Float64frombits(binary.LittleEndian.Uint64(u8[:]))
+		}
+		return nil
+	}
+	if err := readF(t.Agg); err != nil {
+		return nil, fmt.Errorf("ylt: reading agg: %w", err)
+	}
+	if flags&1 != 0 {
+		t.OccMax = make([]float64, n)
+		if err := readF(t.OccMax); err != nil {
+			return nil, fmt.Errorf("ylt: reading occmax: %w", err)
+		}
+	}
+	return t, nil
+}

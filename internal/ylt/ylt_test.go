@@ -1,0 +1,201 @@
+package ylt
+
+import (
+	"bytes"
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewShapes(t *testing.T) {
+	a := New("x", 10)
+	if a.NumTrials() != 10 || !a.HasOccurrence() {
+		t.Fatal("New shape wrong")
+	}
+	b := NewAggOnly("y", 5)
+	if b.NumTrials() != 5 || b.HasOccurrence() {
+		t.Fatal("NewAggOnly shape wrong")
+	}
+}
+
+func TestMeanStd(t *testing.T) {
+	a := New("x", 4)
+	copy(a.Agg, []float64{1, 2, 3, 4})
+	if a.Mean() != 2.5 {
+		t.Fatalf("Mean = %v", a.Mean())
+	}
+	if math.Abs(a.StdDev()-math.Sqrt(5.0/3.0)) > 1e-12 {
+		t.Fatalf("StdDev = %v", a.StdDev())
+	}
+}
+
+func TestScale(t *testing.T) {
+	a := New("x", 2)
+	copy(a.Agg, []float64{1, 2})
+	copy(a.OccMax, []float64{3, 4})
+	a.Scale(10)
+	if a.Agg[1] != 20 || a.OccMax[0] != 30 {
+		t.Fatal("Scale broken")
+	}
+}
+
+func TestCombineAlignedSum(t *testing.T) {
+	a := New("a", 3)
+	copy(a.Agg, []float64{1, 2, 3})
+	copy(a.OccMax, []float64{5, 1, 2})
+	b := New("b", 3)
+	copy(b.Agg, []float64{10, 20, 30})
+	copy(b.OccMax, []float64{4, 6, 1})
+	c, err := Combine("c", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantAgg := []float64{11, 22, 33}
+	wantMax := []float64{5, 6, 2}
+	for i := range wantAgg {
+		if c.Agg[i] != wantAgg[i] {
+			t.Fatalf("Agg[%d] = %v", i, c.Agg[i])
+		}
+		if c.OccMax[i] != wantMax[i] {
+			t.Fatalf("OccMax[%d] = %v", i, c.OccMax[i])
+		}
+	}
+}
+
+func TestCombineMismatch(t *testing.T) {
+	a := New("a", 3)
+	b := New("b", 4)
+	if _, err := Combine("c", a, b); !errors.Is(err, ErrTrialMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := Combine("c"); err == nil {
+		t.Fatal("empty combine should error")
+	}
+}
+
+func TestCombineDropsOccWhenAnyAggOnly(t *testing.T) {
+	a := New("a", 2)
+	b := NewAggOnly("b", 2)
+	c, err := Combine("c", a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.HasOccurrence() {
+		t.Fatal("mixed combine should be agg-only")
+	}
+}
+
+func TestCombineCommutativeProperty(t *testing.T) {
+	f := func(xs, ys []float64) bool {
+		n := len(xs)
+		if len(ys) < n {
+			n = len(ys)
+		}
+		if n == 0 {
+			return true
+		}
+		mk := func(vals []float64, name string) *Table {
+			t := New(name, n)
+			copy(t.Agg, vals[:n])
+			copy(t.OccMax, vals[:n])
+			return t
+		}
+		for _, v := range append(xs[:n], ys[:n]...) {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+		}
+		ab, err1 := Combine("ab", mk(xs, "a"), mk(ys, "b"))
+		ba, err2 := Combine("ba", mk(ys, "b"), mk(xs, "a"))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		for i := 0; i < n; i++ {
+			if math.Abs(ab.Agg[i]-ba.Agg[i]) > 1e-9*(1+math.Abs(ab.Agg[i])) {
+				return false
+			}
+			if ab.OccMax[i] != ba.OccMax[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCodecRoundTrip(t *testing.T) {
+	a := New("portfolio-α", 100)
+	for i := range a.Agg {
+		a.Agg[i] = float64(i) * 1.5
+		a.OccMax[i] = float64(i)
+	}
+	var buf bytes.Buffer
+	n, err := a.WriteTo(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Fatalf("reported %d, wrote %d", n, buf.Len())
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Name != a.Name || got.NumTrials() != 100 || !got.HasOccurrence() {
+		t.Fatal("header mismatch")
+	}
+	for i := range a.Agg {
+		if got.Agg[i] != a.Agg[i] || got.OccMax[i] != a.OccMax[i] {
+			t.Fatalf("trial %d mismatch", i)
+		}
+	}
+}
+
+func TestCodecAggOnly(t *testing.T) {
+	a := NewAggOnly("inv", 10)
+	for i := range a.Agg {
+		a.Agg[i] = -float64(i) // investment returns can be negative
+	}
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.HasOccurrence() {
+		t.Fatal("agg-only flag lost")
+	}
+	if got.Agg[9] != -9 {
+		t.Fatal("negative values mangled")
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("BAD!aaaaaaaaaaaa"))); err == nil {
+		t.Fatal("bad magic should error")
+	}
+	a := New("x", 5)
+	var buf bytes.Buffer
+	if _, err := a.WriteTo(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Read(bytes.NewReader(buf.Bytes()[:buf.Len()-4])); err == nil {
+		t.Fatal("truncation should error")
+	}
+}
+
+func TestSizeBytes(t *testing.T) {
+	a := New("xy", 10)
+	if a.SizeBytes() != 16+2+160 {
+		t.Fatalf("SizeBytes = %d", a.SizeBytes())
+	}
+	b := NewAggOnly("xy", 10)
+	if b.SizeBytes() != 16+2+80 {
+		t.Fatalf("agg-only SizeBytes = %d", b.SizeBytes())
+	}
+}

@@ -1,0 +1,95 @@
+package risk
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/catalog"
+	"repro/internal/postevent"
+)
+
+// EventBulletin describes a realized catastrophe for rapid post-event
+// estimation (the operational workflow of the authors' companion
+// paper on rapid post-event modelling).
+type EventBulletin struct {
+	// Peril is one of "EQ", "HU", "FL", "WS", "TO".
+	Peril    string
+	Lat, Lon float64
+	// Magnitude is peril-specific: moment magnitude for EQ, max wind
+	// speed (m/s) for HU/WS, depth (m) for FL, EF-scale for TO.
+	Magnitude float64
+	RadiusKm  float64
+}
+
+func (b EventBulletin) peril() (catalog.Peril, error) {
+	switch b.Peril {
+	case "EQ":
+		return catalog.Earthquake, nil
+	case "HU":
+		return catalog.Hurricane, nil
+	case "FL":
+		return catalog.Flood, nil
+	case "WS":
+		return catalog.WinterStorm, nil
+	case "TO":
+		return catalog.Tornado, nil
+	default:
+		return 0, fmt.Errorf("risk: unknown peril %q", b.Peril)
+	}
+}
+
+// EventEstimate is a rapid loss estimate for a realized event.
+type EventEstimate struct {
+	SitesTouched int
+	ExposedValue float64
+	GrossMean    float64
+	GrossSD      float64
+	Low, High    float64 // 90% band
+	Elapsed      time.Duration
+}
+
+// EstimateEvent prices a realized event against the study's book in
+// real time. Stage 1 must have run (Run or RunModelling); the
+// estimator is built lazily on first call and reused.
+func (s *Study) EstimateEvent(ctx context.Context, b EventBulletin) (*EventEstimate, error) {
+	p, err := s.pipeline()
+	if err != nil {
+		return nil, err
+	}
+	if p.Catalog == nil {
+		if err := p.RunStage1(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if s.postEvent == nil {
+		est, err := postevent.New(p.Exposures, nil)
+		if err != nil {
+			return nil, err
+		}
+		s.postEvent = est
+	}
+	peril, err := b.peril()
+	if err != nil {
+		return nil, err
+	}
+	if b.RadiusKm <= 0 {
+		return nil, fmt.Errorf("risk: bulletin radius %g must be positive", b.RadiusKm)
+	}
+	res, err := s.postEvent.Estimate(ctx, catalog.Event{
+		ID: 0, Peril: peril, Lat: b.Lat, Lon: b.Lon,
+		Magnitude: b.Magnitude, RadiusKm: b.RadiusKm,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &EventEstimate{
+		SitesTouched: res.SitesTouched,
+		ExposedValue: res.ExposedValue,
+		GrossMean:    res.GrossMean,
+		GrossSD:      res.GrossSD,
+		Low:          res.Low,
+		High:         res.High,
+		Elapsed:      res.Elapsed,
+	}, nil
+}

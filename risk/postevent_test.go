@@ -1,0 +1,69 @@
+package risk
+
+import (
+	"context"
+	"testing"
+)
+
+func TestEstimateEvent(t *testing.T) {
+	study := NewStudy(smallConfig(30))
+	if err := study.RunModelling(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	// A large hurricane over the coastal peak zone (see
+	// catalog.DefaultRegions).
+	res, err := study.EstimateEvent(context.Background(), EventBulletin{
+		Peril: "HU", Lat: 28, Lon: -89, Magnitude: 55, RadiusKm: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.SitesTouched == 0 {
+		t.Fatal("a giant coastal hurricane should touch exposure")
+	}
+	if res.GrossMean <= 0 || res.Low > res.GrossMean || res.High < res.GrossMean {
+		t.Fatalf("estimate inconsistent: %+v", res)
+	}
+	// Second call reuses the estimator.
+	res2, err := study.EstimateEvent(context.Background(), EventBulletin{
+		Peril: "HU", Lat: 28, Lon: -89, Magnitude: 55, RadiusKm: 300,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.GrossMean != res.GrossMean {
+		t.Fatal("repeat bulletin should be deterministic")
+	}
+}
+
+func TestEstimateEventLazyStage1(t *testing.T) {
+	// EstimateEvent without prior Run/RunModelling triggers stage 1.
+	study := NewStudy(smallConfig(31))
+	if _, err := study.EstimateEvent(context.Background(), EventBulletin{
+		Peril: "EQ", Lat: 28, Lon: -89, Magnitude: 8, RadiusKm: 100,
+	}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestEstimateEventValidation(t *testing.T) {
+	study := NewStudy(smallConfig(32))
+	if _, err := study.EstimateEvent(context.Background(), EventBulletin{
+		Peril: "XX", Lat: 0, Lon: 0, Magnitude: 1, RadiusKm: 10,
+	}); err == nil {
+		t.Fatal("unknown peril should error")
+	}
+	if _, err := study.EstimateEvent(context.Background(), EventBulletin{
+		Peril: "EQ", Lat: 0, Lon: 0, Magnitude: 1, RadiusKm: 0,
+	}); err == nil {
+		t.Fatal("zero radius should error")
+	}
+}
+
+func TestAllPerilCodes(t *testing.T) {
+	for _, code := range []string{"EQ", "HU", "FL", "WS", "TO"} {
+		if _, err := (EventBulletin{Peril: code}).peril(); err != nil {
+			t.Errorf("peril %q: %v", code, err)
+		}
+	}
+}

@@ -1,0 +1,327 @@
+// Package risk is the public API of the high-performance risk
+// analytics pipeline reproduced from Varghese & Rau-Chaplin, "Data
+// Challenges in High-Performance Risk Analytics" (SC 2012). It wraps
+// the three pipeline stages — catastrophe modelling, portfolio
+// aggregate analysis, and dynamic financial analysis — behind a small
+// surface: configure a Study, run it, read risk summaries, and price
+// individual contracts in "real time" against a pre-simulated YELT.
+//
+// A minimal session:
+//
+//	study := risk.NewStudy(risk.DefaultConfig())
+//	report, err := study.Run(ctx)
+//	// report.Catastrophe.AAL, report.Enterprise.TVaR99, ...
+//	quote, err := study.PriceContract(ctx, 0, 1_000_000)
+package risk
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/aggregate"
+	"repro/internal/core"
+	"repro/internal/dfa"
+	"repro/internal/layers"
+	"repro/internal/metrics"
+	"repro/internal/postevent"
+	"repro/internal/yelt"
+)
+
+// EngineKind selects the stage-2 aggregate-analysis engine.
+type EngineKind string
+
+// Available engines. Sequential is the paper's CPU baseline; Parallel
+// is the native data-parallel engine; Chunked and Naive run on the
+// simulated many-core device with and without shared-memory chunking.
+const (
+	EngineSequential EngineKind = "sequential"
+	EngineParallel   EngineKind = "parallel"
+	EngineChunked    EngineKind = "chunked"
+	EngineNaive      EngineKind = "naive"
+)
+
+func (k EngineKind) engine() (aggregate.Engine, error) {
+	switch k {
+	case EngineSequential:
+		return aggregate.Sequential{}, nil
+	case EngineParallel, "":
+		return aggregate.Parallel{}, nil
+	case EngineChunked:
+		return &aggregate.Chunked{}, nil
+	case EngineNaive:
+		return &aggregate.Chunked{Naive: true}, nil
+	default:
+		return nil, fmt.Errorf("risk: unknown engine %q", k)
+	}
+}
+
+// Config sizes a study. Zero fields take defaults.
+type Config struct {
+	Seed                 uint64
+	Events               int
+	Contracts            int
+	LocationsPerContract int
+	Trials               int
+	MeanEventsPerYear    float64
+	Engine               EngineKind
+	// Sampling enables secondary-uncertainty sampling in stage 2.
+	Sampling bool
+	// Rho correlates the DFA risk sources with the catastrophe book.
+	Rho float64
+	// Workers bounds parallelism everywhere; 0 means all cores.
+	Workers int
+}
+
+// DefaultConfig returns a configuration that runs a meaningful study
+// in seconds on a laptop.
+func DefaultConfig() Config {
+	return Config{
+		Seed:                 1,
+		Events:               10_000,
+		Contracts:            16,
+		LocationsPerContract: 300,
+		Trials:               100_000,
+		MeanEventsPerYear:    10,
+		Engine:               EngineParallel,
+		Rho:                  0.25,
+	}
+}
+
+// Summary is a portfolio risk report.
+type Summary struct {
+	Name    string
+	Trials  int
+	AAL     float64
+	StdDev  float64
+	VaR99   float64
+	TVaR99  float64
+	VaR995  float64
+	TVaR995 float64
+	// ReturnPeriods maps a return period in years to its (OEP, AEP)
+	// losses; OEP is 0 when occurrence detail is unavailable.
+	ReturnPeriods map[float64]ReturnLosses
+}
+
+// ReturnLosses is one return-period row.
+type ReturnLosses struct{ OEP, AEP float64 }
+
+func toSummary(s *metrics.Summary) Summary {
+	out := Summary{
+		Name: s.Name, Trials: s.Trials, AAL: s.AAL, StdDev: s.AggStdDev,
+		VaR99: s.VaR99, TVaR99: s.TVaR99, VaR995: s.VaR995, TVaR995: s.TVaR995,
+		ReturnPeriods: make(map[float64]ReturnLosses, len(s.ReturnRows)),
+	}
+	for _, r := range s.ReturnRows {
+		out.ReturnPeriods[r.ReturnPeriod] = ReturnLosses{OEP: r.OEP, AEP: r.AEP}
+	}
+	return out
+}
+
+// StageStats reports one pipeline stage's cost.
+type StageStats struct {
+	Name        string
+	Duration    time.Duration
+	OutputBytes int64
+}
+
+// Report is the result of a full study run.
+type Report struct {
+	Stages      []StageStats
+	Catastrophe Summary
+	Enterprise  Summary
+}
+
+// Study is a configured pipeline instance. Create with NewStudy; a
+// Study is not safe for concurrent method calls.
+type Study struct {
+	cfg       Config
+	p         *core.Pipeline
+	ran       bool
+	postEvent *postevent.Estimator
+}
+
+// NewStudy returns an unexecuted study.
+func NewStudy(cfg Config) *Study {
+	return &Study{cfg: cfg}
+}
+
+func (s *Study) pipeline() (*core.Pipeline, error) {
+	if s.p != nil {
+		return s.p, nil
+	}
+	eng, err := s.cfg.Engine.engine()
+	if err != nil {
+		return nil, err
+	}
+	s.p = core.New(core.Config{
+		Seed:                 s.cfg.Seed,
+		NumEvents:            s.cfg.Events,
+		NumContracts:         s.cfg.Contracts,
+		LocationsPerContract: s.cfg.LocationsPerContract,
+		MeanEventsPerYear:    s.cfg.MeanEventsPerYear,
+		NumTrials:            s.cfg.Trials,
+		Engine:               eng,
+		Sampling:             s.cfg.Sampling,
+		Rho:                  s.cfg.Rho,
+		Workers:              s.cfg.Workers,
+		TwoLayers:            true,
+	})
+	return s.p, nil
+}
+
+// Run executes all three stages and returns the study report.
+func (s *Study) Run(ctx context.Context) (*Report, error) {
+	p, err := s.pipeline()
+	if err != nil {
+		return nil, err
+	}
+	rep, err := p.Run(ctx)
+	if err != nil {
+		return nil, err
+	}
+	s.ran = true
+	out := &Report{
+		Catastrophe: toSummary(rep.Catastrophe),
+		Enterprise:  toSummary(rep.Enterprise),
+	}
+	for _, st := range rep.Stages {
+		out.Stages = append(out.Stages, StageStats{
+			Name: st.Name, Duration: st.Duration, OutputBytes: st.OutputBytes,
+		})
+	}
+	return out, nil
+}
+
+// CatastropheLosses returns a copy of the per-trial catastrophe
+// aggregate losses (the cat YLT). Run must have completed.
+func (s *Study) CatastropheLosses() ([]float64, error) {
+	if !s.ran {
+		return nil, errors.New("risk: study has not run")
+	}
+	out := make([]float64, len(s.p.CatYLT.Agg))
+	copy(out, s.p.CatYLT.Agg)
+	return out, nil
+}
+
+// EnterpriseLosses returns a copy of the per-trial enterprise losses
+// after DFA integration. Run must have completed.
+func (s *Study) EnterpriseLosses() ([]float64, error) {
+	if !s.ran {
+		return nil, errors.New("risk: study has not run")
+	}
+	out := make([]float64, len(s.p.DFAResult.Enterprise.Agg))
+	copy(out, s.p.DFAResult.Enterprise.Agg)
+	return out, nil
+}
+
+// Quote is a real-time contract pricing result — the paper's flagship
+// stage-2 use case ("A 1 million trial aggregate simulation on a
+// typical contract only takes 25 seconds and can therefore support
+// real-time pricing", §II).
+type Quote struct {
+	ContractID uint32
+	Trials     int
+	AAL        float64
+	StdDev     float64
+	TVaR99     float64
+	PML250     float64
+	// Premium is a standard-deviation-loaded technical premium:
+	// AAL + 0.35·σ.
+	Premium float64
+	// Elapsed is the wall-clock simulation time for the quote.
+	Elapsed time.Duration
+}
+
+// PriceContract runs a dedicated aggregate simulation for one contract
+// (by index) over the given trial count, generating a fresh YELT of
+// that length and simulating with secondary uncertainty. Stage 1 must
+// have run (a full Run, or RunModelling).
+func (s *Study) PriceContract(ctx context.Context, contract int, trials int) (*Quote, error) {
+	p, err := s.pipeline()
+	if err != nil {
+		return nil, err
+	}
+	if p.Catalog == nil {
+		if err := p.RunStage1(ctx); err != nil {
+			return nil, err
+		}
+	}
+	if contract < 0 || contract >= len(p.ELTs) {
+		return nil, fmt.Errorf("risk: contract %d of %d", contract, len(p.ELTs))
+	}
+	if trials <= 0 {
+		trials = 1_000_000
+	}
+	start := time.Now()
+	y, err := yelt.Generate(p.Catalog, yelt.Config{NumTrials: trials, Workers: s.cfg.Workers}, s.cfg.Seed+101)
+	if err != nil {
+		return nil, err
+	}
+	single := &layers.Portfolio{Contracts: []layers.Contract{{
+		ID:       p.Portfolio.Contracts[contract].ID,
+		ELTIndex: 0,
+		Layers:   p.Portfolio.Contracts[contract].Layers,
+	}}}
+	res, err := (aggregate.Parallel{}).Run(ctx, &aggregate.Input{
+		YELT:      y,
+		ELTs:      p.ELTs[contract : contract+1],
+		Portfolio: single,
+	}, aggregate.Config{Seed: s.cfg.Seed + 103, Sampling: true, Workers: s.cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	sum, err := metrics.Summarize(res.Portfolio)
+	if err != nil {
+		return nil, err
+	}
+	pml, err := metrics.PML(res.Portfolio, 250)
+	if err != nil {
+		return nil, err
+	}
+	return &Quote{
+		ContractID: single.Contracts[0].ID,
+		Trials:     trials,
+		AAL:        sum.AAL,
+		StdDev:     sum.AggStdDev,
+		TVaR99:     sum.TVaR99,
+		PML250:     pml,
+		Premium:    sum.AAL + 0.35*sum.AggStdDev,
+		Elapsed:    elapsed,
+	}, nil
+}
+
+// RunModelling executes only stage 1 (catalogue + exposure + ELTs),
+// enough to start pricing contracts without a full portfolio study.
+func (s *Study) RunModelling(ctx context.Context) error {
+	p, err := s.pipeline()
+	if err != nil {
+		return err
+	}
+	if p.Catalog != nil {
+		return nil
+	}
+	return p.RunStage1(ctx)
+}
+
+// IntegrateEnterprise reruns stage 3 over the study's catastrophe YLT
+// with custom sources — the DFA entry point for users who want their
+// own risk models.
+func (s *Study) IntegrateEnterprise(ctx context.Context, sources []dfa.Source, rho float64) (Summary, error) {
+	if !s.ran {
+		return Summary{}, errors.New("risk: study has not run")
+	}
+	ig := &dfa.Integrator{Sources: sources}
+	res, err := ig.Run(ctx, s.p.CatYLT, dfa.Config{Seed: s.cfg.Seed + 31, Rho: rho, Workers: s.cfg.Workers})
+	if err != nil {
+		return Summary{}, err
+	}
+	sum, err := metrics.Summarize(res.Enterprise)
+	if err != nil {
+		return Summary{}, err
+	}
+	return toSummary(sum), nil
+}
