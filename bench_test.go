@@ -91,6 +91,49 @@ func BenchmarkE1ParallelEngine(b *testing.B) {
 	b.ReportMetric(float64(benchTrials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
 }
 
+// --- Loss-index ablation: the pre-joined event-major kernel vs the
+// legacy per-(occurrence × contract) binary-search kernel, same
+// Sequential trial loop, 100k trials on the default sparse book. ---
+
+const idxBenchTrials = 100_000
+
+func idxBenchInput(b *testing.B) *aggregate.Input {
+	b.Helper()
+	s, _ := scenarios(b)
+	y, err := yelt.Generate(s.Catalog, yelt.Config{NumTrials: idxBenchTrials}, 17)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return &aggregate.Input{YELT: y, ELTs: s.ELTs, Portfolio: s.Portfolio}
+}
+
+func BenchmarkIndexedKernel(b *testing.B) {
+	in := idxBenchInput(b)
+	if _, err := in.EnsureIndex(); err != nil {
+		b.Fatal(err)
+	}
+	cfg := aggregate.Config{Seed: 1, Sampling: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (aggregate.Sequential{}).Run(context.Background(), in, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(idxBenchTrials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+func BenchmarkLegacyLookupKernel(b *testing.B) {
+	in := idxBenchInput(b)
+	cfg := aggregate.Config{Seed: 1, Sampling: true}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := (aggregate.LegacyLookup{}).Run(context.Background(), in, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(idxBenchTrials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
 // --- E2: the million-trial single-contract quote ---
 
 func BenchmarkE2MillionTrialContract(b *testing.B) {

@@ -62,8 +62,16 @@ func main() {
 		fmt.Printf("%-18s %14v %16s %14d\n", s.Name, s.Duration.Round(1e6),
 			yelt.HumanBytes(float64(s.OutputBytes)), s.Items)
 	}
-	burst := float64(rep.Stages[1].OutputBytes) / float64(rep.Stages[0].OutputBytes)
-	fmt.Printf("stage-1 → stage-2 data burst: %.1fx\n\n", burst)
+	var stage1, stage2 float64
+	for _, s := range rep.Stages {
+		switch s.Name {
+		case "risk-modelling":
+			stage1 = float64(s.OutputBytes)
+		case "portfolio-risk":
+			stage2 = float64(s.OutputBytes)
+		}
+	}
+	fmt.Printf("stage-1 → stage-2 data burst: %.1fx\n\n", stage2/stage1)
 
 	fmt.Println("=== catastrophe book ===")
 	printSummary(rep.Catastrophe)

@@ -8,7 +8,9 @@
 // shared/constant-memory chunking, and an elastic cluster model).
 //
 // The public API lives in repro/risk; runnable tools in cmd/; worked
-// examples in examples/; the experiment reproduction index in
-// DESIGN.md and EXPERIMENTS.md. Root-level benchmarks (bench_test.go)
-// regenerate every experiment's headline measurement.
+// examples in examples/. DESIGN.md describes the three-stage pipeline
+// and the pre-joined event-major loss index (internal/lossindex) every
+// aggregate engine shares; EXPERIMENTS.md indexes the experiment
+// reproductions. Root-level benchmarks (bench_test.go) regenerate
+// every experiment's headline measurement.
 package repro

@@ -18,6 +18,14 @@
 //     through shared memory — the paper's "chunking" memory strategy
 //     (experiment E4's modeled-cycle ablation).
 //
+// Every engine consumes the pre-joined event-major loss index
+// (internal/lossindex) instead of binary-searching per-contract ELTs
+// per occurrence — the paper's "scanned over rather than randomly
+// accessed" layout. The index is built once per input (or supplied by
+// the orchestration layer, which builds it in stage 1) and shared
+// read-only by all workers. LegacyLookup (legacy.go) preserves the
+// pre-index kernel as the equivalence and benchmark baseline.
+//
 // All engines are bit-deterministic for a given (input, seed) and
 // agree with each other; determinism comes from per-trial RNG streams,
 // never from scheduling.
@@ -30,6 +38,7 @@ import (
 
 	"repro/internal/elt"
 	"repro/internal/layers"
+	"repro/internal/lossindex"
 	"repro/internal/rng"
 	"repro/internal/stream"
 	"repro/internal/yelt"
@@ -60,6 +69,32 @@ type Input struct {
 	YELT      *yelt.Table
 	ELTs      []*elt.Table
 	Portfolio *layers.Portfolio
+	// Index is the pre-joined event-major loss index over (ELTs,
+	// Portfolio). Leave nil to have the engine build it on first use;
+	// orchestration layers that re-run engines over the same book
+	// should build it once (lossindex.Build) and share it.
+	//
+	// Because engines memoize a lazily built index here, an Input with
+	// a nil Index must not be shared by concurrent Run calls; pre-set
+	// Index (as the pipeline does) to share one Input across
+	// goroutines.
+	Index *lossindex.Index
+}
+
+// EnsureIndex returns the input's loss index, building and memoizing
+// it when absent (a write to in.Index — see the field's concurrency
+// note). Call before spawning workers; the returned index is
+// immutable and safe for concurrent readers.
+func (in *Input) EnsureIndex() (*lossindex.Index, error) {
+	if in.Index != nil {
+		return in.Index, nil
+	}
+	ix, err := lossindex.Build(in.ELTs, in.Portfolio)
+	if err != nil {
+		return nil, fmt.Errorf("aggregate: building loss index: %w", err)
+	}
+	in.Index = ix
+	return ix, nil
 }
 
 // Validate checks the input's internal consistency.
@@ -80,6 +115,10 @@ func (in *Input) Validate() error {
 		if c.ELTIndex < 0 || c.ELTIndex >= len(in.ELTs) {
 			return fmt.Errorf("aggregate: contract %d references ELT %d of %d", c.ID, c.ELTIndex, len(in.ELTs))
 		}
+	}
+	if in.Index != nil && in.Index.NumContracts() != len(in.Portfolio.Contracts) {
+		return fmt.Errorf("aggregate: index built for %d contracts, portfolio has %d",
+			in.Index.NumContracts(), len(in.Portfolio.Contracts))
 	}
 	return nil
 }
@@ -126,9 +165,13 @@ func newTrialScratch(pf *layers.Portfolio) *trialScratch {
 // Ordering contract: occurrences are walked in YELT (day) order and
 // contracts in portfolio order; all sampling draws happen in that
 // order from the trial's own stream. Every engine reproduces exactly
-// this sequence.
+// this sequence. The index's rows preserve portfolio contract order
+// and exclude non-positive means (which this kernel never drew for),
+// so the indexed scan replays the lookup kernel's draw sequence
+// bit-for-bit — legacy.go keeps that kernel as the pinned reference.
 func runTrial(
 	occs []yelt.Occurrence,
+	idx *lossindex.Index,
 	in *Input,
 	cfg Config,
 	st *rng.Stream,
@@ -149,15 +192,12 @@ func runTrial(
 
 	for _, occ := range occs {
 		var portfolioOccLoss float64
-		for ci := range contracts {
+		for _, e := range idx.EntriesFor(occ.EventID) {
+			ci := int(e.Contract)
 			c := &contracts[ci]
-			rec, ok := in.ELTs[c.ELTIndex].Lookup(occ.EventID)
-			if !ok || rec.MeanLoss <= 0 {
-				continue
-			}
-			loss := rec.MeanLoss
+			loss := e.Rec.MeanLoss
 			if cfg.Sampling {
-				loss = elt.SampleLoss(st, rec)
+				loss = elt.SampleLoss(st, e.Rec)
 			}
 			var contractOcc float64
 			for li := range c.Layers {
@@ -190,7 +230,7 @@ func runTrial(
 }
 
 // runRange executes trials [r.Lo, r.Hi) into the result tables.
-func runRange(in *Input, cfg Config, r stream.Range, res *Result, scratch *trialScratch) {
+func runRange(idx *lossindex.Index, in *Input, cfg Config, r stream.Range, res *Result, scratch *trialScratch) {
 	nc := len(in.Portfolio.Contracts)
 	perContract := make([]float64, nc)
 	perContractOcc := make([]float64, nc)
@@ -204,7 +244,7 @@ func runRange(in *Input, cfg Config, r stream.Range, res *Result, scratch *trial
 			}
 			pc, pco = perContract, perContractOcc
 		}
-		agg, occMax := runTrial(in.YELT.OccurrencesOf(trial), in, cfg, st, scratch, pc, pco)
+		agg, occMax := runTrial(in.YELT.OccurrencesOf(trial), idx, in, cfg, st, scratch, pc, pco)
 		res.Portfolio.Agg[trial] = agg
 		res.Portfolio.OccMax[trial] = occMax
 		if res.PerContract != nil {
@@ -241,6 +281,10 @@ func (Sequential) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	idx, err := in.EnsureIndex()
+	if err != nil {
+		return nil, err
+	}
 	res := newResult(in, cfg)
 	scratch := newTrialScratch(in.Portfolio)
 	const checkEvery = 4096
@@ -254,7 +298,7 @@ func (Sequential) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 		if hi > in.YELT.NumTrials {
 			hi = in.YELT.NumTrials
 		}
-		runRange(in, cfg, stream.Range{Lo: lo, Hi: hi}, res, scratch)
+		runRange(idx, in, cfg, stream.Range{Lo: lo, Hi: hi}, res, scratch)
 	}
 	return res, nil
 }
@@ -274,8 +318,12 @@ func (Parallel) Run(ctx context.Context, in *Input, cfg Config) (*Result, error)
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	idx, err := in.EnsureIndex()
+	if err != nil {
+		return nil, err
+	}
 	res := newResult(in, cfg)
-	err := stream.ForEachRange(ctx, in.YELT.NumTrials, cfg.Workers, func(ctx context.Context, r stream.Range, _ int) error {
+	err = stream.ForEachRange(ctx, in.YELT.NumTrials, cfg.Workers, func(ctx context.Context, r stream.Range, _ int) error {
 		scratch := newTrialScratch(in.Portfolio)
 		const checkEvery = 4096
 		for lo := r.Lo; lo < r.Hi; lo += checkEvery {
@@ -288,7 +336,7 @@ func (Parallel) Run(ctx context.Context, in *Input, cfg Config) (*Result, error)
 			if hi > r.Hi {
 				hi = r.Hi
 			}
-			runRange(in, cfg, stream.Range{Lo: lo, Hi: hi}, res, scratch)
+			runRange(idx, in, cfg, stream.Range{Lo: lo, Hi: hi}, res, scratch)
 		}
 		return nil
 	})

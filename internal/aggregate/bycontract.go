@@ -34,6 +34,10 @@ func (ByContract) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 	if cfg.Sampling {
 		return nil, ErrUnsupportedOnDevice // reuse the sentinel: unsupported configuration
 	}
+	idx, err := in.EnsureIndex()
+	if err != nil {
+		return nil, err
+	}
 	n := in.YELT.NumTrials
 	contracts := in.Portfolio.Contracts
 	res := newResult(in, cfg)
@@ -41,9 +45,20 @@ func (ByContract) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 	// Per-contract partial tables, merged after the parallel phase.
 	partialAgg := make([][]float64, len(contracts))
 
-	err := stream.ForEach(ctx, len(contracts), cfg.Workers, func(ctx context.Context, ci int) error {
+	err = stream.ForEach(ctx, len(contracts), cfg.Workers, func(ctx context.Context, ci int) error {
 		c := &contracts[ci]
-		tbl := in.ELTs[c.ELTIndex]
+		// Flatten the contract's ELT into a dense row → mean-loss
+		// vector once (O(contract records)), so the per-occurrence
+		// probe below is two array indexings — no binary search.
+		means := make([]float64, idx.NumRows())
+		for _, r := range in.ELTs[c.ELTIndex].Records {
+			if r.MeanLoss <= 0 {
+				continue
+			}
+			if row := idx.Row(r.EventID); row >= 0 {
+				means[row] = r.MeanLoss
+			}
+		}
 		agg := make([]float64, n)
 		occ := make([]float64, n)
 		layerSums := make([]float64, len(c.Layers))
@@ -60,13 +75,13 @@ func (ByContract) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 			}
 			var occMax float64
 			for _, o := range in.YELT.OccurrencesOf(trial) {
-				rec, ok := tbl.Lookup(o.EventID)
-				if !ok || rec.MeanLoss <= 0 {
+				row := idx.Row(o.EventID)
+				if row < 0 || means[row] <= 0 {
 					continue
 				}
 				var occTotal float64
 				for li := range c.Layers {
-					r := c.Layers[li].ApplyOccurrence(rec.MeanLoss)
+					r := c.Layers[li].ApplyOccurrence(means[row])
 					layerSums[li] += r
 					occTotal += r
 				}
@@ -104,7 +119,7 @@ func (ByContract) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 	}
 	scratch := newTrialScratch(in.Portfolio)
 	for trial := 0; trial < n; trial++ {
-		_, occMax := runTrial(in.YELT.OccurrencesOf(trial), in, Config{}, nil, scratch, nil, nil)
+		_, occMax := runTrial(in.YELT.OccurrencesOf(trial), idx, in, Config{}, nil, scratch, nil, nil)
 		res.Portfolio.OccMax[trial] = occMax
 	}
 	return res, nil

@@ -72,30 +72,25 @@ func (c *Chunked) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 	default:
 	}
 
-	// Precompute the portfolio's per-event recovery vectors on the
-	// host (this is ELT preprocessing, done once per portfolio, not
-	// per trial): aggVec folds each layer's share in, occVec is the
-	// share-free occurrence recovery that drives OccMax — mirroring
-	// runTrial's accounting exactly.
-	var maxEventID uint32
-	for _, t := range in.ELTs {
-		if n := t.Len(); n > 0 {
-			if id := t.Records[n-1].EventID; id > maxEventID {
-				maxEventID = id
-			}
-		}
+	// Precompute the portfolio's per-row recovery vectors on the host
+	// from the pre-joined loss index (ELT preprocessing, done once per
+	// portfolio, not per trial): aggVec folds each layer's share in,
+	// occVec is the share-free occurrence recovery that drives OccMax —
+	// mirroring runTrial's accounting exactly. Working in the index's
+	// dense row space (loss-bearing events only) instead of raw event-ID
+	// space shrinks the vectors the kernel sweeps through shared memory.
+	idx, err := in.EnsureIndex()
+	if err != nil {
+		return nil, err
 	}
-	vecLen := int(maxEventID) + 1
-	aggVec := make([]float64, vecLen)
-	occVec := make([]float64, vecLen)
-	for _, ct := range in.Portfolio.Contracts {
-		tbl := in.ELTs[ct.ELTIndex]
-		for _, rec := range tbl.Records {
-			if rec.MeanLoss <= 0 {
-				continue
-			}
+	numRows := idx.NumRows()
+	aggVec := make([]float64, numRows)
+	occVec := make([]float64, numRows)
+	for row := 0; row < numRows; row++ {
+		for _, e := range idx.Entries(int32(row)) {
+			ct := &in.Portfolio.Contracts[e.Contract]
 			for _, l := range ct.Layers {
-				r := l.ApplyOccurrence(rec.MeanLoss)
+				r := l.ApplyOccurrence(e.Rec.MeanLoss)
 				if r <= 0 {
 					continue
 				}
@@ -103,8 +98,8 @@ func (c *Chunked) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 				if share == 0 {
 					share = 1
 				}
-				aggVec[rec.EventID] += r * share
-				occVec[rec.EventID] += r
+				aggVec[row] += r * share
+				occVec[row] += r
 			}
 		}
 	}
@@ -114,14 +109,16 @@ func (c *Chunked) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 
 	dev := c.Device
 	if dev == nil {
-		need := numOccs + numTrials + 1 + 2*vecLen + 2*numTrials + 1024
+		need := numOccs + numTrials + 1 + 2*numRows + 2*numTrials + 1024
 		dev = gpusim.NewDevice(gpusim.DefaultConfig(), need)
 	}
 	dev.FreeAll()
 	dev.ResetStats()
 
-	// Upload: occurrence event IDs (as float64 — exact below 2^53),
-	// per-trial offsets, the two loss vectors, and the output tables.
+	// Upload: occurrence index rows (as float64 — exact below 2^53; -1
+	// marks loss-free events, resolved on the host so the device never
+	// probes the event-id table), per-trial offsets, the two loss
+	// vectors, and the output tables.
 	occBuf, err := dev.Alloc(numOccs)
 	if err != nil {
 		return nil, err
@@ -130,11 +127,11 @@ func (c *Chunked) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	aggVecBuf, err := dev.Alloc(vecLen)
+	aggVecBuf, err := dev.Alloc(numRows)
 	if err != nil {
 		return nil, err
 	}
-	occVecBuf, err := dev.Alloc(vecLen)
+	occVecBuf, err := dev.Alloc(numRows)
 	if err != nil {
 		return nil, err
 	}
@@ -149,7 +146,7 @@ func (c *Chunked) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 
 	host := make([]float64, numOccs)
 	for i, o := range in.YELT.Occs {
-		host[i] = float64(o.EventID)
+		host[i] = float64(idx.Row(o.EventID))
 	}
 	if err := dev.CopyToDevice(occBuf, host); err != nil {
 		return nil, err
@@ -188,16 +185,16 @@ func (c *Chunked) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 				end := int(b.LoadGlobal(offBuf, trial+1))
 				var agg, max float64
 				for i := start; i < end; i++ {
-					eid := int(b.LoadGlobal(occBuf, i))
+					rid := int(b.LoadGlobal(occBuf, i))
 					b.AddArith(1)
-					if eid >= vecLen {
+					if rid < 0 {
 						// Event never produced a loss on any contract:
-						// no ELT row, nothing to add (mirrors the host
-						// engines' failed lookup).
+						// no index row, nothing to add (mirrors the host
+						// engines' empty index probe).
 						continue
 					}
-					agg += b.LoadGlobal(aggVecBuf, eid)
-					o := b.LoadGlobal(occVecBuf, eid)
+					agg += b.LoadGlobal(aggVecBuf, rid)
+					o := b.LoadGlobal(occVecBuf, rid)
 					b.AddArith(2)
 					if o > max {
 						max = o
@@ -240,13 +237,13 @@ func (c *Chunked) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 					s := int(b.LoadGlobal(offBuf, lo+t))
 					e := int(b.LoadGlobal(offBuf, lo+t+1))
 					for i := s; i < e; i++ {
-						eid := int(b.LoadGlobal(occBuf, i))
+						rid := int(b.LoadGlobal(occBuf, i))
 						b.AddArith(1)
-						if eid >= vecLen {
+						if rid < 0 {
 							continue
 						}
-						agg[t] += b.LoadGlobal(aggVecBuf, eid)
-						o := b.LoadGlobal(occVecBuf, eid)
+						agg[t] += b.LoadGlobal(aggVecBuf, rid)
+						o := b.LoadGlobal(occVecBuf, rid)
 						b.AddArith(2)
 						if o > max[t] {
 							max[t] = o
@@ -273,13 +270,13 @@ func (c *Chunked) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 					s := int(b.LoadShared(boundBase+t)) - start
 					e := int(b.LoadShared(boundBase+t+1)) - start
 					for i := s; i < e; i++ {
-						eid := int(b.LoadShared(occBase + i))
+						rid := int(b.LoadShared(occBase + i))
 						b.AddArith(1)
-						if eid >= vecLen {
+						if rid < 0 {
 							continue
 						}
-						agg[t] += b.LoadGlobal(aggVecBuf, eid)
-						o := b.LoadGlobal(occVecBuf, eid)
+						agg[t] += b.LoadGlobal(aggVecBuf, rid)
+						o := b.LoadGlobal(occVecBuf, rid)
 						b.AddArith(2)
 						if o > max[t] {
 							max[t] = o
@@ -287,10 +284,10 @@ func (c *Chunked) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 					}
 				}
 			} else {
-				for cLo := 0; cLo < vecLen; cLo += chunkCap {
+				for cLo := 0; cLo < numRows; cLo += chunkCap {
 					cHi := cLo + chunkCap
-					if cHi > vecLen {
-						cHi = vecLen
+					if cHi > numRows {
+						cHi = numRows
 					}
 					n := cHi - cLo
 					b.StageToShared(aggVecBuf, cLo, cHi, chunkBase)
@@ -299,13 +296,13 @@ func (c *Chunked) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 						s := int(b.LoadShared(boundBase+t)) - start
 						e := int(b.LoadShared(boundBase+t+1)) - start
 						for i := s; i < e; i++ {
-							eid := int(b.LoadShared(occBase + i))
+							rid := int(b.LoadShared(occBase + i))
 							b.AddArith(1)
-							if eid < cLo || eid >= cHi {
+							if rid < cLo || rid >= cHi {
 								continue
 							}
-							agg[t] += b.LoadShared(chunkBase + (eid - cLo))
-							o := b.LoadShared(chunkBase + n + (eid - cLo))
+							agg[t] += b.LoadShared(chunkBase + (rid - cLo))
+							o := b.LoadShared(chunkBase + n + (rid - cLo))
 							b.AddArith(2)
 							if o > max[t] {
 								max[t] = o

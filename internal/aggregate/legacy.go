@@ -1,0 +1,130 @@
+package aggregate
+
+import (
+	"context"
+
+	"repro/internal/elt"
+	"repro/internal/rng"
+	"repro/internal/yelt"
+)
+
+// LegacyLookup is the pre-index reference kernel: single-threaded, one
+// O(log n) binary search per (occurrence × contract) into the
+// per-contract ELTs — the random-access pattern the paper argues
+// against and the shape all engines had before the pre-joined loss
+// index landed. It is retained for two reasons:
+//
+//   - Equivalence: the indexed engines must reproduce its output
+//     bit-for-bit for the same (input, seed); the golden tests pin
+//     this.
+//   - Benchmarking: the root BenchmarkIndexedKernel /
+//     BenchmarkLegacyLookupKernel pair quantifies what the pre-join
+//     buys on a given book shape.
+//
+// Do not use it in production paths.
+type LegacyLookup struct{}
+
+// Name implements Engine.
+func (LegacyLookup) Name() string { return "legacy-lookup" }
+
+// legacyTrial is the original runTrial body: portfolio contract loop
+// outside, binary-search Lookup per occurrence inside.
+func legacyTrial(
+	occs []yelt.Occurrence,
+	in *Input,
+	cfg Config,
+	st *rng.Stream,
+	scratch *trialScratch,
+	perContract []float64,
+	perContractOcc []float64,
+) (agg, occMax float64) {
+	contracts := in.Portfolio.Contracts
+	for ci := range scratch.layerAgg {
+		la := scratch.layerAgg[ci]
+		for li := range la {
+			la[li] = 0
+		}
+	}
+
+	for _, occ := range occs {
+		var portfolioOccLoss float64
+		for ci := range contracts {
+			c := &contracts[ci]
+			rec, ok := in.ELTs[c.ELTIndex].Lookup(occ.EventID)
+			if !ok || rec.MeanLoss <= 0 {
+				continue
+			}
+			loss := rec.MeanLoss
+			if cfg.Sampling {
+				loss = elt.SampleLoss(st, rec)
+			}
+			var contractOcc float64
+			for li := range c.Layers {
+				r := c.Layers[li].ApplyOccurrence(loss)
+				scratch.layerAgg[ci][li] += r
+				contractOcc += r
+			}
+			portfolioOccLoss += contractOcc
+			if perContractOcc != nil && contractOcc > perContractOcc[ci] {
+				perContractOcc[ci] = contractOcc
+			}
+		}
+		if portfolioOccLoss > occMax {
+			occMax = portfolioOccLoss
+		}
+	}
+
+	for ci := range contracts {
+		c := &contracts[ci]
+		var contractAnnual float64
+		for li := range c.Layers {
+			contractAnnual += c.Layers[li].ApplyAggregate(scratch.layerAgg[ci][li])
+		}
+		agg += contractAnnual
+		if perContract != nil {
+			perContract[ci] += contractAnnual
+		}
+	}
+	return agg, occMax
+}
+
+// Run implements Engine.
+func (LegacyLookup) Run(ctx context.Context, in *Input, cfg Config) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	res := newResult(in, cfg)
+	scratch := newTrialScratch(in.Portfolio)
+	nc := len(in.Portfolio.Contracts)
+	perContract := make([]float64, nc)
+	perContractOcc := make([]float64, nc)
+	const checkEvery = 4096
+	for trial := 0; trial < in.YELT.NumTrials; trial++ {
+		if trial%checkEvery == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+		}
+		st := rng.NewStream(cfg.Seed, uint64(trial))
+		var pc, pco []float64
+		if res.PerContract != nil {
+			for i := range perContract {
+				perContract[i] = 0
+				perContractOcc[i] = 0
+			}
+			pc, pco = perContract, perContractOcc
+		}
+		agg, occMax := legacyTrial(in.YELT.OccurrencesOf(trial), in, cfg, st, scratch, pc, pco)
+		res.Portfolio.Agg[trial] = agg
+		res.Portfolio.OccMax[trial] = occMax
+		if res.PerContract != nil {
+			for ci := 0; ci < nc; ci++ {
+				res.PerContract[ci].Agg[trial] = perContract[ci]
+				res.PerContract[ci].OccMax[trial] = perContractOcc[ci]
+			}
+		}
+	}
+	return res, nil
+}

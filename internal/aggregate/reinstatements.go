@@ -60,6 +60,10 @@ func RunReinstatements(ctx context.Context, in *ReinstatementInput, cfg Config) 
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	idx, err := in.EnsureIndex()
+	if err != nil {
+		return nil, err
+	}
 	n := in.YELT.NumTrials
 	res := &ReinstatementResult{
 		Portfolio:     ylt.New("portfolio-reinst", n),
@@ -67,7 +71,7 @@ func RunReinstatements(ctx context.Context, in *ReinstatementInput, cfg Config) 
 	}
 	contracts := in.Portfolio.Contracts
 
-	err := stream.ForEachRange(ctx, n, cfg.Workers, func(ctx context.Context, r stream.Range, _ int) error {
+	err = stream.ForEachRange(ctx, n, cfg.Workers, func(ctx context.Context, r stream.Range, _ int) error {
 		// Per-worker year states and annual sums, reused across trials.
 		states := make([][]layers.YearState, len(contracts))
 		sums := make([][]float64, len(contracts))
@@ -93,15 +97,12 @@ func RunReinstatements(ctx context.Context, in *ReinstatementInput, cfg Config) 
 			var occMax, premium float64
 			for _, occ := range in.YELT.OccurrencesOf(trial) {
 				var occTotal float64
-				for ci := range contracts {
+				for _, e := range idx.EntriesFor(occ.EventID) {
+					ci := int(e.Contract)
 					c := &contracts[ci]
-					rec, ok := in.ELTs[c.ELTIndex].Lookup(occ.EventID)
-					if !ok || rec.MeanLoss <= 0 {
-						continue
-					}
-					loss := rec.MeanLoss
+					loss := e.Rec.MeanLoss
 					if cfg.Sampling {
-						loss = elt.SampleLoss(st, rec)
+						loss = elt.SampleLoss(st, e.Rec)
 					}
 					for li := range c.Layers {
 						rcv, p := states[ci][li].Occurrence(loss)

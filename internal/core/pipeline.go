@@ -21,6 +21,7 @@ import (
 	"repro/internal/elt"
 	"repro/internal/exposure"
 	"repro/internal/layers"
+	"repro/internal/lossindex"
 	"repro/internal/metrics"
 	"repro/internal/synth"
 	"repro/internal/yelt"
@@ -90,6 +91,10 @@ type Pipeline struct {
 	Exposures []*exposure.Database
 	ELTs      []*elt.Table
 	Portfolio *layers.Portfolio
+	// Index is the pre-joined event-major loss index over (ELTs,
+	// Portfolio), built once at the end of stage 1 and shared by every
+	// stage-2 engine run against this pipeline's book.
+	Index     *lossindex.Index
 	YELT      *yelt.Table
 	CatYLT    *ylt.Table
 	AggResult *aggregate.Result
@@ -162,6 +167,21 @@ func (p *Pipeline) RunStage1(ctx context.Context) error {
 		Name: "risk-modelling", Duration: time.Since(start),
 		OutputBytes: bytes, Items: items,
 	})
+
+	// Pre-join the book's ELTs into the event-major loss index here, at
+	// the stage boundary: the index is stage-1 output (a function of the
+	// ELTs and the portfolio only), and stage-2 re-runs — engine sweeps,
+	// trial-count sweeps — all reuse it without rebuilding.
+	idxStart := time.Now()
+	idx, err := lossindex.Build(p.ELTs, p.Portfolio)
+	if err != nil {
+		return fmt.Errorf("core: stage 1 loss index: %w", err)
+	}
+	p.Index = idx
+	p.Stages = append(p.Stages, StageReport{
+		Name: "loss-index", Duration: time.Since(idxStart),
+		OutputBytes: idx.SizeBytes(), Items: int64(idx.NumEntries()),
+	})
 	return nil
 }
 
@@ -178,7 +198,7 @@ func (p *Pipeline) RunStage2(ctx context.Context) error {
 	}
 	p.YELT = y
 
-	in := &aggregate.Input{YELT: y, ELTs: p.ELTs, Portfolio: p.Portfolio}
+	in := &aggregate.Input{YELT: y, ELTs: p.ELTs, Portfolio: p.Portfolio, Index: p.Index}
 	res, err := p.Cfg.Engine.Run(ctx, in, aggregate.Config{
 		Seed:     p.Cfg.Seed + 13,
 		Sampling: p.Cfg.Sampling,

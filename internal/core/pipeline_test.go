@@ -26,10 +26,10 @@ func TestFullPipelineRuns(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Stages) != 3 {
+	if len(rep.Stages) != 4 {
 		t.Fatalf("stages = %d", len(rep.Stages))
 	}
-	names := []string{"risk-modelling", "portfolio-risk", "dfa"}
+	names := []string{"risk-modelling", "loss-index", "portfolio-risk", "dfa"}
 	for i, s := range rep.Stages {
 		if s.Name != names[i] {
 			t.Fatalf("stage %d = %q", i, s.Name)
@@ -62,9 +62,21 @@ func TestPipelineDataBurst(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if rep.Stages[1].OutputBytes <= rep.Stages[0].OutputBytes {
+	byName := map[string]StageReport{}
+	for _, s := range rep.Stages {
+		byName[s.Name] = s
+	}
+	if byName["portfolio-risk"].OutputBytes <= byName["risk-modelling"].OutputBytes {
 		t.Fatalf("stage-2 output (%d B) should exceed stage-1 (%d B)",
-			rep.Stages[1].OutputBytes, rep.Stages[0].OutputBytes)
+			byName["portfolio-risk"].OutputBytes, byName["risk-modelling"].OutputBytes)
+	}
+	// The pre-joined index trades a constant-factor memory overhead over
+	// the raw ELTs for scan-order access; it must report its volume.
+	if byName["loss-index"].OutputBytes <= 0 {
+		t.Fatal("loss-index stage reports no bytes")
+	}
+	if p.Index == nil {
+		t.Fatal("pipeline did not retain the loss index")
 	}
 }
 

@@ -21,6 +21,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 
 	"repro/internal/catalog"
@@ -106,7 +107,7 @@ func Generate(cat *catalog.Catalog, cfg Config, seed uint64) (*Table, error) {
 	}
 	nBlocks := cfg.Workers
 	if nBlocks <= 0 {
-		nBlocks = 8
+		nBlocks = runtime.GOMAXPROCS(0)
 	}
 	blocks := make([]block, 0, nBlocks)
 	ranges := stream.Partition(cfg.NumTrials, nBlocks)

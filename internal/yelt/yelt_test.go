@@ -47,16 +47,19 @@ func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Generate(cat, Config{NumTrials: 2000, Workers: 7}, 77)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(a.Occs) != len(b.Occs) {
-		t.Fatalf("occurrence counts differ: %d vs %d", len(a.Occs), len(b.Occs))
-	}
-	for i := range a.Occs {
-		if a.Occs[i] != b.Occs[i] {
-			t.Fatalf("occurrence %d differs across worker counts", i)
+	// Workers 0 exercises the documented default (GOMAXPROCS).
+	for _, workers := range []int{0, 7} {
+		b, err := Generate(cat, Config{NumTrials: 2000, Workers: workers}, 77)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(a.Occs) != len(b.Occs) {
+			t.Fatalf("workers=%d: occurrence counts differ: %d vs %d", workers, len(a.Occs), len(b.Occs))
+		}
+		for i := range a.Occs {
+			if a.Occs[i] != b.Occs[i] {
+				t.Fatalf("workers=%d: occurrence %d differs across worker counts", workers, i)
+			}
 		}
 	}
 }

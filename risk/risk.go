@@ -18,12 +18,14 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 	"time"
 
 	"repro/internal/aggregate"
 	"repro/internal/core"
 	"repro/internal/dfa"
 	"repro/internal/layers"
+	"repro/internal/lossindex"
 	"repro/internal/metrics"
 	"repro/internal/postevent"
 	"repro/internal/yelt"
@@ -140,6 +142,15 @@ type Study struct {
 	p         *core.Pipeline
 	ran       bool
 	postEvent *postevent.Estimator
+	// quoteIdx caches the single-contract loss index per contract, so
+	// repeated real-time quotes skip the pre-join as well as stage 1.
+	// quoteMu guards quoteIdx and PriceContract's lazy pipeline/stage-1
+	// initialization, making concurrent PriceContract calls safe with
+	// each other; the Study-wide "not safe for concurrent method
+	// calls" contract still applies to mixing PriceContract with other
+	// methods.
+	quoteMu  sync.Mutex
+	quoteIdx map[int]*lossindex.Index
 }
 
 // NewStudy returns an unexecuted study.
@@ -239,15 +250,19 @@ type Quote struct {
 // that length and simulating with secondary uncertainty. Stage 1 must
 // have run (a full Run, or RunModelling).
 func (s *Study) PriceContract(ctx context.Context, contract int, trials int) (*Quote, error) {
+	s.quoteMu.Lock()
 	p, err := s.pipeline()
 	if err != nil {
+		s.quoteMu.Unlock()
 		return nil, err
 	}
 	if p.Catalog == nil {
 		if err := p.RunStage1(ctx); err != nil {
+			s.quoteMu.Unlock()
 			return nil, err
 		}
 	}
+	s.quoteMu.Unlock()
 	if contract < 0 || contract >= len(p.ELTs) {
 		return nil, fmt.Errorf("risk: contract %d of %d", contract, len(p.ELTs))
 	}
@@ -264,10 +279,25 @@ func (s *Study) PriceContract(ctx context.Context, contract int, trials int) (*Q
 		ELTIndex: 0,
 		Layers:   p.Portfolio.Contracts[contract].Layers,
 	}}}
+	s.quoteMu.Lock()
+	if s.quoteIdx == nil {
+		s.quoteIdx = make(map[int]*lossindex.Index)
+	}
+	idx := s.quoteIdx[contract]
+	if idx == nil {
+		idx, err = lossindex.Build(p.ELTs[contract:contract+1], single)
+		if err != nil {
+			s.quoteMu.Unlock()
+			return nil, err
+		}
+		s.quoteIdx[contract] = idx
+	}
+	s.quoteMu.Unlock()
 	res, err := (aggregate.Parallel{}).Run(ctx, &aggregate.Input{
 		YELT:      y,
 		ELTs:      p.ELTs[contract : contract+1],
 		Portfolio: single,
+		Index:     idx,
 	}, aggregate.Config{Seed: s.cfg.Seed + 103, Sampling: true, Workers: s.cfg.Workers})
 	if err != nil {
 		return nil, err

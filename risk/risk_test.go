@@ -23,7 +23,7 @@ func TestStudyRun(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(rep.Stages) != 3 {
+	if len(rep.Stages) != 4 {
 		t.Fatalf("stages = %d", len(rep.Stages))
 	}
 	if rep.Catastrophe.AAL <= 0 {
