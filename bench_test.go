@@ -100,7 +100,7 @@ const idxBenchTrials = 100_000
 func idxBenchInput(b *testing.B) *aggregate.Input {
 	b.Helper()
 	s, _ := scenarios(b)
-	y, err := yelt.Generate(s.Catalog, yelt.Config{NumTrials: idxBenchTrials}, 17)
+	y, err := yelt.Generate(context.Background(), s.Catalog, yelt.Config{NumTrials: idxBenchTrials}, 17)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -138,7 +138,7 @@ func BenchmarkLegacyLookupKernel(b *testing.B) {
 
 func BenchmarkE2MillionTrialContract(b *testing.B) {
 	s, _ := scenarios(b)
-	y, err := yelt.Generate(s.Catalog, yelt.Config{NumTrials: 1_000_000}, 7)
+	y, err := yelt.Generate(context.Background(), s.Catalog, yelt.Config{NumTrials: 1_000_000}, 7)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -169,7 +169,7 @@ func BenchmarkE3YELTGeneration(b *testing.B) {
 	s, _ := scenarios(b)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		y, err := yelt.Generate(s.Catalog, yelt.Config{NumTrials: benchTrials}, uint64(i))
+		y, err := yelt.Generate(context.Background(), s.Catalog, yelt.Config{NumTrials: benchTrials}, uint64(i))
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -391,6 +391,66 @@ func BenchmarkE6MapReduce(b *testing.B) {
 	}
 }
 
+// --- E10: bounded-memory streaming stage 2 ---
+
+// streamEnvelopeTrials exceeds every materialized benchmark in the
+// file: the point of the streaming path is that trial count no longer
+// multiplies resident memory.
+const streamEnvelopeTrials = 1_000_000
+
+// BenchmarkE10StreamingMillionTrials runs a fused 1M-trial stage 2
+// (generation + aggregation, sampling on) without ever materializing
+// the YELT, and reports the memory envelope: peak-resident trial bytes
+// (peakMB) versus the table the run avoided building (matMB), plus
+// their ratio (mat/peak — the ≥10× bounded-memory claim). Workers are
+// pinned so the envelope is machine-independent.
+func BenchmarkE10StreamingMillionTrials(b *testing.B) {
+	s, _ := scenarios(b)
+	cfg := aggregate.Config{Seed: 2, Sampling: true, Workers: 8, BatchTrials: 4096}
+	var res *aggregate.Result
+	var gen *yelt.Generator
+	for i := 0; i < b.N; i++ {
+		g, err := yelt.NewGenerator(s.Catalog, yelt.Config{NumTrials: streamEnvelopeTrials}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := &aggregate.Input{Source: g, ELTs: s.ELTs, Portfolio: s.Portfolio}
+		res, err = (aggregate.Parallel{}).Run(context.Background(), in, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen = g
+	}
+	matBytes := yelt.TableBytes(streamEnvelopeTrials, gen.Streamed())
+	b.ReportMetric(float64(streamEnvelopeTrials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+	b.ReportMetric(float64(res.PeakResidentBytes)/1e6, "peakMB")
+	b.ReportMetric(float64(matBytes)/1e6, "matMB")
+	b.ReportMetric(float64(matBytes)/float64(res.PeakResidentBytes), "mat/peak")
+}
+
+// BenchmarkE10MaterializedBaseline is the same 1M-trial stage 2
+// through the materialized path (generate the table, then aggregate) —
+// the throughput and memory baseline the streaming numbers compare
+// against.
+func BenchmarkE10MaterializedBaseline(b *testing.B) {
+	s, _ := scenarios(b)
+	cfg := aggregate.Config{Seed: 2, Sampling: true, Workers: 8}
+	var res *aggregate.Result
+	for i := 0; i < b.N; i++ {
+		y, err := yelt.Generate(context.Background(), s.Catalog, yelt.Config{NumTrials: streamEnvelopeTrials}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := &aggregate.Input{YELT: y, ELTs: s.ELTs, Portfolio: s.Portfolio}
+		res, err = (aggregate.Parallel{}).Run(context.Background(), in, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(streamEnvelopeTrials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+	b.ReportMetric(float64(res.PeakResidentBytes)/1e6, "peakMB")
+}
+
 // --- E7: provisioning policies over the bursty demand profile ---
 
 func BenchmarkE7Elasticity(b *testing.B) {
@@ -417,7 +477,7 @@ func BenchmarkE7Elasticity(b *testing.B) {
 func BenchmarkE8TrialsSweep(b *testing.B) {
 	s, _ := scenarios(b)
 	for _, trials := range []int{1_000, 10_000, 100_000} {
-		y, err := yelt.Generate(s.Catalog, yelt.Config{NumTrials: trials}, 9)
+		y, err := yelt.Generate(context.Background(), s.Catalog, yelt.Config{NumTrials: trials}, 9)
 		if err != nil {
 			b.Fatal(err)
 		}

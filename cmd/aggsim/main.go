@@ -27,6 +27,8 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallelism bound (0 = all cores)")
 		engine    = flag.String("engine", "parallel", "sequential|parallel|chunked|naive")
 		sampling  = flag.Bool("sampling", false, "secondary-uncertainty sampling (host engines only)")
+		streaming = flag.Bool("stream", false, "stream trial batches instead of materializing the YELT (bit-identical results, bounded memory)")
+		batch     = flag.Int("batch", 0, "streaming trial-batch size per worker (0 = engine default)")
 		csvOut    = flag.String("csv", "", "write the summary as CSV to this file")
 	)
 	flag.Parse()
@@ -43,6 +45,7 @@ func main() {
 		OccurrenceOnly:       occOnly,
 		TwoLayers:            true,
 		Workers:              *workers,
+		SkipYELT:             *streaming,
 	})
 	if err != nil {
 		fail(err)
@@ -76,10 +79,20 @@ func main() {
 	}
 	idxBuild := time.Since(idxStart)
 
-	in := &aggregate.Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio, Index: idx}
+	in := &aggregate.Input{ELTs: s.ELTs, Portfolio: s.Portfolio, Index: idx}
+	var gen *yelt.Generator
+	if *streaming {
+		gen, err = s.YELTGenerator()
+		if err != nil {
+			fail(err)
+		}
+		in.Source = gen
+	} else {
+		in.YELT = s.YELT
+	}
 	start := time.Now()
 	res, err := eng.Run(ctx, in, aggregate.Config{
-		Seed: *seed + 13, Sampling: *sampling, Workers: *workers,
+		Seed: *seed + 13, Sampling: *sampling, Workers: *workers, BatchTrials: *batch,
 	})
 	if err != nil {
 		fail(err)
@@ -89,9 +102,24 @@ func main() {
 	fmt.Printf("loss-index: events=%d entries=%d size=%s build=%v\n",
 		idx.NumRows(), idx.NumEntries(), yelt.HumanBytes(float64(idx.SizeBytes())),
 		idxBuild.Round(time.Microsecond))
+	occurrences := int64(0)
+	if *streaming {
+		occurrences = gen.Streamed()
+	} else {
+		occurrences = int64(s.YELT.Len())
+	}
 	fmt.Printf("engine=%s trials=%d occurrences=%d elapsed=%v (%.0f trials/s)\n",
-		eng.Name(), *trials, s.YELT.Len(), elapsed.Round(time.Millisecond),
+		eng.Name(), *trials, occurrences, elapsed.Round(time.Millisecond),
 		float64(*trials)/elapsed.Seconds())
+	if *streaming {
+		// Single-pass engines stream each trial exactly once, so the
+		// streamed count equals the occurrence count of the table the
+		// run never built — giving the avoided-footprint ratio exactly.
+		matBytes := yelt.TableBytes(*trials, occurrences)
+		fmt.Printf("streaming: peak-resident=%s materialized-equivalent=%s (%.0fx smaller)\n",
+			yelt.HumanBytes(float64(res.PeakResidentBytes)), yelt.HumanBytes(float64(matBytes)),
+			float64(matBytes)/float64(res.PeakResidentBytes))
+	}
 	if dev != nil {
 		st := dev.LastStats
 		fmt.Printf("device: blocks=%d blockCycles=%d global=%d shared=%d const=%d\n",

@@ -35,6 +35,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"sync"
 
 	"repro/internal/elt"
 	"repro/internal/layers"
@@ -61,12 +62,41 @@ type Config struct {
 	// PerContract requests per-contract YLTs in addition to the
 	// portfolio table.
 	PerContract bool
+	// BatchTrials bounds how many trials a worker materializes at once
+	// when the input is consumed through a streaming Source; <= 0 means
+	// DefaultBatchTrials. Results are bit-independent of the batch size
+	// (each trial draws from its own stream); only peak memory and the
+	// cancellation-poll granularity change.
+	BatchTrials int
+}
+
+// DefaultBatchTrials is the default trial-batch granularity: large
+// enough that per-batch dispatch vanishes against the trial kernel,
+// small enough that a worker's resident batch stays in the hundreds of
+// kilobytes on typical books.
+const DefaultBatchTrials = 8192
+
+func (cfg Config) batchTrials() int {
+	if cfg.BatchTrials > 0 {
+		return cfg.BatchTrials
+	}
+	return DefaultBatchTrials
 }
 
 // Input is one aggregate-analysis problem: the pre-simulated years,
 // the per-contract ELTs, and the book of contracts with their layers.
 type Input struct {
-	YELT      *yelt.Table
+	// YELT is the materialized trial table. Leave nil and set Source to
+	// run stage 2 in streaming mode, where trial batches are derived on
+	// demand and the table is never resident. When both are set, Source
+	// wins.
+	YELT *yelt.Table
+	// Source streams trial batches (yelt.Generator, or any other
+	// yelt.Source). Engines consume it in Config.BatchTrials-bounded
+	// batches, so memory is bounded by workers × batch, not by trial
+	// count. Results are bit-identical to running over the equivalent
+	// materialized table.
+	Source    yelt.Source
 	ELTs      []*elt.Table
 	Portfolio *layers.Portfolio
 	// Index is the pre-joined event-major loss index over (ELTs,
@@ -97,10 +127,45 @@ func (in *Input) EnsureIndex() (*lossindex.Index, error) {
 	return ix, nil
 }
 
+// src returns the trial source: Source when set, else the materialized
+// YELT (which itself implements yelt.Source). Call after Validate.
+func (in *Input) src() yelt.Source {
+	if in.Source != nil {
+		return in.Source
+	}
+	return in.YELT
+}
+
+// streaming reports whether trials are consumed through a
+// non-materialized source, i.e. whether peak-resident accounting (the
+// batch high-water mark) applies instead of the table footprint.
+func (in *Input) streaming() bool {
+	if in.Source == nil {
+		return false
+	}
+	_, materialized := in.Source.(*yelt.Table)
+	return !materialized
+}
+
+// materializedBytes returns the resident footprint of a
+// fully-materialized input (0 if the input is streaming).
+func (in *Input) materializedBytes() int64 {
+	if t, ok := in.Source.(*yelt.Table); ok {
+		return t.SizeBytes()
+	}
+	if in.Source == nil && in.YELT != nil {
+		return in.YELT.SizeBytes()
+	}
+	return 0
+}
+
 // Validate checks the input's internal consistency.
 func (in *Input) Validate() error {
-	if in.YELT == nil || in.YELT.NumTrials == 0 {
-		return errors.New("aggregate: missing YELT")
+	if in.Source == nil && in.YELT == nil {
+		return errors.New("aggregate: missing YELT or Source")
+	}
+	if in.src().TrialCount() == 0 {
+		return errors.New("aggregate: trial source is empty")
 	}
 	if len(in.ELTs) == 0 {
 		return errors.New("aggregate: no ELTs")
@@ -131,6 +196,11 @@ type Result struct {
 	// PerContract, when requested, holds one YLT per contract in
 	// portfolio order.
 	PerContract []*ylt.Table
+	// PeakResidentBytes is the maximum bytes of trial (YELT) data
+	// resident at any instant during the run: the full table footprint
+	// for materialized inputs, the concurrent-batch high-water mark for
+	// streaming sources. It is the stage-2 memory-envelope measurement.
+	PeakResidentBytes int64
 }
 
 // Engine runs aggregate analysis over an input.
@@ -229,22 +299,26 @@ func runTrial(
 	return agg, occMax
 }
 
-// runRange executes trials [r.Lo, r.Hi) into the result tables.
-func runRange(idx *lossindex.Index, in *Input, cfg Config, r stream.Range, res *Result, scratch *trialScratch) {
+// runBatch executes one trial batch into the result tables: local
+// trial i of the batch is global trial base+i, which fixes both the
+// RNG substream and the result slot, so results are independent of how
+// trials were batched.
+func runBatch(idx *lossindex.Index, in *Input, cfg Config, batch *yelt.Table, base int, res *Result, scratch *trialScratch) {
 	nc := len(in.Portfolio.Contracts)
 	perContract := make([]float64, nc)
 	perContractOcc := make([]float64, nc)
-	for trial := r.Lo; trial < r.Hi; trial++ {
+	for i := 0; i < batch.NumTrials; i++ {
+		trial := base + i
 		st := rng.NewStream(cfg.Seed, uint64(trial))
 		var pc, pco []float64
 		if res.PerContract != nil {
-			for i := range perContract {
-				perContract[i] = 0
-				perContractOcc[i] = 0
+			for j := range perContract {
+				perContract[j] = 0
+				perContractOcc[j] = 0
 			}
 			pc, pco = perContract, perContractOcc
 		}
-		agg, occMax := runTrial(in.YELT.OccurrencesOf(trial), idx, in, cfg, st, scratch, pc, pco)
+		agg, occMax := runTrial(batch.OccurrencesOf(i), idx, in, cfg, st, scratch, pc, pco)
 		res.Portfolio.Agg[trial] = agg
 		res.Portfolio.OccMax[trial] = occMax
 		if res.PerContract != nil {
@@ -256,8 +330,92 @@ func runRange(idx *lossindex.Index, in *Input, cfg Config, r stream.Range, res *
 	}
 }
 
+// residentTracker measures the peak bytes of trial data concurrently
+// resident across workers during a streaming run. Workers report their
+// current batch size after each read; the tracker maintains the sum
+// and its high-water mark. One mutex-guarded update per batch (not per
+// trial) keeps it off the hot path.
+type residentTracker struct {
+	mu   sync.Mutex
+	per  map[int]int64
+	cur  int64
+	peak int64
+}
+
+func newResidentTracker() *residentTracker {
+	return &residentTracker{per: make(map[int]int64)}
+}
+
+func (rt *residentTracker) set(worker int, bytes int64) {
+	if rt == nil {
+		return
+	}
+	rt.mu.Lock()
+	rt.cur += bytes - rt.per[worker]
+	rt.per[worker] = bytes
+	if rt.cur > rt.peak {
+		rt.peak = rt.cur
+	}
+	rt.mu.Unlock()
+}
+
+func (rt *residentTracker) Peak() int64 {
+	rt.mu.Lock()
+	defer rt.mu.Unlock()
+	return rt.peak
+}
+
+// trackerFor returns a tracker for streaming inputs, nil otherwise
+// (nil trackers no-op on set).
+func trackerFor(in *Input) *residentTracker {
+	if in.streaming() {
+		return newResidentTracker()
+	}
+	return nil
+}
+
+// peakResident is the run's memory envelope: the tracked batch
+// high-water mark for streaming runs, the table footprint otherwise.
+// Shared by every result type that reports PeakResidentBytes.
+func peakResident(in *Input, rt *residentTracker) int64 {
+	if rt != nil {
+		return rt.Peak()
+	}
+	return in.materializedBytes()
+}
+
+// finishResident records the run's memory envelope on the result.
+func finishResident(in *Input, res *Result, rt *residentTracker) {
+	res.PeakResidentBytes = peakResident(in, rt)
+}
+
+// streamRange feeds trials [r.Lo, r.Hi) to fn in batches of at most
+// batch trials, reading through buf and polling ctx between batches.
+// worker keys the resident-bytes accounting; pass a distinct key per
+// concurrent caller.
+func streamRange(ctx context.Context, src yelt.Source, r stream.Range, batch int, rt *residentTracker, worker int, buf *yelt.Table, fn func(b *yelt.Table, base int) error) error {
+	for lo := r.Lo; lo < r.Hi; lo += batch {
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		default:
+		}
+		hi := min(lo+batch, r.Hi)
+		b, err := src.ReadTrials(ctx, lo, hi, buf)
+		if err != nil {
+			return err
+		}
+		rt.set(worker, b.SizeBytes())
+		if err := fn(b, lo); err != nil {
+			return err
+		}
+	}
+	rt.set(worker, 0)
+	return nil
+}
+
 func newResult(in *Input, cfg Config) *Result {
-	n := in.YELT.NumTrials
+	n := in.src().TrialCount()
 	res := &Result{Portfolio: ylt.New("portfolio", n)}
 	if cfg.PerContract {
 		res.PerContract = make([]*ylt.Table, len(in.Portfolio.Contracts))
@@ -287,19 +445,17 @@ func (Sequential) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 	}
 	res := newResult(in, cfg)
 	scratch := newTrialScratch(in.Portfolio)
-	const checkEvery = 4096
-	for lo := 0; lo < in.YELT.NumTrials; lo += checkEvery {
-		select {
-		case <-ctx.Done():
-			return nil, ctx.Err()
-		default:
-		}
-		hi := lo + checkEvery
-		if hi > in.YELT.NumTrials {
-			hi = in.YELT.NumTrials
-		}
-		runRange(idx, in, cfg, stream.Range{Lo: lo, Hi: hi}, res, scratch)
+	src := in.src()
+	rt := trackerFor(in)
+	err = streamRange(ctx, src, stream.Range{Lo: 0, Hi: src.TrialCount()}, cfg.batchTrials(), rt, 0, &yelt.Table{},
+		func(b *yelt.Table, base int) error {
+			runBatch(idx, in, cfg, b, base, res, scratch)
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	finishResident(in, res, rt)
 	return res, nil
 }
 
@@ -323,25 +479,19 @@ func (Parallel) Run(ctx context.Context, in *Input, cfg Config) (*Result, error)
 		return nil, err
 	}
 	res := newResult(in, cfg)
-	err = stream.ForEachRange(ctx, in.YELT.NumTrials, cfg.Workers, func(ctx context.Context, r stream.Range, _ int) error {
+	src := in.src()
+	rt := trackerFor(in)
+	err = stream.ForEachRange(ctx, src.TrialCount(), cfg.Workers, func(ctx context.Context, r stream.Range, w int) error {
 		scratch := newTrialScratch(in.Portfolio)
-		const checkEvery = 4096
-		for lo := r.Lo; lo < r.Hi; lo += checkEvery {
-			select {
-			case <-ctx.Done():
-				return ctx.Err()
-			default:
-			}
-			hi := lo + checkEvery
-			if hi > r.Hi {
-				hi = r.Hi
-			}
-			runRange(idx, in, cfg, stream.Range{Lo: lo, Hi: hi}, res, scratch)
-		}
-		return nil
+		return streamRange(ctx, src, r, cfg.batchTrials(), rt, w, &yelt.Table{},
+			func(b *yelt.Table, base int) error {
+				runBatch(idx, in, cfg, b, base, res, scratch)
+				return nil
+			})
 	})
 	if err != nil {
 		return nil, err
 	}
+	finishResident(in, res, rt)
 	return res, nil
 }

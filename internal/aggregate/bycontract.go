@@ -4,6 +4,7 @@ import (
 	"context"
 
 	"repro/internal/stream"
+	"repro/internal/yelt"
 )
 
 // ByContract is the alternative parallel decomposition: one worker per
@@ -38,9 +39,11 @@ func (ByContract) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 	if err != nil {
 		return nil, err
 	}
-	n := in.YELT.NumTrials
+	src := in.src()
+	n := src.TrialCount()
 	contracts := in.Portfolio.Contracts
 	res := newResult(in, cfg)
+	rt := trackerFor(in)
 
 	// Per-contract partial tables, merged after the parallel phase.
 	partialAgg := make([][]float64, len(contracts))
@@ -62,39 +65,44 @@ func (ByContract) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 		agg := make([]float64, n)
 		occ := make([]float64, n)
 		layerSums := make([]float64, len(c.Layers))
-		for trial := 0; trial < n; trial++ {
-			if trial%8192 == 0 {
-				select {
-				case <-ctx.Done():
-					return ctx.Err()
-				default:
+		// Each contract worker streams the whole trial range itself —
+		// with a Generator source that means regenerating the YELT per
+		// contract, the decomposition's repeated-scan cost made
+		// explicit (see the engine comment above).
+		err := streamRange(ctx, src, stream.Range{Lo: 0, Hi: n}, cfg.batchTrials(), rt, ci, &yelt.Table{},
+			func(b *yelt.Table, base int) error {
+				for i := 0; i < b.NumTrials; i++ {
+					trial := base + i
+					for li := range layerSums {
+						layerSums[li] = 0
+					}
+					var occMax float64
+					for _, o := range b.OccurrencesOf(i) {
+						row := idx.Row(o.EventID)
+						if row < 0 || means[row] <= 0 {
+							continue
+						}
+						var occTotal float64
+						for li := range c.Layers {
+							r := c.Layers[li].ApplyOccurrence(means[row])
+							layerSums[li] += r
+							occTotal += r
+						}
+						if occTotal > occMax {
+							occMax = occTotal
+						}
+					}
+					var annual float64
+					for li := range c.Layers {
+						annual += c.Layers[li].ApplyAggregate(layerSums[li])
+					}
+					agg[trial] = annual
+					occ[trial] = occMax
 				}
-			}
-			for li := range layerSums {
-				layerSums[li] = 0
-			}
-			var occMax float64
-			for _, o := range in.YELT.OccurrencesOf(trial) {
-				row := idx.Row(o.EventID)
-				if row < 0 || means[row] <= 0 {
-					continue
-				}
-				var occTotal float64
-				for li := range c.Layers {
-					r := c.Layers[li].ApplyOccurrence(means[row])
-					layerSums[li] += r
-					occTotal += r
-				}
-				if occTotal > occMax {
-					occMax = occTotal
-				}
-			}
-			var annual float64
-			for li := range c.Layers {
-				annual += c.Layers[li].ApplyAggregate(layerSums[li])
-			}
-			agg[trial] = annual
-			occ[trial] = occMax
+				return nil
+			})
+		if err != nil {
+			return err
 		}
 		partialAgg[ci] = agg
 		if res.PerContract != nil {
@@ -118,9 +126,17 @@ func (ByContract) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 		}
 	}
 	scratch := newTrialScratch(in.Portfolio)
-	for trial := 0; trial < n; trial++ {
-		_, occMax := runTrial(in.YELT.OccurrencesOf(trial), idx, in, Config{}, nil, scratch, nil, nil)
-		res.Portfolio.OccMax[trial] = occMax
+	err = streamRange(ctx, src, stream.Range{Lo: 0, Hi: n}, cfg.batchTrials(), rt, -1, &yelt.Table{},
+		func(b *yelt.Table, base int) error {
+			for i := 0; i < b.NumTrials; i++ {
+				_, occMax := runTrial(b.OccurrencesOf(i), idx, in, Config{}, nil, scratch, nil, nil)
+				res.Portfolio.OccMax[base+i] = occMax
+			}
+			return nil
+		})
+	if err != nil {
+		return nil, err
 	}
+	finishResident(in, res, rt)
 	return res, nil
 }

@@ -6,6 +6,8 @@ import (
 	"fmt"
 
 	"repro/internal/gpusim"
+	"repro/internal/stream"
+	"repro/internal/yelt"
 	"repro/internal/ylt"
 )
 
@@ -49,6 +51,14 @@ func (c *Chunked) Name() string {
 // only occurrence terms, up to floating-point re-association (the
 // device kernel folds shares into a per-event vector before the trial
 // sweep; the host engines fold them after).
+//
+// Streaming inputs are processed as a sequence of device passes, one
+// per trial batch: each pass uploads the batch's occurrences and the
+// loss vectors, launches the grid over the batch, and downloads the
+// batch's YLT rows — so neither host nor device ever holds the full
+// YELT. Per-trial results are bit-identical to the single-upload
+// materialized path; only the modeled transfer counters differ (the
+// loss vectors are re-staged per pass).
 func (c *Chunked) Run(ctx context.Context, in *Input, cfg Config) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
@@ -104,81 +114,141 @@ func (c *Chunked) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 		}
 	}
 
-	numTrials := in.YELT.NumTrials
-	numOccs := in.YELT.Len()
+	src := in.src()
+	numTrials := src.TrialCount()
+	res := &Result{Portfolio: ylt.New("portfolio", numTrials)}
+	rt := trackerFor(in)
+
+	// Materialized inputs run as one device pass over the whole table
+	// (today's E4 shape); streaming sources go batch by batch.
+	batchT := numTrials
+	if in.streaming() {
+		batchT = cfg.batchTrials()
+	}
 
 	dev := c.Device
-	if dev == nil {
-		need := numOccs + numTrials + 1 + 2*numRows + 2*numTrials + 1024
-		dev = gpusim.NewDevice(gpusim.DefaultConfig(), need)
+	devOwned := dev == nil
+	devCap := 0
+	var carried gpusim.Stats
+	if !devOwned {
+		dev.FreeAll()
+		dev.ResetStats()
 	}
-	dev.FreeAll()
-	dev.ResetStats()
+	var hostOcc, hostOff []float64
 
-	// Upload: occurrence index rows (as float64 — exact below 2^53; -1
-	// marks loss-free events, resolved on the host so the device never
-	// probes the event-id table), per-trial offsets, the two loss
-	// vectors, and the output tables.
-	occBuf, err := dev.Alloc(numOccs)
-	if err != nil {
-		return nil, err
-	}
-	offBuf, err := dev.Alloc(numTrials + 1)
-	if err != nil {
-		return nil, err
-	}
-	aggVecBuf, err := dev.Alloc(numRows)
-	if err != nil {
-		return nil, err
-	}
-	occVecBuf, err := dev.Alloc(numRows)
-	if err != nil {
-		return nil, err
-	}
-	outAgg, err := dev.Alloc(numTrials)
-	if err != nil {
-		return nil, err
-	}
-	outMax, err := dev.Alloc(numTrials)
-	if err != nil {
-		return nil, err
-	}
+	err = streamRange(ctx, src, stream.Range{Lo: 0, Hi: numTrials}, batchT, rt, 0, &yelt.Table{}, func(b *yelt.Table, base int) error {
+		bn := b.NumTrials
+		bOccs := len(b.Occs)
+		need := bOccs + (bn + 1) + 2*numRows + 2*bn + 1024
+		if devOwned && (dev == nil || devCap < need) {
+			// Grow the owned device, carrying the accumulated cost-model
+			// counters across the replacement.
+			if dev != nil {
+				carried = addStats(carried, dev.Stats())
+			}
+			devCap = need
+			dev = gpusim.NewDevice(gpusim.DefaultConfig(), devCap)
+		}
+		dev.FreeAll()
 
-	host := make([]float64, numOccs)
-	for i, o := range in.YELT.Occs {
-		host[i] = float64(idx.Row(o.EventID))
-	}
-	if err := dev.CopyToDevice(occBuf, host); err != nil {
-		return nil, err
-	}
-	offs := make([]float64, numTrials+1)
-	for i, o := range in.YELT.Offsets {
-		offs[i] = float64(o)
-	}
-	if err := dev.CopyToDevice(offBuf, offs); err != nil {
-		return nil, err
-	}
-	if err := dev.CopyToDevice(aggVecBuf, aggVec); err != nil {
-		return nil, err
-	}
-	if err := dev.CopyToDevice(occVecBuf, occVec); err != nil {
-		return nil, err
-	}
+		// Upload: occurrence index rows (as float64 — exact below 2^53;
+		// -1 marks loss-free events, resolved on the host so the device
+		// never probes the event-id table), per-trial offsets, the two
+		// loss vectors, and the output tables.
+		occBuf, err := dev.Alloc(bOccs)
+		if err != nil {
+			return err
+		}
+		offBuf, err := dev.Alloc(bn + 1)
+		if err != nil {
+			return err
+		}
+		aggVecBuf, err := dev.Alloc(numRows)
+		if err != nil {
+			return err
+		}
+		occVecBuf, err := dev.Alloc(numRows)
+		if err != nil {
+			return err
+		}
+		outAgg, err := dev.Alloc(bn)
+		if err != nil {
+			return err
+		}
+		outMax, err := dev.Alloc(bn)
+		if err != nil {
+			return err
+		}
 
-	devCfg := dev.Config()
-	tpb := c.TrialsPerBlock
-	if tpb <= 0 {
-		tpb = devCfg.ThreadsPerBlock
-	}
-	grid := (numTrials + tpb - 1) / tpb
+		hostOcc = hostOcc[:0]
+		for _, o := range b.Occs {
+			hostOcc = append(hostOcc, float64(idx.Row(o.EventID)))
+		}
+		if err := dev.CopyToDevice(occBuf, hostOcc); err != nil {
+			return err
+		}
+		hostOff = hostOff[:0]
+		for _, o := range b.Offsets {
+			hostOff = append(hostOff, float64(o))
+		}
+		if err := dev.CopyToDevice(offBuf, hostOff); err != nil {
+			return err
+		}
+		if err := dev.CopyToDevice(aggVecBuf, aggVec); err != nil {
+			return err
+		}
+		if err := dev.CopyToDevice(occVecBuf, occVec); err != nil {
+			return err
+		}
 
-	var kernel func(*gpusim.BlockCtx)
+		devCfg := dev.Config()
+		tpb := c.TrialsPerBlock
+		if tpb <= 0 {
+			tpb = devCfg.ThreadsPerBlock
+		}
+		grid := (bn + tpb - 1) / tpb
+		kernel := c.buildKernel(bn, tpb, devCfg.SharedMemPerBlock, numRows,
+			occBuf, offBuf, aggVecBuf, occVecBuf, outAgg, outMax)
+		if err := dev.Launch(grid, kernel); err != nil {
+			return err
+		}
+		if err := dev.CopyFromDevice(outAgg, res.Portfolio.Agg[base:base+bn]); err != nil {
+			return err
+		}
+		return dev.CopyFromDevice(outMax, res.Portfolio.OccMax[base:base+bn])
+	})
+	if err != nil {
+		return nil, err
+	}
+	c.LastStats = addStats(carried, dev.Stats())
+	finishResident(in, res, rt)
+	return res, nil
+}
+
+// addStats sums two cost-model snapshots (used when a streaming run
+// outgrows and replaces its owned device mid-run).
+func addStats(a, b gpusim.Stats) gpusim.Stats {
+	return gpusim.Stats{
+		GlobalAccesses: a.GlobalAccesses + b.GlobalAccesses,
+		SharedAccesses: a.SharedAccesses + b.SharedAccesses,
+		ConstAccesses:  a.ConstAccesses + b.ConstAccesses,
+		ArithOps:       a.ArithOps + b.ArithOps,
+		TransferFloats: a.TransferFloats + b.TransferFloats,
+		BlockCycles:    a.BlockCycles + b.BlockCycles,
+		Blocks:         a.Blocks + b.Blocks,
+	}
+}
+
+// buildKernel returns the per-pass device kernel over one trial batch
+// of bn trials: the naive global-memory form, or the chunked
+// shared-memory form staging occurrences and loss-vector chunks.
+func (c *Chunked) buildKernel(bn, tpb, shared, numRows int, occBuf, offBuf, aggVecBuf, occVecBuf, outAgg, outMax gpusim.Buffer) func(*gpusim.BlockCtx) {
 	if c.Naive {
-		kernel = func(b *gpusim.BlockCtx) {
+		return func(b *gpusim.BlockCtx) {
 			lo := b.BlockID * tpb
 			hi := lo + tpb
-			if hi > numTrials {
-				hi = numTrials
+			if hi > bn {
+				hi = bn
 			}
 			for trial := lo; trial < hi; trial++ {
 				start := int(b.LoadGlobal(offBuf, trial))
@@ -204,110 +274,48 @@ func (c *Chunked) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 				b.StoreGlobal(outMax, trial, max)
 			}
 		}
-	} else {
-		// Chunked kernel: stage the block's occurrences into shared
-		// memory once, then sweep the loss vectors through the rest of
-		// shared memory in chunks, probing the staged occurrences per
-		// chunk. Per-trial accumulators live in "registers" (locals).
-		shared := devCfg.SharedMemPerBlock
-		kernel = func(b *gpusim.BlockCtx) {
-			lo := b.BlockID * tpb
-			hi := lo + tpb
-			if hi > numTrials {
-				hi = numTrials
-			}
-			nTrials := hi - lo
-			start := int(b.LoadGlobal(offBuf, lo))
-			end := int(b.LoadGlobal(offBuf, hi))
-			nOccs := end - start
+	}
+	// Chunked kernel: stage the block's occurrences into shared
+	// memory once, then sweep the loss vectors through the rest of
+	// shared memory in chunks, probing the staged occurrences per
+	// chunk. Per-trial accumulators live in "registers" (locals).
+	return func(b *gpusim.BlockCtx) {
+		lo := b.BlockID * tpb
+		hi := lo + tpb
+		if hi > bn {
+			hi = bn
+		}
+		nTrials := hi - lo
+		start := int(b.LoadGlobal(offBuf, lo))
+		end := int(b.LoadGlobal(offBuf, hi))
+		nOccs := end - start
 
-			agg := make([]float64, nTrials)
-			max := make([]float64, nTrials)
+		agg := make([]float64, nTrials)
+		max := make([]float64, nTrials)
 
-			// Shared layout: [occurrences][trial bounds][vector chunk×2].
-			occBase := 0
-			boundBase := nOccs
-			chunkBase := nOccs + nTrials + 1
-			if chunkBase > shared {
-				// The block's occurrences don't even fit in shared
-				// memory: degrade to the naive global path for this
-				// block rather than faulting — the shape a real kernel
-				// guards with a launch-bounds check.
-				for t := 0; t < nTrials; t++ {
-					s := int(b.LoadGlobal(offBuf, lo+t))
-					e := int(b.LoadGlobal(offBuf, lo+t+1))
-					for i := s; i < e; i++ {
-						rid := int(b.LoadGlobal(occBuf, i))
-						b.AddArith(1)
-						if rid < 0 {
-							continue
-						}
-						agg[t] += b.LoadGlobal(aggVecBuf, rid)
-						o := b.LoadGlobal(occVecBuf, rid)
-						b.AddArith(2)
-						if o > max[t] {
-							max[t] = o
-						}
+		// Shared layout: [occurrences][trial bounds][vector chunk×2].
+		occBase := 0
+		boundBase := nOccs
+		chunkBase := nOccs + nTrials + 1
+		if chunkBase > shared {
+			// The block's occurrences don't even fit in shared
+			// memory: degrade to the naive global path for this
+			// block rather than faulting — the shape a real kernel
+			// guards with a launch-bounds check.
+			for t := 0; t < nTrials; t++ {
+				s := int(b.LoadGlobal(offBuf, lo+t))
+				e := int(b.LoadGlobal(offBuf, lo+t+1))
+				for i := s; i < e; i++ {
+					rid := int(b.LoadGlobal(occBuf, i))
+					b.AddArith(1)
+					if rid < 0 {
+						continue
 					}
-				}
-				for t := 0; t < nTrials; t++ {
-					b.StoreGlobal(outAgg, lo+t, agg[t])
-					b.StoreGlobal(outMax, lo+t, max[t])
-				}
-				return
-			}
-			chunkCap := (shared - chunkBase) / 2
-			if chunkCap < 64 {
-				// Degenerate: occurrences crowd out the staging area;
-				// fall back to direct global probes for this block.
-				chunkCap = 0
-			}
-			b.StageToShared(occBuf, start, end, occBase)
-			b.StageToShared(offBuf, lo, hi+1, boundBase)
-
-			if chunkCap == 0 {
-				for t := 0; t < nTrials; t++ {
-					s := int(b.LoadShared(boundBase+t)) - start
-					e := int(b.LoadShared(boundBase+t+1)) - start
-					for i := s; i < e; i++ {
-						rid := int(b.LoadShared(occBase + i))
-						b.AddArith(1)
-						if rid < 0 {
-							continue
-						}
-						agg[t] += b.LoadGlobal(aggVecBuf, rid)
-						o := b.LoadGlobal(occVecBuf, rid)
-						b.AddArith(2)
-						if o > max[t] {
-							max[t] = o
-						}
-					}
-				}
-			} else {
-				for cLo := 0; cLo < numRows; cLo += chunkCap {
-					cHi := cLo + chunkCap
-					if cHi > numRows {
-						cHi = numRows
-					}
-					n := cHi - cLo
-					b.StageToShared(aggVecBuf, cLo, cHi, chunkBase)
-					b.StageToShared(occVecBuf, cLo, cHi, chunkBase+n)
-					for t := 0; t < nTrials; t++ {
-						s := int(b.LoadShared(boundBase+t)) - start
-						e := int(b.LoadShared(boundBase+t+1)) - start
-						for i := s; i < e; i++ {
-							rid := int(b.LoadShared(occBase + i))
-							b.AddArith(1)
-							if rid < cLo || rid >= cHi {
-								continue
-							}
-							agg[t] += b.LoadShared(chunkBase + (rid - cLo))
-							o := b.LoadShared(chunkBase + n + (rid - cLo))
-							b.AddArith(2)
-							if o > max[t] {
-								max[t] = o
-							}
-						}
+					agg[t] += b.LoadGlobal(aggVecBuf, rid)
+					o := b.LoadGlobal(occVecBuf, rid)
+					b.AddArith(2)
+					if o > max[t] {
+						max[t] = o
 					}
 				}
 			}
@@ -315,20 +323,66 @@ func (c *Chunked) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 				b.StoreGlobal(outAgg, lo+t, agg[t])
 				b.StoreGlobal(outMax, lo+t, max[t])
 			}
+			return
+		}
+		chunkCap := (shared - chunkBase) / 2
+		if chunkCap < 64 {
+			// Degenerate: occurrences crowd out the staging area;
+			// fall back to direct global probes for this block.
+			chunkCap = 0
+		}
+		b.StageToShared(occBuf, start, end, occBase)
+		b.StageToShared(offBuf, lo, hi+1, boundBase)
+
+		if chunkCap == 0 {
+			for t := 0; t < nTrials; t++ {
+				s := int(b.LoadShared(boundBase+t)) - start
+				e := int(b.LoadShared(boundBase+t+1)) - start
+				for i := s; i < e; i++ {
+					rid := int(b.LoadShared(occBase + i))
+					b.AddArith(1)
+					if rid < 0 {
+						continue
+					}
+					agg[t] += b.LoadGlobal(aggVecBuf, rid)
+					o := b.LoadGlobal(occVecBuf, rid)
+					b.AddArith(2)
+					if o > max[t] {
+						max[t] = o
+					}
+				}
+			}
+		} else {
+			for cLo := 0; cLo < numRows; cLo += chunkCap {
+				cHi := cLo + chunkCap
+				if cHi > numRows {
+					cHi = numRows
+				}
+				n := cHi - cLo
+				b.StageToShared(aggVecBuf, cLo, cHi, chunkBase)
+				b.StageToShared(occVecBuf, cLo, cHi, chunkBase+n)
+				for t := 0; t < nTrials; t++ {
+					s := int(b.LoadShared(boundBase+t)) - start
+					e := int(b.LoadShared(boundBase+t+1)) - start
+					for i := s; i < e; i++ {
+						rid := int(b.LoadShared(occBase + i))
+						b.AddArith(1)
+						if rid < cLo || rid >= cHi {
+							continue
+						}
+						agg[t] += b.LoadShared(chunkBase + (rid - cLo))
+						o := b.LoadShared(chunkBase + n + (rid - cLo))
+						b.AddArith(2)
+						if o > max[t] {
+							max[t] = o
+						}
+					}
+				}
+			}
+		}
+		for t := 0; t < nTrials; t++ {
+			b.StoreGlobal(outAgg, lo+t, agg[t])
+			b.StoreGlobal(outMax, lo+t, max[t])
 		}
 	}
-
-	if err := dev.Launch(grid, kernel); err != nil {
-		return nil, err
-	}
-
-	res := &Result{Portfolio: ylt.New("portfolio", numTrials)}
-	if err := dev.CopyFromDevice(outAgg, res.Portfolio.Agg); err != nil {
-		return nil, err
-	}
-	if err := dev.CopyFromDevice(outMax, res.Portfolio.OccMax); err != nil {
-		return nil, err
-	}
-	c.LastStats = dev.Stats()
-	return res, nil
 }

@@ -2,6 +2,7 @@ package aggregate
 
 import (
 	"context"
+	"errors"
 
 	"repro/internal/elt"
 	"repro/internal/rng"
@@ -88,10 +89,15 @@ func legacyTrial(
 	return agg, occMax
 }
 
-// Run implements Engine.
+// Run implements Engine. The legacy kernel predates the streaming
+// Source abstraction and stays pinned to the materialized form: it is
+// the reference the golden tests diff against, not a production path.
 func (LegacyLookup) Run(ctx context.Context, in *Input, cfg Config) (*Result, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
+	}
+	if in.YELT == nil || in.Source != nil {
+		return nil, errors.New("aggregate: legacy lookup requires a materialized YELT input")
 	}
 	res := newResult(in, cfg)
 	scratch := newTrialScratch(in.Portfolio)

@@ -8,6 +8,7 @@ import (
 	"repro/internal/layers"
 	"repro/internal/rng"
 	"repro/internal/stream"
+	"repro/internal/yelt"
 	"repro/internal/ylt"
 )
 
@@ -50,6 +51,9 @@ type ReinstatementResult struct {
 	// ReinstPremium[t] is the total reinstatement premium charged in
 	// trial t across the book (reinsurer income offsetting recoveries).
 	ReinstPremium []float64
+	// PeakResidentBytes mirrors Result.PeakResidentBytes: the run's
+	// trial-data memory envelope.
+	PeakResidentBytes int64
 }
 
 // RunReinstatements executes the occurrence-ordered stateful analysis
@@ -64,14 +68,16 @@ func RunReinstatements(ctx context.Context, in *ReinstatementInput, cfg Config) 
 	if err != nil {
 		return nil, err
 	}
-	n := in.YELT.NumTrials
+	src := in.src()
+	n := src.TrialCount()
 	res := &ReinstatementResult{
 		Portfolio:     ylt.New("portfolio-reinst", n),
 		ReinstPremium: make([]float64, n),
 	}
 	contracts := in.Portfolio.Contracts
+	rt := trackerFor(in.Input)
 
-	err = stream.ForEachRange(ctx, n, cfg.Workers, func(ctx context.Context, r stream.Range, _ int) error {
+	err = stream.ForEachRange(ctx, n, cfg.Workers, func(ctx context.Context, r stream.Range, w int) error {
 		// Per-worker year states and annual sums, reused across trials.
 		states := make([][]layers.YearState, len(contracts))
 		sums := make([][]float64, len(contracts))
@@ -79,57 +85,54 @@ func RunReinstatements(ctx context.Context, in *ReinstatementInput, cfg Config) 
 			states[ci] = make([]layers.YearState, len(c.Layers))
 			sums[ci] = make([]float64, len(c.Layers))
 		}
-		for trial := r.Lo; trial < r.Hi; trial++ {
-			if trial%4096 == 0 {
-				select {
-				case <-ctx.Done():
-					return ctx.Err()
-				default:
-				}
-			}
-			st := rng.NewStream(cfg.Seed, uint64(trial))
-			for ci, c := range contracts {
-				for li := range c.Layers {
-					states[ci][li] = c.Layers[li].NewYearState(in.Terms[ci][li])
-					sums[ci][li] = 0
-				}
-			}
-			var occMax, premium float64
-			for _, occ := range in.YELT.OccurrencesOf(trial) {
-				var occTotal float64
-				for _, e := range idx.EntriesFor(occ.EventID) {
-					ci := int(e.Contract)
-					c := &contracts[ci]
-					loss := e.Rec.MeanLoss
-					if cfg.Sampling {
-						loss = elt.SampleLoss(st, e.Rec)
-					}
+		return streamRange(ctx, src, r, cfg.batchTrials(), rt, w, &yelt.Table{}, func(b *yelt.Table, base int) error {
+			for i := 0; i < b.NumTrials; i++ {
+				trial := base + i
+				st := rng.NewStream(cfg.Seed, uint64(trial))
+				for ci, c := range contracts {
 					for li := range c.Layers {
-						rcv, p := states[ci][li].Occurrence(loss)
-						sums[ci][li] += rcv
-						occTotal += rcv
-						premium += p
+						states[ci][li] = c.Layers[li].NewYearState(in.Terms[ci][li])
+						sums[ci][li] = 0
 					}
 				}
-				if occTotal > occMax {
-					occMax = occTotal
+				var occMax, premium float64
+				for _, occ := range b.OccurrencesOf(i) {
+					var occTotal float64
+					for _, e := range idx.EntriesFor(occ.EventID) {
+						ci := int(e.Contract)
+						c := &contracts[ci]
+						loss := e.Rec.MeanLoss
+						if cfg.Sampling {
+							loss = elt.SampleLoss(st, e.Rec)
+						}
+						for li := range c.Layers {
+							rcv, p := states[ci][li].Occurrence(loss)
+							sums[ci][li] += rcv
+							occTotal += rcv
+							premium += p
+						}
+					}
+					if occTotal > occMax {
+						occMax = occTotal
+					}
 				}
-			}
-			var agg float64
-			for ci := range contracts {
-				for li := range sums[ci] {
-					agg += states[ci][li].CloseYear(sums[ci][li])
+				var agg float64
+				for ci := range contracts {
+					for li := range sums[ci] {
+						agg += states[ci][li].CloseYear(sums[ci][li])
+					}
 				}
+				res.Portfolio.Agg[trial] = agg
+				res.Portfolio.OccMax[trial] = occMax
+				res.ReinstPremium[trial] = premium
 			}
-			res.Portfolio.Agg[trial] = agg
-			res.Portfolio.OccMax[trial] = occMax
-			res.ReinstPremium[trial] = premium
-		}
-		return nil
+			return nil
+		})
 	})
 	if err != nil {
 		return nil, err
 	}
+	res.PeakResidentBytes = peakResident(in.Input, rt)
 	return res, nil
 }
 

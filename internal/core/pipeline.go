@@ -40,6 +40,16 @@ type Config struct {
 	NumTrials int
 	Engine    aggregate.Engine // nil = Parallel
 	Sampling  bool
+	// Streaming fuses YELT generation into the aggregate engines: trial
+	// batches are re-derived on demand (yelt.Generator) and the table is
+	// never materialized, so NumTrials is bounded by time instead of
+	// memory. Results are bit-identical to the materialized path; the
+	// stage report then accounts peak-resident bytes instead of the
+	// table footprint, and Pipeline.YELT stays nil.
+	Streaming bool
+	// BatchTrials bounds the per-worker resident trial batch in
+	// streaming mode; <= 0 means aggregate.DefaultBatchTrials.
+	BatchTrials int
 	// Stage 3.
 	Sources []dfa.Source // nil = StandardSources scaled to the cat AAL
 	Rho     float64      // copula equicorrelation
@@ -186,34 +196,59 @@ func (p *Pipeline) RunStage1(ctx context.Context) error {
 }
 
 // RunStage2 executes portfolio risk management: YELT pre-simulation
-// and aggregate analysis producing the catastrophe YLT.
+// and aggregate analysis producing the catastrophe YLT. In streaming
+// mode the two are fused — trial batches are derived on demand and the
+// YELT is never materialized, so the stage report accounts the
+// peak-resident trial bytes (the memory envelope) where the
+// materialized path accounts the full table.
 func (p *Pipeline) RunStage2(ctx context.Context) error {
 	if p.Catalog == nil {
 		return errors.New("core: stage 2 requires stage 1 artifacts")
 	}
 	start := time.Now()
-	y, err := yelt.Generate(p.Catalog, yelt.Config{NumTrials: p.Cfg.NumTrials, Workers: p.Cfg.Workers}, p.Cfg.Seed+7)
-	if err != nil {
-		return fmt.Errorf("core: stage 2 yelt: %w", err)
+	ycfg := yelt.Config{NumTrials: p.Cfg.NumTrials, Workers: p.Cfg.Workers}
+	in := &aggregate.Input{ELTs: p.ELTs, Portfolio: p.Portfolio, Index: p.Index}
+	var gen *yelt.Generator
+	if p.Cfg.Streaming {
+		g, err := yelt.NewGenerator(p.Catalog, ycfg, p.Cfg.Seed+7)
+		if err != nil {
+			return fmt.Errorf("core: stage 2 yelt: %w", err)
+		}
+		gen = g
+		in.Source = gen
+	} else {
+		y, err := yelt.Generate(ctx, p.Catalog, ycfg, p.Cfg.Seed+7)
+		if err != nil {
+			return fmt.Errorf("core: stage 2 yelt: %w", err)
+		}
+		p.YELT = y
+		in.YELT = y
 	}
-	p.YELT = y
 
-	in := &aggregate.Input{YELT: y, ELTs: p.ELTs, Portfolio: p.Portfolio, Index: p.Index}
 	res, err := p.Cfg.Engine.Run(ctx, in, aggregate.Config{
-		Seed:     p.Cfg.Seed + 13,
-		Sampling: p.Cfg.Sampling,
-		Workers:  p.Cfg.Workers,
+		Seed:        p.Cfg.Seed + 13,
+		Sampling:    p.Cfg.Sampling,
+		Workers:     p.Cfg.Workers,
+		BatchTrials: p.Cfg.BatchTrials,
 	})
 	if err != nil {
 		return fmt.Errorf("core: stage 2 aggregate: %w", err)
 	}
 	p.AggResult = res
 	p.CatYLT = res.Portfolio
-	p.Stages = append(p.Stages, StageReport{
-		Name: "portfolio-risk", Duration: time.Since(start),
-		OutputBytes: y.SizeBytes() + res.Portfolio.SizeBytes(),
-		Items:       int64(y.Len()),
-	})
+	rep := StageReport{Name: "portfolio-risk", Duration: time.Since(start)}
+	if p.Cfg.Streaming {
+		rep.OutputBytes = res.PeakResidentBytes + res.Portfolio.SizeBytes()
+		// Items counts occurrences *streamed*: for the single-pass
+		// engines used here it equals the occurrence count of the table
+		// the run avoided; an engine that re-scans the source (e.g.
+		// ByContract, once per contract) counts each pass.
+		rep.Items = gen.Streamed()
+	} else {
+		rep.OutputBytes = p.YELT.SizeBytes() + res.Portfolio.SizeBytes()
+		rep.Items = int64(p.YELT.Len())
+	}
+	p.Stages = append(p.Stages, rep)
 	return nil
 }
 

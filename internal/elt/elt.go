@@ -212,19 +212,24 @@ func Read(r io.Reader) (*Table, error) {
 	if count > maxRecords {
 		return nil, fmt.Errorf("%w: record count %d too large", ErrBadFormat, count)
 	}
-	recs := make([]Record, count)
+	// Cap the initial allocation and grow with the data actually read,
+	// so a forged header declaring 2^28 records cannot reserve
+	// gigabytes before the short read surfaces (the codec fuzzer's
+	// finding).
+	const preallocCap = 1 << 16
+	recs := make([]Record, 0, min(count, preallocCap))
 	var buf [recordSize]byte
-	for i := range recs {
+	for i := uint32(0); i < count; i++ {
 		if _, err := io.ReadFull(br, buf[:]); err != nil {
 			return nil, fmt.Errorf("elt: reading record %d: %w", i, err)
 		}
-		recs[i] = Record{
+		recs = append(recs, Record{
 			EventID:      binary.LittleEndian.Uint32(buf[0:4]),
 			MeanLoss:     math.Float64frombits(binary.LittleEndian.Uint64(buf[4:12])),
 			SigmaI:       math.Float64frombits(binary.LittleEndian.Uint64(buf[12:20])),
 			SigmaC:       math.Float64frombits(binary.LittleEndian.Uint64(buf[20:28])),
 			ExposedValue: math.Float64frombits(binary.LittleEndian.Uint64(buf[28:36])),
-		}
+		})
 	}
 	t := &Table{ContractID: contractID, Records: recs}
 	// Stored tables are sorted; tolerate unsorted input defensively.

@@ -1,0 +1,38 @@
+package stream
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: Chunks, like Partition, yields no empty ranges and covers
+// [0, n) exactly — and additionally every range except the last has
+// exactly chunk items. This is the invariant the streaming batch loops
+// (aggregate engines, YELT scans) rely on for lossless coverage.
+func TestChunksInvariantsProperty(t *testing.T) {
+	prop := func(nRaw, cRaw uint16) bool {
+		n := int(nRaw%5000) + 1
+		chunk := int(cRaw%600) + 1
+		rs := Chunks(n, chunk)
+		if len(rs) != (n+chunk-1)/chunk {
+			return false
+		}
+		prevHi := 0
+		for i, r := range rs {
+			if r.Len() <= 0 || r.Lo != prevHi {
+				return false // empty range or gap
+			}
+			if r.Len() > chunk {
+				return false
+			}
+			if i < len(rs)-1 && r.Len() != chunk {
+				return false // only the tail may be short
+			}
+			prevHi = r.Hi
+		}
+		return prevHi == n
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}

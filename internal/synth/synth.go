@@ -35,6 +35,10 @@ type Params struct {
 	TwoLayers bool
 	// Workers is passed to the parallel generators; <= 0 GOMAXPROCS.
 	Workers int
+	// SkipYELT leaves Scenario.YELT nil — for streaming consumers that
+	// derive trial batches on demand via YELTGenerator instead of
+	// holding the table resident.
+	SkipYELT bool
 }
 
 // Small returns a scenario that builds in well under a second — the
@@ -114,12 +118,24 @@ func Build(ctx context.Context, p Params) (*Scenario, error) {
 
 	s.Portfolio = BuildPortfolio(s.ELTs, p.OccurrenceOnly, p.TwoLayers)
 
-	// Stage-2 input: the pre-simulated years.
-	s.YELT, err = yelt.Generate(cat, yelt.Config{NumTrials: p.NumTrials, Workers: p.Workers}, p.Seed+7)
-	if err != nil {
-		return nil, fmt.Errorf("synth: yelt: %w", err)
+	// Stage-2 input: the pre-simulated years (skipped when the consumer
+	// streams trials instead — see YELTGenerator).
+	if !p.SkipYELT {
+		s.YELT, err = yelt.Generate(ctx, cat, yelt.Config{NumTrials: p.NumTrials, Workers: p.Workers}, p.Seed+7)
+		if err != nil {
+			return nil, fmt.Errorf("synth: yelt: %w", err)
+		}
 	}
 	return s, nil
+}
+
+// YELTGenerator returns the streaming trial source that re-derives
+// exactly the trials of the scenario's materialized YELT (same
+// catalogue, config, and seed) — the handle equivalence tests and
+// streaming consumers use. It works whether or not SkipYELT was set.
+func (s *Scenario) YELTGenerator() (*yelt.Generator, error) {
+	return yelt.NewGenerator(s.Catalog,
+		yelt.Config{NumTrials: s.Params.NumTrials, Workers: s.Params.Workers}, s.Params.Seed+7)
 }
 
 func meanEventLoss(t *elt.Table) float64 {

@@ -2,6 +2,7 @@ package yelt
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"testing"
 
@@ -24,7 +25,7 @@ func BenchmarkGenerate(b *testing.B) {
 	for _, trials := range []int{10_000, 100_000} {
 		b.Run(fmt.Sprintf("trials=%d", trials), func(b *testing.B) {
 			for i := 0; i < b.N; i++ {
-				t, err := Generate(cat, Config{NumTrials: trials}, uint64(i))
+				t, err := Generate(context.Background(), cat, Config{NumTrials: trials}, uint64(i))
 				if err != nil {
 					b.Fatal(err)
 				}
@@ -36,7 +37,7 @@ func BenchmarkGenerate(b *testing.B) {
 
 func BenchmarkCodecWrite(b *testing.B) {
 	cat := benchCatalog(b, 5_000)
-	t, err := Generate(cat, Config{NumTrials: 50_000}, 1)
+	t, err := Generate(context.Background(), cat, Config{NumTrials: 50_000}, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -53,7 +54,7 @@ func BenchmarkCodecWrite(b *testing.B) {
 
 func BenchmarkCodecRead(b *testing.B) {
 	cat := benchCatalog(b, 5_000)
-	t, err := Generate(cat, Config{NumTrials: 50_000}, 1)
+	t, err := Generate(context.Background(), cat, Config{NumTrials: 50_000}, 1)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -73,7 +74,7 @@ func BenchmarkCodecRead(b *testing.B) {
 
 func BenchmarkStreamTrials(b *testing.B) {
 	cat := benchCatalog(b, 5_000)
-	t, err := Generate(cat, Config{NumTrials: 50_000}, 1)
+	t, err := Generate(context.Background(), cat, Config{NumTrials: 50_000}, 1)
 	if err != nil {
 		b.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package yelt
 
 import (
+	"context"
 	"math"
 	"testing"
 
@@ -22,7 +23,7 @@ func monoPerilCatalog(t *testing.T, p catalog.Peril, n int) *catalog.Catalog {
 
 func TestSeasonalHurricaneWindow(t *testing.T) {
 	cat := monoPerilCatalog(t, catalog.Hurricane, 100)
-	tbl, err := Generate(cat, Config{NumTrials: 3000, Seasonal: true}, 5)
+	tbl, err := Generate(context.Background(), cat, Config{NumTrials: 3000, Seasonal: true}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -41,7 +42,7 @@ func TestSeasonalHurricaneWindow(t *testing.T) {
 
 func TestSeasonalWinterStormWrapsYear(t *testing.T) {
 	cat := monoPerilCatalog(t, catalog.WinterStorm, 100)
-	tbl, err := Generate(cat, Config{NumTrials: 3000, Seasonal: true}, 6)
+	tbl, err := Generate(context.Background(), cat, Config{NumTrials: 3000, Seasonal: true}, 6)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -66,7 +67,7 @@ func TestSeasonalWinterStormWrapsYear(t *testing.T) {
 
 func TestSeasonalEarthquakeUniform(t *testing.T) {
 	cat := monoPerilCatalog(t, catalog.Earthquake, 100)
-	tbl, err := Generate(cat, Config{NumTrials: 5000, Seasonal: true}, 7)
+	tbl, err := Generate(context.Background(), cat, Config{NumTrials: 5000, Seasonal: true}, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -97,11 +98,11 @@ func TestSeasonalStillSortedAndDeterministic(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	a, err := Generate(cat, Config{NumTrials: 1000, Seasonal: true, Workers: 1}, 11)
+	a, err := Generate(context.Background(), cat, Config{NumTrials: 1000, Seasonal: true, Workers: 1}, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Generate(cat, Config{NumTrials: 1000, Seasonal: true, Workers: 6}, 11)
+	b, err := Generate(context.Background(), cat, Config{NumTrials: 1000, Seasonal: true, Workers: 6}, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -122,7 +123,7 @@ func TestSeasonalStillSortedAndDeterministic(t *testing.T) {
 
 func TestSeasonalOffByDefault(t *testing.T) {
 	cat := monoPerilCatalog(t, catalog.Hurricane, 50)
-	tbl, err := Generate(cat, Config{NumTrials: 2000}, 5)
+	tbl, err := Generate(context.Background(), cat, Config{NumTrials: 2000}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

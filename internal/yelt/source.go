@@ -1,0 +1,214 @@
+package yelt
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/catalog"
+	"repro/internal/rng"
+	"repro/internal/stream"
+)
+
+// Source yields trial years in bounded batches — the stage-2 streaming
+// abstraction. Per §II the YELT is the burst artifact between stages:
+// it must be "organised in a small number of very large tables and
+// streamed by independent processes", and aggregate analysis only ever
+// scans it. A Source lets the engines consume trials without requiring
+// the whole table resident: a materialized *Table is a Source (batches
+// are zero-copy views), and a Generator re-derives any batch on demand
+// from the catalogue and seed, so trial count is bounded by time, not
+// memory.
+//
+// Sources must be safe for concurrent ReadTrials calls with distinct
+// buffers — including overlapping or identical ranges, not just
+// disjoint ones: the by-contract engine has every contract worker
+// scan the full trial range concurrently.
+type Source interface {
+	// TrialCount is the total number of trial years the source yields.
+	TrialCount() int
+	// ReadTrials materializes trials [lo, hi) into a batch table whose
+	// local trial i corresponds to global trial lo+i. The returned
+	// table may be buf (with its storage reused) or a view sharing the
+	// source's storage; either way it is only valid until the next
+	// ReadTrials call with the same buf. A nil buf allocates.
+	ReadTrials(ctx context.Context, lo, hi int, buf *Table) (*Table, error)
+}
+
+// TrialCount implements Source.
+func (t *Table) TrialCount() int { return t.NumTrials }
+
+// ReadTrials implements Source: batches are views sharing the table's
+// occurrence storage (no copy); only the rebased offsets go through
+// buf. The full range returns the table itself.
+func (t *Table) ReadTrials(_ context.Context, lo, hi int, buf *Table) (*Table, error) {
+	if lo < 0 || hi > t.NumTrials || lo > hi {
+		return nil, fmt.Errorf("yelt: read trials [%d,%d) outside [0,%d)", lo, hi, t.NumTrials)
+	}
+	if lo == 0 && hi == t.NumTrials {
+		return t, nil
+	}
+	if buf == nil {
+		buf = &Table{}
+	}
+	return t.view(lo, hi, buf), nil
+}
+
+// Generator is the streaming counterpart of Generate: it re-derives
+// any trial batch on demand instead of pre-simulating the whole table.
+// Because every trial draws from its own splittable stream
+// (rng.NewStream(seed, trial)), a batch is a pure function of
+// (catalogue, config, seed, trial range) — Generate and a Generator
+// with the same inputs produce bit-identical occurrences, which the
+// equivalence tests pin down. A Generator is safe for concurrent
+// ReadTrials calls.
+type Generator struct {
+	cfg       Config
+	seed      uint64
+	events    []catalog.Event
+	alias     *rng.Alias
+	totalRate float64
+	// streamed counts occurrences delivered through ReadTrials — the
+	// streaming analogue of Table.Len for stage accounting.
+	streamed atomic.Int64
+}
+
+// NewGenerator validates the inputs and prepares the shared samplers.
+// The returned generator yields exactly the trials that
+// Generate(ctx, cat, cfg, seed) would materialize.
+func NewGenerator(cat *catalog.Catalog, cfg Config, seed uint64) (*Generator, error) {
+	if cfg.NumTrials <= 0 {
+		return nil, fmt.Errorf("yelt: NumTrials must be positive, got %d", cfg.NumTrials)
+	}
+	if cat.Len() == 0 {
+		return nil, errEmptyCatalog
+	}
+	alias, err := rng.NewAlias(cat.Rates())
+	if err != nil {
+		return nil, fmt.Errorf("yelt: building event sampler: %w", err)
+	}
+	return &Generator{
+		cfg:       cfg,
+		seed:      seed,
+		events:    cat.Events,
+		alias:     alias,
+		totalRate: cat.TotalRate(),
+	}, nil
+}
+
+// TrialCount implements Source.
+func (g *Generator) TrialCount() int { return g.cfg.NumTrials }
+
+// MeanOccurrences returns the expected events per trial year (the
+// catalogue's total rate) — the sizing input for batch-byte estimates.
+func (g *Generator) MeanOccurrences() float64 { return g.totalRate }
+
+// Streamed returns the total occurrences delivered through ReadTrials
+// so far. Single-pass engines stream each trial exactly once, so after
+// such a run Streamed equals the occurrence count of the equivalent
+// materialized table.
+func (g *Generator) Streamed() int64 { return g.streamed.Load() }
+
+// appendTrial re-derives one trial year and appends its occurrences,
+// sorted by (day, event). This is the single per-trial kernel shared
+// by Generate and ReadTrials; the draw order (Poisson count, then per
+// occurrence an alias draw, a uniform day, and — in seasonal mode — the
+// seasonal redraw) is the determinism contract and must not change.
+func (g *Generator) appendTrial(trial int, occs []Occurrence) []Occurrence {
+	st := rng.NewStream(g.seed, uint64(trial))
+	k := st.Poisson(g.totalRate)
+	start := len(occs)
+	for j := 0; j < k; j++ {
+		ev := g.events[g.alias.Draw(st)]
+		day := uint16(st.Intn(365))
+		if g.cfg.Seasonal {
+			day = seasonalDay(st, ev.Peril)
+		}
+		occs = append(occs, Occurrence{EventID: ev.ID, DayOfYear: day})
+	}
+	year := occs[start:]
+	sort.Slice(year, func(i, j int) bool {
+		if year[i].DayOfYear != year[j].DayOfYear {
+			return year[i].DayOfYear < year[j].DayOfYear
+		}
+		return year[i].EventID < year[j].EventID
+	})
+	return occs
+}
+
+// ReadTrials implements Source by regenerating trials [lo, hi) into
+// buf. Memory use is bounded by the batch, not the trial count.
+func (g *Generator) ReadTrials(ctx context.Context, lo, hi int, buf *Table) (*Table, error) {
+	if lo < 0 || hi > g.cfg.NumTrials || lo > hi {
+		return nil, fmt.Errorf("yelt: read trials [%d,%d) outside [0,%d)", lo, hi, g.cfg.NumTrials)
+	}
+	if buf == nil {
+		buf = &Table{}
+	}
+	buf.NumTrials = hi - lo
+	buf.Offsets = append(buf.Offsets[:0], 0)
+	buf.Occs = buf.Occs[:0]
+	for trial := lo; trial < hi; trial++ {
+		if (trial-lo)%1024 == 0 {
+			select {
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			default:
+			}
+		}
+		buf.Occs = g.appendTrial(trial, buf.Occs)
+		buf.Offsets = append(buf.Offsets, int64(len(buf.Occs)))
+	}
+	g.streamed.Add(int64(len(buf.Occs)))
+	return buf, nil
+}
+
+// Materialize pre-simulates the full table, parallelized across trial
+// blocks exactly as Generate (which is implemented on top of it).
+func (g *Generator) Materialize(ctx context.Context) (*Table, error) {
+	nBlocks := g.cfg.Workers
+	if nBlocks <= 0 {
+		nBlocks = runtime.GOMAXPROCS(0)
+	}
+	ranges := stream.Partition(g.cfg.NumTrials, nBlocks)
+	blocks := make([]Table, len(ranges))
+	err := stream.ForEachRange(ctx, g.cfg.NumTrials, nBlocks, func(ctx context.Context, r stream.Range, w int) error {
+		b := &blocks[w]
+		b.NumTrials = r.Len()
+		b.Offsets = append(make([]int64, 0, r.Len()+1), 0)
+		b.Occs = make([]Occurrence, 0, int(float64(r.Len())*g.totalRate*11/10))
+		for trial := r.Lo; trial < r.Hi; trial++ {
+			if (trial-r.Lo)%4096 == 0 {
+				select {
+				case <-ctx.Done():
+					return ctx.Err()
+				default:
+				}
+			}
+			b.Occs = g.appendTrial(trial, b.Occs)
+			b.Offsets = append(b.Offsets, int64(len(b.Occs)))
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	t := &Table{NumTrials: g.cfg.NumTrials}
+	total := 0
+	for i := range blocks {
+		total += len(blocks[i].Occs)
+	}
+	t.Offsets = make([]int64, 1, g.cfg.NumTrials+1)
+	t.Occs = make([]Occurrence, 0, total)
+	for i := range blocks {
+		base := t.Offsets[len(t.Offsets)-1]
+		for _, off := range blocks[i].Offsets[1:] {
+			t.Offsets = append(t.Offsets, base+off)
+		}
+		t.Occs = append(t.Occs, blocks[i].Occs...)
+	}
+	return t, nil
+}

@@ -1,0 +1,176 @@
+package yelt
+
+import (
+	"bytes"
+	"context"
+	"testing"
+)
+
+// assembleViaSource reconstructs a full table by reading src in
+// consecutive batches of the given size through one reused buffer —
+// the access pattern of a streaming engine worker.
+func assembleViaSource(t *testing.T, src Source, batch int) *Table {
+	t.Helper()
+	n := src.TrialCount()
+	out := &Table{NumTrials: n, Offsets: []int64{0}}
+	buf := &Table{}
+	for lo := 0; lo < n; lo += batch {
+		hi := lo + batch
+		if hi > n {
+			hi = n
+		}
+		b, err := src.ReadTrials(context.Background(), lo, hi, buf)
+		if err != nil {
+			t.Fatalf("ReadTrials[%d,%d): %v", lo, hi, err)
+		}
+		if b.NumTrials != hi-lo {
+			t.Fatalf("batch [%d,%d): NumTrials = %d", lo, hi, b.NumTrials)
+		}
+		base := out.Offsets[len(out.Offsets)-1]
+		for _, off := range b.Offsets[1:] {
+			out.Offsets = append(out.Offsets, base+off)
+		}
+		out.Occs = append(out.Occs, b.Occs...)
+	}
+	return out
+}
+
+func tablesEqual(t *testing.T, name string, want, got *Table) {
+	t.Helper()
+	var wb, gb bytes.Buffer
+	if _, err := want.WriteTo(&wb); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := got.WriteTo(&gb); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(wb.Bytes(), gb.Bytes()) {
+		t.Fatalf("%s: tables are not byte-identical", name)
+	}
+}
+
+// The streaming Generator must re-derive exactly the trials Generate
+// materializes — for every batch partition, including sizes that do
+// not divide the trial count — in both uniform and seasonal modes.
+// This is the foundation of the stage-2 streaming equivalence.
+func TestGeneratorMatchesGenerate(t *testing.T) {
+	cat := testCatalog(t, 300)
+	for _, seasonal := range []bool{false, true} {
+		cfg := Config{NumTrials: 500, Seasonal: seasonal}
+		want, err := Generate(context.Background(), cat, cfg, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g, err := NewGenerator(cat, cfg, 11)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if g.TrialCount() != 500 {
+			t.Fatalf("TrialCount = %d", g.TrialCount())
+		}
+		for _, batch := range []int{1, 3, 97, 500, 1000} {
+			got := assembleViaSource(t, g, batch)
+			tablesEqual(t, "generator batch", want, got)
+		}
+	}
+}
+
+// A generator's Streamed counter must equal the occurrence count of
+// the equivalent table after one full pass — the accounting invariant
+// the streaming stage reports rely on.
+func TestGeneratorStreamedCount(t *testing.T) {
+	cat := testCatalog(t, 200)
+	cfg := Config{NumTrials: 300}
+	want, err := Generate(context.Background(), cat, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(cat, cfg, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.Streamed() != 0 {
+		t.Fatalf("fresh generator streamed %d", g.Streamed())
+	}
+	assembleViaSource(t, g, 64)
+	if g.Streamed() != int64(want.Len()) {
+		t.Fatalf("streamed %d occurrences, table has %d", g.Streamed(), want.Len())
+	}
+}
+
+// A materialized table is itself a Source: batches must be views of
+// the same trials, and the full range must avoid copying entirely.
+func TestTableAsSource(t *testing.T) {
+	cat := testCatalog(t, 200)
+	tbl, err := Generate(context.Background(), cat, Config{NumTrials: 250}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range []int{1, 7, 250, 4096} {
+		got := assembleViaSource(t, tbl, batch)
+		tablesEqual(t, "table batch", tbl, got)
+	}
+	full, err := tbl.ReadTrials(context.Background(), 0, tbl.NumTrials, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full != tbl {
+		t.Fatal("full-range ReadTrials should return the table itself")
+	}
+}
+
+func TestReadTrialsBounds(t *testing.T) {
+	cat := testCatalog(t, 100)
+	cfg := Config{NumTrials: 50}
+	tbl, err := Generate(context.Background(), cat, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := NewGenerator(cat, cfg, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, src := range []Source{tbl, g} {
+		if _, err := src.ReadTrials(context.Background(), -1, 10, nil); err == nil {
+			t.Error("negative lo should error")
+		}
+		if _, err := src.ReadTrials(context.Background(), 0, 51, nil); err == nil {
+			t.Error("hi beyond trials should error")
+		}
+		if _, err := src.ReadTrials(context.Background(), 30, 20, nil); err == nil {
+			t.Error("inverted range should error")
+		}
+		b, err := src.ReadTrials(context.Background(), 20, 20, nil)
+		if err != nil {
+			t.Errorf("empty range should succeed: %v", err)
+		} else if b.NumTrials != 0 {
+			t.Errorf("empty range NumTrials = %d", b.NumTrials)
+		}
+	}
+}
+
+func TestNewGeneratorValidation(t *testing.T) {
+	cat := testCatalog(t, 10)
+	if _, err := NewGenerator(cat, Config{NumTrials: 0}, 1); err == nil {
+		t.Error("NumTrials=0 should error")
+	}
+}
+
+// Stage-2 generation must honor pipeline cancellation: both the
+// materializing Generate and a streaming batch read stop early when
+// the context is done instead of simulating to completion.
+func TestGenerateHonorsCancellation(t *testing.T) {
+	cat := testCatalog(t, 200)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := Generate(ctx, cat, Config{NumTrials: 100_000}, 1); err == nil {
+		t.Fatal("cancelled Generate should error")
+	}
+	g, err := NewGenerator(cat, Config{NumTrials: 100_000}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.ReadTrials(ctx, 0, 100_000, nil); err == nil {
+		t.Fatal("cancelled ReadTrials should error")
+	}
+}

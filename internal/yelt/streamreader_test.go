@@ -2,13 +2,14 @@ package yelt
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"testing"
 )
 
 func TestStreamTrialsMatchesRead(t *testing.T) {
 	cat := testCatalog(t, 300)
-	tbl, err := Generate(cat, Config{NumTrials: 500}, 77)
+	tbl, err := Generate(context.Background(), cat, Config{NumTrials: 500}, 77)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -40,7 +41,7 @@ func TestStreamTrialsMatchesRead(t *testing.T) {
 
 func TestStreamTrialsVisitorError(t *testing.T) {
 	cat := testCatalog(t, 100)
-	tbl, _ := Generate(cat, Config{NumTrials: 50}, 1)
+	tbl, _ := Generate(context.Background(), cat, Config{NumTrials: 50}, 1)
 	var buf bytes.Buffer
 	if _, err := tbl.WriteTo(&buf); err != nil {
 		t.Fatal(err)
@@ -67,7 +68,7 @@ func TestStreamTrialsRejectsGarbage(t *testing.T) {
 		t.Fatal("bad magic should error")
 	}
 	cat := testCatalog(t, 50)
-	tbl, _ := Generate(cat, Config{NumTrials: 20}, 2)
+	tbl, _ := Generate(context.Background(), cat, Config{NumTrials: 20}, 2)
 	var buf bytes.Buffer
 	if _, err := tbl.WriteTo(&buf); err != nil {
 		t.Fatal(err)

@@ -21,12 +21,8 @@ import (
 	"errors"
 	"fmt"
 	"io"
-	"runtime"
-	"sort"
 
 	"repro/internal/catalog"
-	"repro/internal/rng"
-	"repro/internal/stream"
 )
 
 // Occurrence is one event happening in one trial year.
@@ -66,7 +62,15 @@ const EntryBytes = 6
 
 // SizeBytes returns the encoded size of the table.
 func (t *Table) SizeBytes() int64 {
-	return int64(16+8*(len(t.Offsets))) + int64(len(t.Occs)*EntryBytes)
+	return TableBytes(len(t.Offsets)-1, int64(len(t.Occs)))
+}
+
+// TableBytes returns the encoded size of a table holding numTrials
+// trials and occs occurrences — the materialized-footprint arithmetic
+// used when no table exists (streaming runs report how much memory
+// they avoided).
+func TableBytes(numTrials int, occs int64) int64 {
+	return int64(16+8*(numTrials+1)) + occs*EntryBytes
 }
 
 // Config controls YELT generation.
@@ -82,88 +86,25 @@ type Config struct {
 	Seasonal bool
 }
 
+// errEmptyCatalog rejects generation against a catalogue with no
+// events (shared by Generate and NewGenerator).
+var errEmptyCatalog = errors.New("yelt: empty catalogue")
+
 // Generate pre-simulates cfg.NumTrials alternative years against the
 // catalogue: per trial the number of occurrences is Poisson with the
 // catalogue's total rate and event identities follow the per-event
 // rates (sampled by an O(1) alias table). Each trial draws from its
 // own splittable stream, so the table is a pure function of
-// (catalogue, seed, NumTrials) — the "consistent lens" requirement.
-func Generate(cat *catalog.Catalog, cfg Config, seed uint64) (*Table, error) {
-	if cfg.NumTrials <= 0 {
-		return nil, fmt.Errorf("yelt: NumTrials must be positive, got %d", cfg.NumTrials)
-	}
-	if cat.Len() == 0 {
-		return nil, errors.New("yelt: empty catalogue")
-	}
-	alias, err := rng.NewAlias(cat.Rates())
-	if err != nil {
-		return nil, fmt.Errorf("yelt: building event sampler: %w", err)
-	}
-	totalRate := cat.TotalRate()
-
-	type block struct {
-		counts []int32
-		occs   []Occurrence
-	}
-	nBlocks := cfg.Workers
-	if nBlocks <= 0 {
-		nBlocks = runtime.GOMAXPROCS(0)
-	}
-	blocks := make([]block, 0, nBlocks)
-	ranges := stream.Partition(cfg.NumTrials, nBlocks)
-	blocks = blocks[:0]
-	for range ranges {
-		blocks = append(blocks, block{})
-	}
-
-	err = stream.ForEachRange(context.Background(), cfg.NumTrials, nBlocks, func(_ context.Context, r stream.Range, w int) error {
-		b := &blocks[w]
-		b.counts = make([]int32, r.Len())
-		b.occs = make([]Occurrence, 0, int(float64(r.Len())*totalRate*11/10))
-		for trial := r.Lo; trial < r.Hi; trial++ {
-			st := rng.NewStream(seed, uint64(trial))
-			k := st.Poisson(totalRate)
-			b.counts[trial-r.Lo] = int32(k)
-			start := len(b.occs)
-			for j := 0; j < k; j++ {
-				ev := cat.Events[alias.Draw(st)]
-				day := uint16(st.Intn(365))
-				if cfg.Seasonal {
-					day = seasonalDay(st, ev.Peril)
-				}
-				b.occs = append(b.occs, Occurrence{
-					EventID:   ev.ID,
-					DayOfYear: day,
-				})
-			}
-			year := b.occs[start:]
-			sort.Slice(year, func(i, j int) bool {
-				if year[i].DayOfYear != year[j].DayOfYear {
-					return year[i].DayOfYear < year[j].DayOfYear
-				}
-				return year[i].EventID < year[j].EventID
-			})
-		}
-		return nil
-	})
+// (catalogue, seed, NumTrials) — the "consistent lens" requirement —
+// and Generator (source.go) can re-derive any trial batch on demand
+// without materializing the table. Generate is the materialized form
+// of the same kernel; ctx cancels generation between trial blocks.
+func Generate(ctx context.Context, cat *catalog.Catalog, cfg Config, seed uint64) (*Table, error) {
+	g, err := NewGenerator(cat, cfg, seed)
 	if err != nil {
 		return nil, err
 	}
-
-	t := &Table{NumTrials: cfg.NumTrials}
-	total := 0
-	for _, b := range blocks {
-		total += len(b.occs)
-	}
-	t.Offsets = make([]int64, 1, cfg.NumTrials+1)
-	t.Occs = make([]Occurrence, 0, total)
-	for _, b := range blocks {
-		for _, c := range b.counts {
-			t.Offsets = append(t.Offsets, t.Offsets[len(t.Offsets)-1]+int64(c))
-		}
-		t.Occs = append(t.Occs, b.occs...)
-	}
-	return t, nil
+	return g.Materialize(ctx)
 }
 
 // --- binary codec ---
@@ -229,31 +170,51 @@ func Read(r io.Reader) (*Table, error) {
 	if numTrials < 0 || numTrials > maxTrials {
 		return nil, fmt.Errorf("%w: trial count %d", ErrBadFormat, numTrials)
 	}
-	t := &Table{NumTrials: numTrials, Offsets: make([]int64, numTrials+1)}
+	// Cap the initial allocations and grow with the data actually read:
+	// a forged header declaring 2^27 trials must not reserve gigabytes
+	// before the short read is noticed (the codec fuzzer's finding).
+	const preallocCap = 1 << 16
+	t := &Table{NumTrials: numTrials, Offsets: make([]int64, 1, min(numTrials+1, preallocCap))}
 	var total int64
 	for trial := 0; trial < numTrials; trial++ {
 		if _, err := io.ReadFull(br, u4[:]); err != nil {
 			return nil, fmt.Errorf("yelt: reading count %d: %w", trial, err)
 		}
 		total += int64(binary.LittleEndian.Uint32(u4[:]))
-		t.Offsets[trial+1] = total
+		t.Offsets = append(t.Offsets, total)
 	}
 	const maxOccs = 1 << 31
 	if total > maxOccs {
 		return nil, fmt.Errorf("%w: occurrence count %d", ErrBadFormat, total)
 	}
-	t.Occs = make([]Occurrence, total)
+	t.Occs = make([]Occurrence, 0, min(total, preallocCap))
 	var rec [EntryBytes]byte
-	for i := range t.Occs {
+	for i := int64(0); i < total; i++ {
 		if _, err := io.ReadFull(br, rec[:]); err != nil {
 			return nil, fmt.Errorf("yelt: reading occurrence %d: %w", i, err)
 		}
-		t.Occs[i] = Occurrence{
+		t.Occs = append(t.Occs, Occurrence{
 			EventID:   binary.LittleEndian.Uint32(rec[0:4]),
 			DayOfYear: binary.LittleEndian.Uint16(rec[4:6]),
-		}
+		})
 	}
 	return t, nil
+}
+
+// view fills buf with trials [lo, hi) as a table sharing t's
+// occurrence storage, offsets rebased to the range start. Bounds must
+// already be validated. It is the one rebasing kernel behind both
+// Slice and the streaming ReadTrials, so view semantics cannot
+// diverge between the two.
+func (t *Table) view(lo, hi int, buf *Table) *Table {
+	buf.NumTrials = hi - lo
+	buf.Occs = t.Occs[t.Offsets[lo]:t.Offsets[hi]]
+	buf.Offsets = buf.Offsets[:0]
+	base := t.Offsets[lo]
+	for i := lo; i <= hi; i++ {
+		buf.Offsets = append(buf.Offsets, t.Offsets[i]-base)
+	}
+	return buf
 }
 
 // Slice returns a view of trials [lo, hi) as a standalone table
@@ -263,14 +224,5 @@ func (t *Table) Slice(lo, hi int) (*Table, error) {
 	if lo < 0 || hi > t.NumTrials || lo > hi {
 		return nil, fmt.Errorf("yelt: slice [%d,%d) outside [0,%d)", lo, hi, t.NumTrials)
 	}
-	sub := &Table{
-		NumTrials: hi - lo,
-		Offsets:   make([]int64, hi-lo+1),
-		Occs:      t.Occs[t.Offsets[lo]:t.Offsets[hi]],
-	}
-	base := t.Offsets[lo]
-	for i := lo; i <= hi; i++ {
-		sub.Offsets[i-lo] = t.Offsets[i] - base
-	}
-	return sub, nil
+	return t.view(lo, hi, &Table{Offsets: make([]int64, 0, hi-lo+1)}), nil
 }

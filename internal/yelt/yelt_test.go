@@ -2,6 +2,7 @@ package yelt
 
 import (
 	"bytes"
+	"context"
 	"math"
 	"testing"
 
@@ -22,7 +23,7 @@ func testCatalog(t *testing.T, n int) *catalog.Catalog {
 
 func TestGenerateShape(t *testing.T) {
 	cat := testCatalog(t, 2000)
-	tbl, err := Generate(cat, Config{NumTrials: 5000}, 9)
+	tbl, err := Generate(context.Background(), cat, Config{NumTrials: 5000}, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -43,13 +44,13 @@ func TestGenerateShape(t *testing.T) {
 
 func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
 	cat := testCatalog(t, 500)
-	a, err := Generate(cat, Config{NumTrials: 2000, Workers: 1}, 77)
+	a, err := Generate(context.Background(), cat, Config{NumTrials: 2000, Workers: 1}, 77)
 	if err != nil {
 		t.Fatal(err)
 	}
 	// Workers 0 exercises the documented default (GOMAXPROCS).
 	for _, workers := range []int{0, 7} {
-		b, err := Generate(cat, Config{NumTrials: 2000, Workers: workers}, 77)
+		b, err := Generate(context.Background(), cat, Config{NumTrials: 2000, Workers: workers}, 77)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -66,8 +67,8 @@ func TestGenerateDeterministicAcrossWorkers(t *testing.T) {
 
 func TestGenerateSeedSensitivity(t *testing.T) {
 	cat := testCatalog(t, 500)
-	a, _ := Generate(cat, Config{NumTrials: 500}, 1)
-	b, _ := Generate(cat, Config{NumTrials: 500}, 2)
+	a, _ := Generate(context.Background(), cat, Config{NumTrials: 500}, 1)
+	b, _ := Generate(context.Background(), cat, Config{NumTrials: 500}, 2)
 	if a.Len() == b.Len() {
 		same := true
 		for i := range a.Occs {
@@ -84,7 +85,7 @@ func TestGenerateSeedSensitivity(t *testing.T) {
 
 func TestTrialsSortedByDay(t *testing.T) {
 	cat := testCatalog(t, 800)
-	tbl, err := Generate(cat, Config{NumTrials: 1000}, 3)
+	tbl, err := Generate(context.Background(), cat, Config{NumTrials: 1000}, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -103,7 +104,7 @@ func TestTrialsSortedByDay(t *testing.T) {
 
 func TestEventIDsAreValid(t *testing.T) {
 	cat := testCatalog(t, 300)
-	tbl, err := Generate(cat, Config{NumTrials: 500}, 5)
+	tbl, err := Generate(context.Background(), cat, Config{NumTrials: 500}, 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,17 +117,17 @@ func TestEventIDsAreValid(t *testing.T) {
 
 func TestGenerateValidation(t *testing.T) {
 	cat := testCatalog(t, 10)
-	if _, err := Generate(cat, Config{NumTrials: 0}, 1); err == nil {
+	if _, err := Generate(context.Background(), cat, Config{NumTrials: 0}, 1); err == nil {
 		t.Error("NumTrials=0 should error")
 	}
-	if _, err := Generate(catalog.NewCatalog(nil), Config{NumTrials: 10}, 1); err == nil {
+	if _, err := Generate(context.Background(), catalog.NewCatalog(nil), Config{NumTrials: 10}, 1); err == nil {
 		t.Error("empty catalogue should error")
 	}
 }
 
 func TestCodecRoundTrip(t *testing.T) {
 	cat := testCatalog(t, 400)
-	tbl, err := Generate(cat, Config{NumTrials: 700}, 21)
+	tbl, err := Generate(context.Background(), cat, Config{NumTrials: 700}, 21)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,7 +167,7 @@ func TestReadRejectsGarbage(t *testing.T) {
 	}
 	// Truncated occurrences.
 	cat := testCatalog(t, 50)
-	tbl, _ := Generate(cat, Config{NumTrials: 50}, 1)
+	tbl, _ := Generate(context.Background(), cat, Config{NumTrials: 50}, 1)
 	var buf bytes.Buffer
 	if _, err := tbl.WriteTo(&buf); err != nil {
 		t.Fatal(err)
@@ -178,7 +179,7 @@ func TestReadRejectsGarbage(t *testing.T) {
 
 func TestSlice(t *testing.T) {
 	cat := testCatalog(t, 200)
-	tbl, err := Generate(cat, Config{NumTrials: 100}, 8)
+	tbl, err := Generate(context.Background(), cat, Config{NumTrials: 100}, 8)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -214,7 +215,7 @@ func TestSlice(t *testing.T) {
 
 func TestSizeBytes(t *testing.T) {
 	cat := testCatalog(t, 100)
-	tbl, err := Generate(cat, Config{NumTrials: 100}, 2)
+	tbl, err := Generate(context.Background(), cat, Config{NumTrials: 100}, 2)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -70,6 +70,15 @@ type Config struct {
 	Engine               EngineKind
 	// Sampling enables secondary-uncertainty sampling in stage 2.
 	Sampling bool
+	// Streaming runs stage 2 (and PriceContract quotes) in bounded
+	// memory: trial batches are re-derived on demand instead of
+	// materializing the YELT. Results are bit-identical to the
+	// materialized path, so the choice is purely a memory/trial-count
+	// trade.
+	Streaming bool
+	// BatchTrials bounds the per-worker resident batch in streaming
+	// mode; 0 means the engine default.
+	BatchTrials int
 	// Rho correlates the DFA risk sources with the catastrophe book.
 	Rho float64
 	// Workers bounds parallelism everywhere; 0 means all cores.
@@ -175,6 +184,8 @@ func (s *Study) pipeline() (*core.Pipeline, error) {
 		NumTrials:            s.cfg.Trials,
 		Engine:               eng,
 		Sampling:             s.cfg.Sampling,
+		Streaming:            s.cfg.Streaming,
+		BatchTrials:          s.cfg.BatchTrials,
 		Rho:                  s.cfg.Rho,
 		Workers:              s.cfg.Workers,
 		TwoLayers:            true,
@@ -270,9 +281,24 @@ func (s *Study) PriceContract(ctx context.Context, contract int, trials int) (*Q
 		trials = 1_000_000
 	}
 	start := time.Now()
-	y, err := yelt.Generate(p.Catalog, yelt.Config{NumTrials: trials, Workers: s.cfg.Workers}, s.cfg.Seed+101)
-	if err != nil {
-		return nil, err
+	// Quote simulations follow the study's streaming setting: streaming
+	// derives trial batches on demand (memory bounded by batch × workers
+	// regardless of trial count), materialized pre-simulates the table.
+	// Both yield bit-identical quotes.
+	qin := &aggregate.Input{}
+	ycfg := yelt.Config{NumTrials: trials, Workers: s.cfg.Workers}
+	if s.cfg.Streaming {
+		g, err := yelt.NewGenerator(p.Catalog, ycfg, s.cfg.Seed+101)
+		if err != nil {
+			return nil, err
+		}
+		qin.Source = g
+	} else {
+		y, err := yelt.Generate(ctx, p.Catalog, ycfg, s.cfg.Seed+101)
+		if err != nil {
+			return nil, err
+		}
+		qin.YELT = y
 	}
 	single := &layers.Portfolio{Contracts: []layers.Contract{{
 		ID:       p.Portfolio.Contracts[contract].ID,
@@ -293,12 +319,13 @@ func (s *Study) PriceContract(ctx context.Context, contract int, trials int) (*Q
 		s.quoteIdx[contract] = idx
 	}
 	s.quoteMu.Unlock()
-	res, err := (aggregate.Parallel{}).Run(ctx, &aggregate.Input{
-		YELT:      y,
-		ELTs:      p.ELTs[contract : contract+1],
-		Portfolio: single,
-		Index:     idx,
-	}, aggregate.Config{Seed: s.cfg.Seed + 103, Sampling: true, Workers: s.cfg.Workers})
+	qin.ELTs = p.ELTs[contract : contract+1]
+	qin.Portfolio = single
+	qin.Index = idx
+	res, err := (aggregate.Parallel{}).Run(ctx, qin, aggregate.Config{
+		Seed: s.cfg.Seed + 103, Sampling: true,
+		Workers: s.cfg.Workers, BatchTrials: s.cfg.BatchTrials,
+	})
 	if err != nil {
 		return nil, err
 	}

@@ -1,0 +1,92 @@
+package risk
+
+import (
+	"context"
+	"testing"
+)
+
+// A streaming study must be indistinguishable from a materialized one
+// in every number it reports — stage 2's per-trial catastrophe losses
+// bit-for-bit, and real-time quotes field-for-field — differing only
+// in the memory its stage report accounts.
+func TestStreamingStudyMatchesMaterialized(t *testing.T) {
+	mat := NewStudy(smallConfig(9))
+	matRep, err := mat.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	scfg := smallConfig(9)
+	scfg.Streaming = true
+	scfg.BatchTrials = 137 // does not divide the 1500 trials
+	str := NewStudy(scfg)
+	strRep, err := str.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	matLoss, err := mat.CatastropheLosses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	strLoss, err := str.CatastropheLosses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(matLoss) != len(strLoss) {
+		t.Fatalf("loss lengths %d vs %d", len(matLoss), len(strLoss))
+	}
+	for i := range matLoss {
+		if matLoss[i] != strLoss[i] {
+			t.Fatalf("trial %d: materialized %v vs streaming %v", i, matLoss[i], strLoss[i])
+		}
+	}
+	if matRep.Catastrophe.AAL != strRep.Catastrophe.AAL {
+		t.Fatalf("AAL %v vs %v", matRep.Catastrophe.AAL, strRep.Catastrophe.AAL)
+	}
+
+	// The stage report accounts the memory envelope, not the table:
+	// streaming's portfolio-risk bytes must come in below materialized.
+	var matS2, strS2 int64
+	for _, s := range matRep.Stages {
+		if s.Name == "portfolio-risk" {
+			matS2 = s.OutputBytes
+		}
+	}
+	for _, s := range strRep.Stages {
+		if s.Name == "portfolio-risk" {
+			strS2 = s.OutputBytes
+		}
+	}
+	if matS2 == 0 || strS2 == 0 {
+		t.Fatal("missing portfolio-risk stage lines")
+	}
+	if strS2 >= matS2 {
+		t.Fatalf("streaming stage-2 bytes %d not below materialized %d", strS2, matS2)
+	}
+}
+
+// Quotes must also be mode-independent: PriceContract through a
+// streaming study equals the materialized quote field-for-field
+// (Elapsed aside).
+func TestStreamingQuoteMatchesMaterialized(t *testing.T) {
+	mat := NewStudy(smallConfig(11))
+	scfg := smallConfig(11)
+	scfg.Streaming = true
+	str := NewStudy(scfg)
+	const trials = 4000
+	mq, err := mat.PriceContract(context.Background(), 1, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sq, err := str.PriceContract(context.Background(), 1, trials)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mq.ContractID != sq.ContractID || mq.Trials != sq.Trials {
+		t.Fatalf("quote identity differs: %+v vs %+v", mq, sq)
+	}
+	if mq.AAL != sq.AAL || mq.StdDev != sq.StdDev || mq.TVaR99 != sq.TVaR99 ||
+		mq.PML250 != sq.PML250 || mq.Premium != sq.Premium {
+		t.Fatalf("quote numbers differ across modes:\nmaterialized %+v\nstreaming    %+v", mq, sq)
+	}
+}
