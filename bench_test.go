@@ -451,6 +451,88 @@ func BenchmarkE10MaterializedBaseline(b *testing.B) {
 	b.ReportMetric(float64(res.PeakResidentBytes)/1e6, "peakMB")
 }
 
+// --- E11: partitioned stage 2 — MapReduce over re-derived, spilled, and materialized trials ---
+
+// BenchmarkE11MapReduceRederive maps trial-range splits over the fused
+// generator: every mapper read re-derives its trials (CPU traded for
+// memory). Workers/batch pinned as in E10 so envelopes are comparable.
+func BenchmarkE11MapReduceRederive(b *testing.B) {
+	s, _ := scenarios(b)
+	cfg := aggregate.Config{Seed: 2, Sampling: true, Workers: 8, BatchTrials: 4096}
+	eng := aggregate.MapReduce{}
+	var res *aggregate.Result
+	for i := 0; i < b.N; i++ {
+		g, err := yelt.NewGenerator(s.Catalog, yelt.Config{NumTrials: streamEnvelopeTrials}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := &aggregate.Input{Source: g, ELTs: s.ELTs, Portfolio: s.Portfolio}
+		res, err = eng.Run(context.Background(), in, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(streamEnvelopeTrials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+	b.ReportMetric(float64(res.PeakResidentBytes)/1e6, "peakMB")
+}
+
+// BenchmarkE11MapReduceRescan spills the generated trials once into
+// diskstore shards (outside the timer — the write is amortized across
+// every later engine pass, which is the point of spilling), then times
+// MapReduce passes that re-scan the shards from disk.
+func BenchmarkE11MapReduceRescan(b *testing.B) {
+	s, _ := scenarios(b)
+	g, err := yelt.NewGenerator(s.Catalog, yelt.Config{NumTrials: streamEnvelopeTrials}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ds, err := yelt.SpillToDir(context.Background(), g, b.TempDir(), 0, aggregate.DefaultSpillParts(streamEnvelopeTrials), 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	shardBytes, err := ds.SizeBytes()
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := aggregate.Config{Seed: 2, Sampling: true, Workers: 8, BatchTrials: 4096}
+	eng := aggregate.MapReduce{}
+	b.ResetTimer()
+	var res *aggregate.Result
+	for i := 0; i < b.N; i++ {
+		in := &aggregate.Input{Source: ds, ELTs: s.ELTs, Portfolio: s.Portfolio}
+		res, err = eng.Run(context.Background(), in, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(streamEnvelopeTrials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+	b.ReportMetric(float64(res.PeakResidentBytes)/1e6, "peakMB")
+	b.ReportMetric(float64(shardBytes)/1e6, "shardMB")
+}
+
+// BenchmarkE11MapReduceMaterialized is the same MapReduce job over the
+// fully materialized table (generated per iteration, like the E10
+// baseline) — the memory-unconstrained comparison point.
+func BenchmarkE11MapReduceMaterialized(b *testing.B) {
+	s, _ := scenarios(b)
+	cfg := aggregate.Config{Seed: 2, Sampling: true, Workers: 8}
+	eng := aggregate.MapReduce{}
+	var res *aggregate.Result
+	for i := 0; i < b.N; i++ {
+		y, err := yelt.Generate(context.Background(), s.Catalog, yelt.Config{NumTrials: streamEnvelopeTrials}, 7)
+		if err != nil {
+			b.Fatal(err)
+		}
+		in := &aggregate.Input{YELT: y, ELTs: s.ELTs, Portfolio: s.Portfolio}
+		res, err = eng.Run(context.Background(), in, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(streamEnvelopeTrials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+	b.ReportMetric(float64(res.PeakResidentBytes)/1e6, "peakMB")
+}
+
 // --- E7: provisioning policies over the bursty demand profile ---
 
 func BenchmarkE7Elasticity(b *testing.B) {

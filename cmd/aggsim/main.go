@@ -25,14 +25,19 @@ func main() {
 		trials    = flag.Int("trials", 100_000, "pre-simulated trial years")
 		seed      = flag.Uint64("seed", 1, "master seed")
 		workers   = flag.Int("workers", 0, "parallelism bound (0 = all cores)")
-		engine    = flag.String("engine", "parallel", "sequential|parallel|chunked|naive")
+		engine    = flag.String("engine", "parallel", "sequential|parallel|chunked|naive|mapreduce")
 		sampling  = flag.Bool("sampling", false, "secondary-uncertainty sampling (host engines only)")
 		streaming = flag.Bool("stream", false, "stream trial batches instead of materializing the YELT (bit-identical results, bounded memory)")
 		batch     = flag.Int("batch", 0, "streaming trial-batch size per worker (0 = engine default)")
+		spill     = flag.Bool("spill", false, "spill the generated trial stream into diskstore shards and run the engine over the shards (implies -stream)")
+		parts     = flag.Int("parts", 0, "spill shard count (0 = derived from the trial count)")
 		csvOut    = flag.String("csv", "", "write the summary as CSV to this file")
 	)
 	flag.Parse()
 	ctx := context.Background()
+	if *spill {
+		*streaming = true
+	}
 
 	occOnly := *engine == "chunked" || *engine == "naive"
 	s, err := synth.Build(ctx, synth.Params{
@@ -58,6 +63,8 @@ func main() {
 		eng = aggregate.Sequential{}
 	case "parallel":
 		eng = aggregate.Parallel{}
+	case "mapreduce":
+		eng = aggregate.MapReduce{}
 	case "chunked":
 		dev = &aggregate.Chunked{}
 		eng = dev
@@ -81,6 +88,7 @@ func main() {
 
 	in := &aggregate.Input{ELTs: s.ELTs, Portfolio: s.Portfolio, Index: idx}
 	var gen *yelt.Generator
+	var ds *yelt.DiskSource
 	if *streaming {
 		gen, err = s.YELTGenerator()
 		if err != nil {
@@ -89,6 +97,31 @@ func main() {
 		in.Source = gen
 	} else {
 		in.YELT = s.YELT
+	}
+	if *spill {
+		dir, err := os.MkdirTemp("", "aggsim-spill-*")
+		if err != nil {
+			fail(err)
+		}
+		defer os.RemoveAll(dir)
+		nParts := *parts
+		if nParts <= 0 {
+			nParts = aggregate.DefaultSpillParts(*trials)
+		}
+		spillStart := time.Now()
+		ds, err = yelt.SpillToDir(ctx, gen, dir, 0, nParts, *workers)
+		if err != nil {
+			fail(err)
+		}
+		spillDur := time.Since(spillStart)
+		spillBytes, err := ds.SizeBytes()
+		if err != nil {
+			fail(err)
+		}
+		in.Source = ds
+		fmt.Printf("spill: shards=%d nodes=%d bytes=%s write=%v\n",
+			ds.Shards(), ds.Nodes(), yelt.HumanBytes(float64(spillBytes)),
+			spillDur.Round(time.Millisecond))
 	}
 	start := time.Now()
 	res, err := eng.Run(ctx, in, aggregate.Config{
@@ -103,9 +136,13 @@ func main() {
 		idx.NumRows(), idx.NumEntries(), yelt.HumanBytes(float64(idx.SizeBytes())),
 		idxBuild.Round(time.Microsecond))
 	occurrences := int64(0)
-	if *streaming {
+	switch {
+	case ds != nil:
+		// Spilled: count what the engine re-read from the shards.
+		occurrences = ds.Scanned()
+	case *streaming:
 		occurrences = gen.Streamed()
-	} else {
+	default:
 		occurrences = int64(s.YELT.Len())
 	}
 	fmt.Printf("engine=%s trials=%d occurrences=%d elapsed=%v (%.0f trials/s)\n",

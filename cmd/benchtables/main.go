@@ -1,7 +1,8 @@
 // Command benchtables regenerates the tables for every experiment
-// E1–E10 in EXPERIMENTS.md — the quantitative claims of Varghese &
+// E1–E11 in EXPERIMENTS.md — the quantitative claims of Varghese &
 // Rau-Chaplin (SC 2012) reproduced on this machine, plus the
-// streaming-stage-2 memory envelope (E10).
+// streaming-stage-2 memory envelope (E10) and the partitioned
+// (spill + MapReduce) stage 2 (E11).
 //
 // Usage:
 //
@@ -59,13 +60,13 @@ func main() {
 
 	want := map[int]bool{}
 	if *flagExperiments == "all" {
-		for i := 1; i <= 10; i++ {
+		for i := 1; i <= 11; i++ {
 			want[i] = true
 		}
 	} else {
 		for _, tok := range strings.Split(*flagExperiments, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(tok))
-			if err != nil || n < 1 || n > 10 {
+			if err != nil || n < 1 || n > 11 {
 				fmt.Fprintf(os.Stderr, "benchtables: bad experiment %q\n", tok)
 				os.Exit(2)
 			}
@@ -81,6 +82,7 @@ func main() {
 		4: e4Chunking, 5: e5ScanVsRandom, 6: e6MemoryVsMapReduce,
 		7: e7Elasticity, 8: e8TrialsSweep, 9: e9DFA,
 		10: e10StreamingEnvelope,
+		11: e11PartitionedStage2,
 	}
 	keys := make([]int, 0, len(want))
 	for k := range want {
@@ -708,6 +710,104 @@ func e10StreamingEnvelope(ctx context.Context) error {
 		}
 	}
 	fmt.Printf("equivalence: all %d trials bit-identical across modes\n", trials)
+	return nil
+}
+
+// E11 — partitioned stage 2: the MapReduce engine over the three trial
+// sources, completing the memory/compute trade the streaming refactor
+// opened. Re-derive regenerates trials per mapper read (CPU for
+// memory); re-scan generates once, spills trial-range shards into a
+// diskstore, and re-reads them (disk for CPU); materialized holds the
+// whole table resident (memory for everything). All three are
+// bit-identical by construction; the table is the trade.
+func e11PartitionedStage2(ctx context.Context) error {
+	trials := 1_000_000
+	if *flagQuick {
+		trials = 100_000
+	}
+	fmt.Printf("## E11 — partitioned stage 2: re-derive vs re-scan vs materialized (%d trials, mapreduce engine)\n", trials)
+	s, err := scenario(ctx, 1000, false)
+	if err != nil {
+		return err
+	}
+	idx, err := lossindex.Build(s.ELTs, s.Portfolio)
+	if err != nil {
+		return err
+	}
+	eng := aggregate.MapReduce{}
+	acfg := aggregate.Config{Seed: *flagSeed + 13, Sampling: true, Workers: *flagWorkers}
+	ycfg := yelt.Config{NumTrials: trials, Workers: *flagWorkers}
+
+	// Materialized: pre-simulate the table, then map over its views
+	// (generation included — the comparison is end-to-end stage 2).
+	t0 := time.Now()
+	y, err := yelt.Generate(ctx, s.Catalog, ycfg, *flagSeed+7)
+	if err != nil {
+		return err
+	}
+	matRes, err := eng.Run(ctx, &aggregate.Input{YELT: y, ELTs: s.ELTs, Portfolio: s.Portfolio, Index: idx}, acfg)
+	if err != nil {
+		return err
+	}
+	matDur := time.Since(t0)
+
+	// Re-derive: mappers regenerate their trial ranges on demand.
+	gen, err := yelt.NewGenerator(s.Catalog, ycfg, *flagSeed+7)
+	if err != nil {
+		return err
+	}
+	t0 = time.Now()
+	derRes, err := eng.Run(ctx, &aggregate.Input{Source: gen, ELTs: s.ELTs, Portfolio: s.Portfolio, Index: idx}, acfg)
+	if err != nil {
+		return err
+	}
+	derDur := time.Since(t0)
+
+	// Re-scan: generate once into diskstore shards, mappers re-read.
+	dir, err := os.MkdirTemp("", "e11-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	genSpill, err := yelt.NewGenerator(s.Catalog, ycfg, *flagSeed+7)
+	if err != nil {
+		return err
+	}
+	t0 = time.Now()
+	ds, err := yelt.SpillToDir(ctx, genSpill, dir, 0, aggregate.DefaultSpillParts(trials), *flagWorkers)
+	if err != nil {
+		return err
+	}
+	spillDur := time.Since(t0)
+	spillBytes, err := ds.SizeBytes()
+	if err != nil {
+		return err
+	}
+	t0 = time.Now()
+	scanRes, err := eng.Run(ctx, &aggregate.Input{Source: ds, ELTs: s.ELTs, Portfolio: s.Portfolio, Index: idx}, acfg)
+	if err != nil {
+		return err
+	}
+	scanDur := time.Since(t0)
+
+	fmt.Printf("spill: %d shards on %d nodes, %s written in %v (%.0f trials/s)\n",
+		ds.Shards(), ds.Nodes(), yelt.HumanBytes(float64(spillBytes)),
+		spillDur.Round(time.Millisecond), float64(trials)/spillDur.Seconds())
+	fmt.Printf("%-14s %12s %16s %14s\n", "trial source", "time", "resident trials", "trials/s")
+	fmt.Printf("%-14s %12v %16s %14.0f\n", "materialized", matDur.Round(time.Millisecond),
+		yelt.HumanBytes(float64(matRes.PeakResidentBytes)), float64(trials)/matDur.Seconds())
+	fmt.Printf("%-14s %12v %16s %14.0f\n", "re-derive", derDur.Round(time.Millisecond),
+		yelt.HumanBytes(float64(derRes.PeakResidentBytes)), float64(trials)/derDur.Seconds())
+	fmt.Printf("%-14s %12v %16s %14.0f   (+%v spill write, %s on disk)\n", "re-scan", scanDur.Round(time.Millisecond),
+		yelt.HumanBytes(float64(scanRes.PeakResidentBytes)), float64(trials)/scanDur.Seconds(),
+		spillDur.Round(time.Millisecond), yelt.HumanBytes(float64(spillBytes)))
+	for t := 0; t < trials; t++ {
+		if matRes.Portfolio.Agg[t] != derRes.Portfolio.Agg[t] || matRes.Portfolio.Agg[t] != scanRes.Portfolio.Agg[t] ||
+			matRes.Portfolio.OccMax[t] != derRes.Portfolio.OccMax[t] || matRes.Portfolio.OccMax[t] != scanRes.Portfolio.OccMax[t] {
+			return fmt.Errorf("E11: sources diverged at trial %d", t)
+		}
+	}
+	fmt.Printf("equivalence: all %d trials bit-identical across the three sources\n", trials)
 	return nil
 }
 

@@ -26,16 +26,23 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "master seed")
 		rho       = flag.Float64("rho", 0.25, "DFA copula equicorrelation")
 		workers   = flag.Int("workers", 0, "parallelism bound (0 = all cores)")
-		engine    = flag.String("engine", "parallel", "stage-2 engine: sequential|parallel")
+		engine    = flag.String("engine", "parallel", "stage-2 engine: sequential|parallel|mapreduce")
 		streaming = flag.Bool("stream", false, "fuse stage-2 YELT generation into the engine (bounded memory, bit-identical results)")
 		batch     = flag.Int("batch", 0, "streaming trial-batch size per worker (0 = engine default)")
+		spill     = flag.Bool("spill", false, "spill the generated trial stream into diskstore shards and run stage 2 over the shards (implies -stream)")
+		parts     = flag.Int("parts", 0, "spill shard count (0 = derived from the trial count)")
 	)
 	flag.Parse()
 
-	var eng aggregate.Engine = aggregate.Parallel{}
-	if *engine == "sequential" {
+	var eng aggregate.Engine
+	switch *engine {
+	case "sequential":
 		eng = aggregate.Sequential{}
-	} else if *engine != "parallel" {
+	case "parallel":
+		eng = aggregate.Parallel{}
+	case "mapreduce":
+		eng = aggregate.MapReduce{}
+	default:
 		fmt.Fprintf(os.Stderr, "riskpipeline: unknown engine %q\n", *engine)
 		os.Exit(2)
 	}
@@ -50,6 +57,8 @@ func main() {
 		Sampling:             *sampling,
 		Streaming:            *streaming,
 		BatchTrials:          *batch,
+		Spill:                *spill,
+		SpillParts:           *parts,
 		Rho:                  *rho,
 		Workers:              *workers,
 		TwoLayers:            true,
@@ -76,8 +85,11 @@ func main() {
 		}
 	}
 	fmt.Printf("stage-1 → stage-2 data burst: %.1fx\n", stage2/stage1)
-	if *streaming {
+	if *streaming || *spill {
 		fmt.Printf("(streaming stage 2: the portfolio-risk line accounts peak-resident trial bytes, not a materialized YELT)\n")
+	}
+	if *spill {
+		fmt.Printf("(spilled stage 2: the yelt-spill line is the shard write; the engine re-scanned those shards from disk)\n")
 	}
 	fmt.Println()
 

@@ -300,15 +300,19 @@ func runTrial(
 }
 
 // runBatch executes one trial batch into the result tables: local
-// trial i of the batch is global trial base+i, which fixes both the
-// RNG substream and the result slot, so results are independent of how
-// trials were batched.
-func runBatch(idx *lossindex.Index, in *Input, cfg Config, batch *yelt.Table, base int, res *Result, scratch *trialScratch) {
+// trial i of the batch is global trial base+i, which fixes the RNG
+// substream, so results are independent of how trials were batched.
+// The result slot for global trial t is t-slotOff: full-length tables
+// (the host engines) pass slotOff 0; the MapReduce engine hands each
+// mapper a segment table covering only its trial range and passes the
+// range start, so the one shared kernel serves both shapes.
+func runBatch(idx *lossindex.Index, in *Input, cfg Config, batch *yelt.Table, base int, res *Result, scratch *trialScratch, slotOff int) {
 	nc := len(in.Portfolio.Contracts)
 	perContract := make([]float64, nc)
 	perContractOcc := make([]float64, nc)
 	for i := 0; i < batch.NumTrials; i++ {
 		trial := base + i
+		slot := trial - slotOff
 		st := rng.NewStream(cfg.Seed, uint64(trial))
 		var pc, pco []float64
 		if res.PerContract != nil {
@@ -319,12 +323,12 @@ func runBatch(idx *lossindex.Index, in *Input, cfg Config, batch *yelt.Table, ba
 			pc, pco = perContract, perContractOcc
 		}
 		agg, occMax := runTrial(batch.OccurrencesOf(i), idx, in, cfg, st, scratch, pc, pco)
-		res.Portfolio.Agg[trial] = agg
-		res.Portfolio.OccMax[trial] = occMax
+		res.Portfolio.Agg[slot] = agg
+		res.Portfolio.OccMax[slot] = occMax
 		if res.PerContract != nil {
 			for ci := 0; ci < nc; ci++ {
-				res.PerContract[ci].Agg[trial] = perContract[ci]
-				res.PerContract[ci].OccMax[trial] = perContractOcc[ci]
+				res.PerContract[ci].Agg[slot] = perContract[ci]
+				res.PerContract[ci].OccMax[slot] = perContractOcc[ci]
 			}
 		}
 	}
@@ -415,7 +419,13 @@ func streamRange(ctx context.Context, src yelt.Source, r stream.Range, batch int
 }
 
 func newResult(in *Input, cfg Config) *Result {
-	n := in.src().TrialCount()
+	return newResultN(in, cfg, in.src().TrialCount())
+}
+
+// newResultN builds the result tables for n trial slots — the full
+// trial count for whole-run results, a range length for the MapReduce
+// engine's segment tables.
+func newResultN(in *Input, cfg Config, n int) *Result {
 	res := &Result{Portfolio: ylt.New("portfolio", n)}
 	if cfg.PerContract {
 		res.PerContract = make([]*ylt.Table, len(in.Portfolio.Contracts))
@@ -449,7 +459,7 @@ func (Sequential) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 	rt := trackerFor(in)
 	err = streamRange(ctx, src, stream.Range{Lo: 0, Hi: src.TrialCount()}, cfg.batchTrials(), rt, 0, &yelt.Table{},
 		func(b *yelt.Table, base int) error {
-			runBatch(idx, in, cfg, b, base, res, scratch)
+			runBatch(idx, in, cfg, b, base, res, scratch, 0)
 			return nil
 		})
 	if err != nil {
@@ -485,7 +495,7 @@ func (Parallel) Run(ctx context.Context, in *Input, cfg Config) (*Result, error)
 		scratch := newTrialScratch(in.Portfolio)
 		return streamRange(ctx, src, r, cfg.batchTrials(), rt, w, &yelt.Table{},
 			func(b *yelt.Table, base int) error {
-				runBatch(idx, in, cfg, b, base, res, scratch)
+				runBatch(idx, in, cfg, b, base, res, scratch, 0)
 				return nil
 			})
 	})

@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/lossindex"
 	"repro/internal/synth"
 )
 
@@ -68,6 +69,39 @@ func TestByContractCancellation(t *testing.T) {
 	if _, err := (ByContract{}).Run(ctx, input(s), Config{}); err == nil {
 		t.Fatal("cancelled run should error")
 	}
+}
+
+// The batch-major streaming form must derive each trial exactly once —
+// the shared per-batch cache that replaces the old
+// once-per-contract-plus-occurrence-pass regeneration (for C contracts,
+// (C+1)× the table's occurrences). Streamed() counting the table's
+// occurrence count exactly once is the whole point of the restructure.
+func TestByContractStreamingSingleGeneration(t *testing.T) {
+	s := buildScenario(t, synth.Small(45))
+	ix, err := lossindex.Build(s.ELTs, s.Portfolio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen, err := s.YELTGenerator()
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := &Input{Source: gen, ELTs: s.ELTs, Portfolio: s.Portfolio, Index: ix}
+	cfg := Config{Workers: 3, BatchTrials: 97, PerContract: true}
+	got, err := (ByContract{}).Run(context.Background(), in, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := int64(s.YELT.Len()); gen.Streamed() != want {
+		t.Fatalf("streamed %d occurrences, want exactly one generation pass (%d)", gen.Streamed(), want)
+	}
+	// And the single-pass restructure must not change results.
+	want, err := (ByContract{}).Run(context.Background(),
+		&Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio, Index: ix}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsBitIdentical(t, "by-contract single-pass", want, got)
 }
 
 // The decomposition ablation: by-trial vs by-contract parallelism on a

@@ -1,0 +1,178 @@
+package aggregate
+
+import (
+	"context"
+	"runtime"
+
+	"repro/internal/mapreduce"
+	"repro/internal/stream"
+	"repro/internal/yelt"
+)
+
+// MapReduce runs stage 2 as a map/reduce job over trial-range splits —
+// the Yao/Varghese/Rau-Chaplin companion shape ("High Performance Risk
+// Aggregation: ... the Hadoop MapReduce Way"): map over trial splits of
+// any yelt.Source, reduce per-range YLT segments. Each mapper runs the
+// shared runBatch kernel over its split into a segment table, reducers
+// stitch contiguous segments, and the final assembly writes each
+// segment into its disjoint slot range — so the engine is bit-identical
+// to Sequential by construction, for any split size, mapper count, or
+// reducer count. Combined with a spilled yelt.DiskSource the engine is
+// the paper's distributed data-organization strategy end to end:
+// partitioned loss data on (simulated) storage nodes, scanned by
+// mappers, aggregated by reducers.
+//
+// Unlike the other engines, failed mappers are retried (MaxAttempts),
+// mirroring speculative re-execution in the systems the in-process
+// mapreduce package stands in for; a mapper's segment is private until
+// it succeeds, so retries cannot corrupt the result.
+type MapReduce struct {
+	// SplitTrials is the per-mapper trial range — the unit of work
+	// distribution, deliberately coarser than Config.BatchTrials (the
+	// unit of resident memory within a mapper); <= 0 means
+	// DefaultSplitTrials.
+	SplitTrials int
+	// MaxAttempts bounds map-task retries; <= 0 means 2 (one retry).
+	MaxAttempts int
+}
+
+// DefaultSplitTrials is the default mapper split: a few batches per
+// split keeps per-task dispatch negligible while still yielding enough
+// splits to balance mappers on million-trial runs.
+const DefaultSplitTrials = 4 * DefaultBatchTrials
+
+// DefaultSpillParts sizes a yelt.Spill at one shard per
+// DefaultSplitTrials trials (at least one): shards then align with the
+// default mapper split, so a batched shard scan wastes little prefix
+// decoding while per-shard overhead stays negligible. Shared by every
+// spill call site (pipeline, CLIs, benchmarks).
+func DefaultSpillParts(numTrials int) int {
+	parts := numTrials / DefaultSplitTrials
+	if parts < 1 {
+		parts = 1
+	}
+	return parts
+}
+
+// Name implements Engine.
+func (MapReduce) Name() string { return "mapreduce" }
+
+// segment is one contiguous trial range of the final YLT: the value
+// type flowing from mappers to reducers. res holds tables of length
+// r.Len() whose slot for global trial t is t-r.Lo.
+type segment struct {
+	r   stream.Range
+	res *Result
+}
+
+func newSegment(in *Input, cfg Config, r stream.Range) *segment {
+	return &segment{r: r, res: newResultN(in, cfg, r.Len())}
+}
+
+// copyInto writes the segment into dst tables at its global slot range.
+func (s *segment) copyInto(dst *Result, off int) {
+	lo := s.r.Lo - off
+	copy(dst.Portfolio.Agg[lo:], s.res.Portfolio.Agg)
+	copy(dst.Portfolio.OccMax[lo:], s.res.Portfolio.OccMax)
+	for ci := range dst.PerContract {
+		copy(dst.PerContract[ci].Agg[lo:], s.res.PerContract[ci].Agg)
+		copy(dst.PerContract[ci].OccMax[lo:], s.res.PerContract[ci].OccMax)
+	}
+}
+
+// Run implements Engine.
+func (m MapReduce) Run(ctx context.Context, in *Input, cfg Config) (*Result, error) {
+	if err := in.Validate(); err != nil {
+		return nil, err
+	}
+	idx, err := in.EnsureIndex()
+	if err != nil {
+		return nil, err
+	}
+	src := in.src()
+	n := src.TrialCount()
+	splitTrials := m.SplitTrials
+	if splitTrials <= 0 {
+		splitTrials = DefaultSplitTrials
+	}
+	maxAttempts := m.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 2
+	}
+
+	// Splits are the map inputs; contiguous runs of whole splits form
+	// reducer groups (the per-range YLT segments of the companion
+	// paper), keyed so shuffle hashing lands each group on one reducer.
+	type mapSplit struct {
+		id int
+		r  stream.Range
+	}
+	ranges := stream.Chunks(n, splitTrials)
+	splits := make([]mapSplit, len(ranges))
+	for i, r := range ranges {
+		splits[i] = mapSplit{id: i, r: r}
+	}
+	nGroups := cfg.Workers
+	if nGroups <= 0 {
+		nGroups = runtime.GOMAXPROCS(0)
+	}
+	if nGroups > len(splits) {
+		nGroups = len(splits)
+	}
+	groupOf := func(id int) int { return id * nGroups / len(splits) }
+
+	rt := trackerFor(in)
+	mapf := func(ctx context.Context, sp mapSplit, emit func(int, *segment)) error {
+		seg := newSegment(in, cfg, sp.r)
+		scratch := newTrialScratch(in.Portfolio)
+		err := streamRange(ctx, src, sp.r, cfg.batchTrials(), rt, sp.id, &yelt.Table{},
+			func(b *yelt.Table, base int) error {
+				runBatch(idx, in, cfg, b, base, seg.res, scratch, sp.r.Lo)
+				return nil
+			})
+		if err != nil {
+			return err
+		}
+		emit(groupOf(sp.id), seg)
+		return nil
+	}
+	// Reduce stitches a group's segments into one segment spanning the
+	// group's range. Segments arrive in unspecified order but cover
+	// disjoint slots, so the stitch is order-insensitive — the
+	// commutativity mapreduce.Run requires for determinism.
+	reduce := func(_ int, segs []*segment) (*segment, error) {
+		if len(segs) == 1 {
+			return segs[0], nil
+		}
+		span := segs[0].r
+		for _, s := range segs[1:] {
+			if s.r.Lo < span.Lo {
+				span.Lo = s.r.Lo
+			}
+			if s.r.Hi > span.Hi {
+				span.Hi = s.r.Hi
+			}
+		}
+		out := newSegment(in, cfg, span)
+		for _, s := range segs {
+			s.copyInto(out.res, span.Lo)
+		}
+		return out, nil
+	}
+
+	stitched, err := mapreduce.Run(ctx, splits, mapf, nil, reduce, mapreduce.Config{
+		Mappers:     cfg.Workers,
+		Reducers:    nGroups,
+		MaxAttempts: maxAttempts,
+	})
+	if err != nil {
+		return nil, err
+	}
+
+	res := newResult(in, cfg)
+	for _, seg := range stitched {
+		seg.copyInto(res, 0)
+	}
+	finishResident(in, res, rt)
+	return res, nil
+}

@@ -12,6 +12,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"os"
 	"time"
 
 	"repro/internal/aggregate"
@@ -50,6 +51,18 @@ type Config struct {
 	// BatchTrials bounds the per-worker resident trial batch in
 	// streaming mode; <= 0 means aggregate.DefaultBatchTrials.
 	BatchTrials int
+	// Spill (implies Streaming) generates the trial stream once, writes
+	// trial-range shards into a diskstore, and runs the engine over the
+	// spilled shards — re-scanning from disk instead of re-deriving per
+	// pass, the third point on the memory/compute trade. The stage
+	// report gains a yelt-spill line (shard bytes written, shard count).
+	Spill bool
+	// SpillDir roots the spill store; "" uses a fresh temp dir removed
+	// when stage 2 finishes, a caller-supplied dir keeps the shards.
+	SpillDir string
+	// SpillParts is the shard count; <= 0 derives one shard per
+	// 4*aggregate.DefaultBatchTrials trials (at least one).
+	SpillParts int
 	// Stage 3.
 	Sources []dfa.Source // nil = StandardSources scaled to the cat AAL
 	Rho     float64      // copula equicorrelation
@@ -200,7 +213,10 @@ func (p *Pipeline) RunStage1(ctx context.Context) error {
 // mode the two are fused — trial batches are derived on demand and the
 // YELT is never materialized, so the stage report accounts the
 // peak-resident trial bytes (the memory envelope) where the
-// materialized path accounts the full table.
+// materialized path accounts the full table. Spill mode generates the
+// stream once into diskstore shards and runs the engine over the
+// spilled partitions (re-scan instead of re-derive), reported as a
+// separate yelt-spill stage line.
 func (p *Pipeline) RunStage2(ctx context.Context) error {
 	if p.Catalog == nil {
 		return errors.New("core: stage 2 requires stage 1 artifacts")
@@ -209,13 +225,48 @@ func (p *Pipeline) RunStage2(ctx context.Context) error {
 	ycfg := yelt.Config{NumTrials: p.Cfg.NumTrials, Workers: p.Cfg.Workers}
 	in := &aggregate.Input{ELTs: p.ELTs, Portfolio: p.Portfolio, Index: p.Index}
 	var gen *yelt.Generator
-	if p.Cfg.Streaming {
+	var ds *yelt.DiskSource
+	if p.Cfg.Streaming || p.Cfg.Spill {
 		g, err := yelt.NewGenerator(p.Catalog, ycfg, p.Cfg.Seed+7)
 		if err != nil {
 			return fmt.Errorf("core: stage 2 yelt: %w", err)
 		}
 		gen = g
 		in.Source = gen
+		if p.Cfg.Spill {
+			spillStart := time.Now()
+			dir := p.Cfg.SpillDir
+			if dir == "" {
+				tmp, err := os.MkdirTemp("", "riskspill-*")
+				if err != nil {
+					return fmt.Errorf("core: stage 2 spill dir: %w", err)
+				}
+				defer os.RemoveAll(tmp) // shards are only needed during the engine run
+				dir = tmp
+			}
+			parts := p.Cfg.SpillParts
+			if parts <= 0 {
+				parts = aggregate.DefaultSpillParts(p.Cfg.NumTrials)
+			}
+			d, err := yelt.SpillToDir(ctx, gen, dir, 0, parts, p.Cfg.Workers)
+			if err != nil {
+				return fmt.Errorf("core: stage 2 spill: %w", err)
+			}
+			ds = d
+			in.Source = ds
+			spillBytes, err := ds.SizeBytes()
+			if err != nil {
+				return fmt.Errorf("core: stage 2 spill size: %w", err)
+			}
+			p.Stages = append(p.Stages, StageReport{
+				Name: "yelt-spill", Duration: time.Since(spillStart),
+				OutputBytes: spillBytes, Items: int64(ds.Shards()),
+			})
+			// The spill interval is its own stage line; restart the
+			// portfolio-risk clock so the two lines sum to wall time
+			// instead of double-counting the write.
+			start = time.Now()
+		}
 	} else {
 		y, err := yelt.Generate(ctx, p.Catalog, ycfg, p.Cfg.Seed+7)
 		if err != nil {
@@ -237,14 +288,20 @@ func (p *Pipeline) RunStage2(ctx context.Context) error {
 	p.AggResult = res
 	p.CatYLT = res.Portfolio
 	rep := StageReport{Name: "portfolio-risk", Duration: time.Since(start)}
-	if p.Cfg.Streaming {
+	switch {
+	case ds != nil:
+		// Spilled: the engine re-scans shards; Items counts occurrences
+		// read back from disk (each re-scanning pass counts).
+		rep.OutputBytes = res.PeakResidentBytes + res.Portfolio.SizeBytes()
+		rep.Items = ds.Scanned()
+	case p.Cfg.Streaming:
 		rep.OutputBytes = res.PeakResidentBytes + res.Portfolio.SizeBytes()
 		// Items counts occurrences *streamed*: for the single-pass
 		// engines used here it equals the occurrence count of the table
-		// the run avoided; an engine that re-scans the source (e.g.
-		// ByContract, once per contract) counts each pass.
+		// the run avoided; an engine that re-scans the source counts
+		// each pass.
 		rep.Items = gen.Streamed()
-	} else {
+	default:
 		rep.OutputBytes = p.YELT.SizeBytes() + res.Portfolio.SizeBytes()
 		rep.Items = int64(p.YELT.Len())
 	}

@@ -55,6 +55,49 @@ func TestFullPipelineRuns(t *testing.T) {
 	}
 }
 
+// A spilled pipeline must report the extra yelt-spill stage line,
+// produce per-trial losses bit-identical to the materialized path, and
+// never materialize the YELT on the pipeline.
+func TestPipelineSpilledStage2(t *testing.T) {
+	mat := New(smallConfig(7))
+	if _, err := mat.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig(7)
+	cfg.Spill = true
+	cfg.SpillParts = 4
+	cfg.Engine = aggregate.MapReduce{SplitTrials: 400}
+	cfg.BatchTrials = 128
+	sp := New(cfg)
+	rep, err := sp.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sp.YELT != nil {
+		t.Fatal("spilled pipeline should not materialize the YELT")
+	}
+	var spillLine *StageReport
+	for i := range rep.Stages {
+		if rep.Stages[i].Name == "yelt-spill" {
+			spillLine = &rep.Stages[i]
+		}
+	}
+	if spillLine == nil {
+		t.Fatalf("no yelt-spill stage line in %v", rep.Stages)
+	}
+	if spillLine.Items != 4 {
+		t.Fatalf("spill shards = %d, want 4", spillLine.Items)
+	}
+	if spillLine.OutputBytes <= 0 {
+		t.Fatal("spill line reports no bytes written")
+	}
+	for i := range mat.CatYLT.Agg {
+		if mat.CatYLT.Agg[i] != sp.CatYLT.Agg[i] {
+			t.Fatalf("trial %d: materialized %v vs spilled %v", i, mat.CatYLT.Agg[i], sp.CatYLT.Agg[i])
+		}
+	}
+}
+
 func TestPipelineDataBurst(t *testing.T) {
 	// The paper's observation: stage 2's data volume dwarfs stage 1's.
 	p := New(smallConfig(2))

@@ -75,21 +75,39 @@ func (s *Store) partPath(dataset string, part int) string {
 }
 
 // WritePartition creates partition part of dataset, streaming content
-// through fn. A partially written partition is removed on error.
+// through fn. The content is written to a temporary file on the
+// partition's node and renamed into place only after fn and Close
+// succeed, so a crash or error mid-write can never leave a torn
+// partition that Open/Partitions would treat as valid: the partition
+// either exists complete or not at all. Stray temp files (a leading
+// dot, no ".part-" infix) are invisible to Partitions and ReadPartition.
 func (s *Store) WritePartition(dataset string, part int, fn func(io.Writer) error) error {
 	path := s.partPath(dataset, part)
-	f, err := os.Create(path)
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
-		return fmt.Errorf("diskstore: create %s: %w", path, err)
+		return fmt.Errorf("diskstore: create temp for %s: %w", path, err)
+	}
+	tmp := f.Name()
+	// CreateTemp makes the file 0600; restore os.Create's world-readable
+	// mode so committed partitions stay shareable across processes.
+	if err := f.Chmod(0o644); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("diskstore: chmod %s: %w", path, err)
 	}
 	if err := fn(f); err != nil {
 		f.Close()
-		os.Remove(path)
+		os.Remove(tmp)
 		return fmt.Errorf("diskstore: write %s: %w", path, err)
 	}
 	if err := f.Close(); err != nil {
-		os.Remove(path)
+		os.Remove(tmp)
 		return fmt.Errorf("diskstore: close %s: %w", path, err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("diskstore: commit %s: %w", path, err)
 	}
 	return nil
 }

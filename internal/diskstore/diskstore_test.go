@@ -105,6 +105,101 @@ func TestWriteErrorCleansUp(t *testing.T) {
 	}
 }
 
+// nodeFiles lists the file names under one node directory.
+func nodeFiles(t *testing.T, s *Store, node int) []string {
+	t.Helper()
+	entries, err := os.ReadDir(filepath.Join(s.root, fmt.Sprintf("node-%03d", node)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	return names
+}
+
+// A failed write must leave nothing on disk — not even the temp file
+// the atomic-rename protocol writes through.
+func TestWriteErrorLeavesNoTempFile(t *testing.T) {
+	s := newStore(t, 1)
+	err := s.WritePartition("torn", 0, func(w io.Writer) error {
+		// Partial content followed by a failure — the torn-write shape.
+		if _, err := w.Write([]byte("half a part")); err != nil {
+			return err
+		}
+		return errors.New("crash mid-write")
+	})
+	if err == nil {
+		t.Fatal("failed write should error")
+	}
+	if files := nodeFiles(t, s, 0); len(files) != 0 {
+		t.Fatalf("failed write left files behind: %v", files)
+	}
+}
+
+// A write interrupted before commit (simulated by a stray in-progress
+// temp file) must be invisible to Partitions, ReadPartition, and
+// SizeBytes: only renamed-in partitions exist.
+func TestInProgressTempInvisible(t *testing.T) {
+	s := newStore(t, 1)
+	if err := s.WritePartition("ds", 0, func(w io.Writer) error {
+		_, err := w.Write([]byte("good"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	// What a crash between CreateTemp and Rename leaves behind.
+	stray := filepath.Join(s.root, "node-000", ".ds.part-00001.tmp-1234")
+	if err := os.WriteFile(stray, []byte("torn"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := s.Partitions("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 1 || parts[0] != 0 {
+		t.Fatalf("Partitions = %v, want [0] (temp file must be invisible)", parts)
+	}
+	if err := s.ReadPartition("ds", 1, func(io.Reader) error { return nil }); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("reading the torn partition: err = %v, want ErrNotFound", err)
+	}
+	size, err := s.SizeBytes("ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if size != 4 {
+		t.Fatalf("SizeBytes = %d, want 4 (committed partition only)", size)
+	}
+}
+
+// A successful write commits exactly one file — the final partition —
+// with the temp file gone.
+func TestWriteCommitsAtomically(t *testing.T) {
+	s := newStore(t, 1)
+	if err := s.WritePartition("ok", 3, func(w io.Writer) error {
+		_, err := w.Write([]byte("payload"))
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	files := nodeFiles(t, s, 0)
+	if len(files) != 1 || files[0] != "ok.part-00003" {
+		t.Fatalf("node files = %v, want exactly [ok.part-00003]", files)
+	}
+	var got string
+	if err := s.ReadPartition("ok", 3, func(r io.Reader) error {
+		b, err := io.ReadAll(r)
+		got = string(b)
+		return err
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if got != "payload" {
+		t.Fatalf("content = %q", got)
+	}
+}
+
 func TestSizeAndDelete(t *testing.T) {
 	s := newStore(t, 2)
 	payload := make([]byte, 1000)

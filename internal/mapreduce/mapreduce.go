@@ -100,6 +100,12 @@ func Run[S any, K comparable, V any](
 				bs.buckets[b][k] = append(bs.buckets[b][k], v)
 			}
 			if err := mapf(ctx, splits[i], emit); err != nil {
+				// Cancellation is not a task failure: retrying a
+				// cancelled mapper can only fail again, so surface it
+				// immediately instead of burning the attempt budget.
+				if ctx.Err() != nil {
+					return ctx.Err()
+				}
 				lastErr = err
 				continue // retry with fresh buckets
 			}

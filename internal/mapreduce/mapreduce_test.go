@@ -232,6 +232,37 @@ func TestStringKeys(t *testing.T) {
 	}
 }
 
+// A job cancelled mid-flight — after some map tasks have already
+// succeeded — must stop promptly with the context error, and the
+// cancelled mapper must NOT be retried: retries are for transient task
+// failures, not for the job being torn down.
+func TestMidJobCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	var started, retries atomic.Int32
+	mapf := func(ctx context.Context, split int, emit func(uint64, float64)) error {
+		n := started.Add(1)
+		if n > 3 {
+			retries.Add(1) // any attempt after the cancelling one is a retry or a straggler
+		}
+		if n == 3 {
+			cancel() // third task cancels the job partway through
+		}
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		emit(uint64(split), 1)
+		return nil
+	}
+	_, err := Run(ctx, []int{0, 1, 2, 3, 4, 5, 6, 7}, mapf, nil, sumReduce,
+		Config{Mappers: 1, MaxAttempts: 5})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if retries.Load() != 0 {
+		t.Fatalf("cancelled mapper was retried %d times; cancellation must not burn attempts", retries.Load())
+	}
+}
+
 func TestCancellation(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

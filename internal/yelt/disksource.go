@@ -1,0 +1,261 @@
+package yelt
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"sync/atomic"
+
+	"repro/internal/diskstore"
+	"repro/internal/stream"
+)
+
+// This file is the third point on the stage-2 memory/compute trade:
+// generate the trial stream once, spill it into trial-range partitions
+// of an internal/diskstore, and let every subsequent engine pass
+// re-scan the shards instead of re-deriving the trials. It is the
+// paper's "accumulate large distributed file space" strategy applied
+// to the YELT — partitioned, written once, consumed by sequential
+// scans — and the substrate the MapReduce aggregate engine maps over.
+
+// Spill writes the trials of src into parts contiguous trial-range
+// shards of dataset in store — one WriteTo-format shard per
+// stream.Partition range, shard i holding range i — and returns the
+// DiskSource reading them back. Shards are written in parallel
+// (bounded by workers; <= 0 means GOMAXPROCS), each materialized
+// range-at-a-time, so peak memory during the spill is bounded by
+// workers × shard, not by the trial count. Any prior spill under the
+// same dataset name is deleted first: leftover high-numbered shards
+// from a larger previous run would otherwise survive alongside the
+// fresh ones and corrupt size accounting and OpenDiskSource
+// re-attachment.
+func Spill(ctx context.Context, src Source, store *diskstore.Store, dataset string, parts, workers int) (*DiskSource, error) {
+	n := src.TrialCount()
+	if n <= 0 {
+		return nil, fmt.Errorf("yelt: spill of empty source")
+	}
+	if parts <= 0 {
+		return nil, fmt.Errorf("yelt: spill parts %d", parts)
+	}
+	for _, stale := range []string{manifestDataset(dataset), dataset} {
+		if err := store.Delete(stale); err != nil && !errors.Is(err, diskstore.ErrNotFound) {
+			return nil, fmt.Errorf("yelt: clearing stale dataset %q: %w", stale, err)
+		}
+	}
+	ranges := stream.Partition(n, parts)
+	err := stream.ForEach(ctx, len(ranges), workers, func(ctx context.Context, i int) error {
+		shard, err := src.ReadTrials(ctx, ranges[i].Lo, ranges[i].Hi, &Table{})
+		if err != nil {
+			return fmt.Errorf("yelt: spill shard %d: %w", i, err)
+		}
+		return store.WritePartition(dataset, i, func(w io.Writer) error {
+			_, err := shard.WriteTo(w)
+			return err
+		})
+	})
+	if err != nil {
+		return nil, err
+	}
+	// The manifest commits the spill: written only after every shard
+	// landed, so a crash mid-spill leaves a dataset OpenDiskSource
+	// refuses — individually valid trailing shards cannot masquerade as
+	// a complete (but truncated) spill.
+	if err := writeManifest(store, dataset, len(ranges), n); err != nil {
+		return nil, err
+	}
+	return &DiskSource{store: store, dataset: dataset, ranges: ranges, n: n}, nil
+}
+
+// The manifest is a sibling single-partition dataset recording what a
+// complete spill contains: magic, shard count, trial count.
+var manifestMagic = [4]byte{'Y', 'S', 'P', 'L'}
+
+func manifestDataset(dataset string) string { return dataset + ".manifest" }
+
+func writeManifest(store *diskstore.Store, dataset string, parts, trials int) error {
+	return store.WritePartition(manifestDataset(dataset), 0, func(w io.Writer) error {
+		var buf [12]byte
+		copy(buf[:4], manifestMagic[:])
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(parts))
+		binary.LittleEndian.PutUint32(buf[8:12], uint32(trials))
+		_, err := w.Write(buf[:])
+		return err
+	})
+}
+
+func readManifest(store *diskstore.Store, dataset string) (parts, trials int, err error) {
+	err = store.ReadPartition(manifestDataset(dataset), 0, func(r io.Reader) error {
+		var buf [12]byte
+		if _, err := io.ReadFull(r, buf[:]); err != nil {
+			return fmt.Errorf("yelt: spill manifest: %w", err)
+		}
+		if [4]byte(buf[:4]) != manifestMagic {
+			return fmt.Errorf("%w: spill manifest magic %q", ErrBadFormat, buf[:4])
+		}
+		parts = int(binary.LittleEndian.Uint32(buf[4:8]))
+		trials = int(binary.LittleEndian.Uint32(buf[8:12]))
+		return nil
+	})
+	return parts, trials, err
+}
+
+// DefaultSpillNodes is the simulated storage-node count spills default
+// to — matching the distributed-file experiments (E6, E11).
+const DefaultSpillNodes = 4
+
+// SpillToDir is the one-call form of Spill shared by the pipeline,
+// CLIs, and benchmarks: it creates a diskstore rooted at dir with
+// nodes storage nodes (<= 0 means DefaultSpillNodes) and spills src
+// into its "yelt" dataset.
+func SpillToDir(ctx context.Context, src Source, dir string, nodes, parts, workers int) (*DiskSource, error) {
+	if nodes <= 0 {
+		nodes = DefaultSpillNodes
+	}
+	store, err := diskstore.Create(dir, nodes)
+	if err != nil {
+		return nil, err
+	}
+	return Spill(ctx, src, store, "yelt", parts, workers)
+}
+
+// DiskSource is a Source over the trial-range shards Spill wrote: any
+// batch is re-read from disk by scanning the overlapping shards with
+// the StreamTrials codec (the store offers no random access — these
+// workloads scan). It is safe for concurrent ReadTrials calls: every
+// call opens its own partition readers.
+type DiskSource struct {
+	store   *diskstore.Store
+	dataset string
+	ranges  []stream.Range // ranges[i] = global trials held by shard i
+	n       int
+	// scanned counts occurrences delivered through ReadTrials — the
+	// disk-scan analogue of Generator.Streamed for stage accounting.
+	scanned atomic.Int64
+}
+
+// OpenDiskSource attaches to a previously spilled dataset, recovering
+// the shard → trial-range map from the shard headers (each WriteTo
+// header carries its trial count; shards are contiguous in partition
+// order by construction). The dataset's manifest — written only after
+// a spill completes — must match the shards found, so a crashed spill
+// (missing trailing shards, or no manifest at all) is refused instead
+// of silently opening truncated.
+func OpenDiskSource(store *diskstore.Store, dataset string) (*DiskSource, error) {
+	wantParts, wantTrials, err := readManifest(store, dataset)
+	if err != nil {
+		return nil, fmt.Errorf("yelt: open %q (incomplete or pre-manifest spill?): %w", dataset, err)
+	}
+	parts, err := store.Partitions(dataset)
+	if err != nil {
+		return nil, err
+	}
+	if len(parts) != wantParts {
+		return nil, fmt.Errorf("%w: dataset %s has %d shards, manifest expects %d", ErrBadFormat, dataset, len(parts), wantParts)
+	}
+	for i, p := range parts {
+		if p != i {
+			return nil, fmt.Errorf("%w: dataset %s missing shard %d", ErrBadFormat, dataset, i)
+		}
+	}
+	ds := &DiskSource{store: store, dataset: dataset}
+	lo := 0
+	for i := range parts {
+		var trials int
+		err := store.ReadPartition(dataset, i, func(r io.Reader) error {
+			var hdr [8]byte
+			if _, err := io.ReadFull(r, hdr[:]); err != nil {
+				return fmt.Errorf("yelt: shard %d header: %w", i, err)
+			}
+			if [4]byte(hdr[:4]) != magic {
+				return fmt.Errorf("%w: shard %d magic %q", ErrBadFormat, i, hdr[:4])
+			}
+			trials = int(binary.LittleEndian.Uint32(hdr[4:8]))
+			return nil
+		})
+		if err != nil {
+			return nil, err
+		}
+		ds.ranges = append(ds.ranges, stream.Range{Lo: lo, Hi: lo + trials})
+		lo += trials
+	}
+	ds.n = lo
+	if ds.n != wantTrials {
+		return nil, fmt.Errorf("%w: dataset %s holds %d trials, manifest expects %d", ErrBadFormat, dataset, ds.n, wantTrials)
+	}
+	return ds, nil
+}
+
+// TrialCount implements Source.
+func (ds *DiskSource) TrialCount() int { return ds.n }
+
+// Shards returns the number of trial-range partitions.
+func (ds *DiskSource) Shards() int { return len(ds.ranges) }
+
+// Nodes returns the storage-node count of the underlying store.
+func (ds *DiskSource) Nodes() int { return ds.store.Nodes() }
+
+// SizeBytes returns the on-disk footprint of the spilled dataset.
+func (ds *DiskSource) SizeBytes() (int64, error) {
+	return ds.store.SizeBytes(ds.dataset)
+}
+
+// Scanned returns the total occurrences delivered through ReadTrials
+// so far — how much shard data engine passes have re-read from disk.
+func (ds *DiskSource) Scanned() int64 { return ds.scanned.Load() }
+
+// errStopScan aborts a shard scan once the requested range is filled;
+// it never escapes ReadTrials.
+var errStopScan = errors.New("yelt: stop scan")
+
+// ReadTrials implements Source by scanning the shards overlapping
+// [lo, hi) with StreamTrials, copying the in-range trials into buf and
+// stopping each scan as soon as the range is exhausted. Memory use is
+// bounded by the batch plus one shard's counts header.
+func (ds *DiskSource) ReadTrials(ctx context.Context, lo, hi int, buf *Table) (*Table, error) {
+	if lo < 0 || hi > ds.n || lo > hi {
+		return nil, fmt.Errorf("yelt: read trials [%d,%d) outside [0,%d)", lo, hi, ds.n)
+	}
+	if buf == nil {
+		buf = &Table{}
+	}
+	buf.NumTrials = hi - lo
+	buf.Offsets = append(buf.Offsets[:0], 0)
+	buf.Occs = buf.Occs[:0]
+	if lo == hi {
+		return buf, nil
+	}
+	// First shard whose range extends past lo; shards are contiguous,
+	// so subsequent shards are consumed in order until hi is reached.
+	first := sort.Search(len(ds.ranges), func(i int) bool { return ds.ranges[i].Hi > lo })
+	for si := first; si < len(ds.ranges) && ds.ranges[si].Lo < hi; si++ {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+		base := ds.ranges[si].Lo
+		err := ds.store.ReadPartition(ds.dataset, si, func(r io.Reader) error {
+			return StreamTrials(r, func(trial int, occs []Occurrence) error {
+				global := base + trial
+				if global < lo {
+					return nil
+				}
+				if global >= hi {
+					return errStopScan
+				}
+				buf.Occs = append(buf.Occs, occs...)
+				buf.Offsets = append(buf.Offsets, int64(len(buf.Occs)))
+				return nil
+			})
+		})
+		if err != nil && !errors.Is(err, errStopScan) {
+			return nil, fmt.Errorf("yelt: scanning shard %d: %w", si, err)
+		}
+	}
+	if got := len(buf.Offsets) - 1; got != hi-lo {
+		return nil, fmt.Errorf("%w: shards yielded %d of %d trials in [%d,%d)", ErrBadFormat, got, hi-lo, lo, hi)
+	}
+	ds.scanned.Add(int64(len(buf.Occs)))
+	return buf, nil
+}

@@ -1,0 +1,330 @@
+package yelt
+
+import (
+	"context"
+	"io"
+	"testing"
+
+	"repro/internal/diskstore"
+)
+
+func testStore(t *testing.T, nodes int) *diskstore.Store {
+	t.Helper()
+	s, err := diskstore.Create(t.TempDir(), nodes)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+// Spilling a materialized table and reading any batch back must
+// reproduce the equivalent Slice exactly — including batches that
+// straddle shard boundaries, single trials, and the full range.
+func TestSpillRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	cat := testCatalog(t, 500)
+	tbl, err := Generate(ctx, cat, Config{NumTrials: 301}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := testStore(t, 3)
+	ds, err := Spill(ctx, tbl, store, "yelt", 7, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.TrialCount() != 301 || ds.Shards() != 7 {
+		t.Fatalf("trials=%d shards=%d", ds.TrialCount(), ds.Shards())
+	}
+	ranges := [][2]int{{0, 301}, {0, 1}, {300, 301}, {40, 45}, {0, 43}, {43, 86}, {41, 130}, {150, 150}, {299, 301}}
+	buf := &Table{}
+	for _, r := range ranges {
+		want, err := tbl.Slice(r[0], r[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := ds.ReadTrials(ctx, r[0], r[1], buf)
+		if err != nil {
+			t.Fatalf("[%d,%d): %v", r[0], r[1], err)
+		}
+		tablesEqual(t, "disk batch", want, got)
+	}
+	if ds.Scanned() == 0 {
+		t.Fatal("disk source reported no scanned occurrences")
+	}
+}
+
+// A Generator spilled to disk must yield the same trials the generator
+// itself yields — re-scan equals re-derive.
+func TestSpillGeneratorSourceMatches(t *testing.T) {
+	ctx := context.Background()
+	cat := testCatalog(t, 500)
+	gen, err := NewGenerator(cat, Config{NumTrials: 200}, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := testStore(t, 2)
+	ds, err := Spill(ctx, gen, store, "g", 5, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := gen.ReadTrials(ctx, 33, 177, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.ReadTrials(ctx, 33, 177, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesEqual(t, "generator vs disk", want, got)
+}
+
+// OpenDiskSource must recover the shard → trial-range map from the
+// shard headers alone.
+func TestOpenDiskSource(t *testing.T) {
+	ctx := context.Background()
+	cat := testCatalog(t, 500)
+	tbl, err := Generate(ctx, cat, Config{NumTrials: 123}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := testStore(t, 2)
+	if _, err := Spill(ctx, tbl, store, "ds", 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := OpenDiskSource(store, "ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.TrialCount() != 123 || ds.Shards() != 4 {
+		t.Fatalf("reopened trials=%d shards=%d", ds.TrialCount(), ds.Shards())
+	}
+	want, _ := tbl.Slice(10, 100)
+	got, err := ds.ReadTrials(ctx, 10, 100, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesEqual(t, "reopened", want, got)
+	size, err := ds.SizeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each shard carries an 8-byte magic+count header; counts and
+	// occurrences are written exactly once across the shards.
+	want4 := int64(4*8) + int64(tbl.NumTrials)*4 + int64(len(tbl.Occs))*EntryBytes
+	if size != want4 {
+		t.Fatalf("on-disk size %d, want %d", size, want4)
+	}
+}
+
+// Re-spilling a dataset must clear the previous spill: stale
+// high-numbered shards from a larger earlier run must not survive to
+// inflate SizeBytes or corrupt OpenDiskSource re-attachment.
+func TestSpillClearsStaleDataset(t *testing.T) {
+	ctx := context.Background()
+	cat := testCatalog(t, 500)
+	big, err := Generate(ctx, cat, Config{NumTrials: 300}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	small, err := Generate(ctx, cat, Config{NumTrials: 90}, 6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := testStore(t, 2)
+	if _, err := Spill(ctx, big, store, "ds", 7, 1); err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Spill(ctx, small, store, "ds", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.TrialCount() != 90 || ds.Shards() != 2 {
+		t.Fatalf("respilled trials=%d shards=%d", ds.TrialCount(), ds.Shards())
+	}
+	reopened, err := OpenDiskSource(store, "ds")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reopened.TrialCount() != 90 || reopened.Shards() != 2 {
+		t.Fatalf("reopened trials=%d shards=%d — stale shards survived", reopened.TrialCount(), reopened.Shards())
+	}
+	want, _ := small.Slice(0, 90)
+	got, err := reopened.ReadTrials(ctx, 0, 90, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesEqual(t, "respilled", want, got)
+}
+
+// SpillToDir must stand up the store and spill in one call.
+func TestSpillToDir(t *testing.T) {
+	ctx := context.Background()
+	cat := testCatalog(t, 500)
+	tbl, err := Generate(ctx, cat, Config{NumTrials: 120}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := SpillToDir(ctx, tbl, t.TempDir(), 0, 3, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.Nodes() != DefaultSpillNodes {
+		t.Fatalf("nodes = %d, want default %d", ds.Nodes(), DefaultSpillNodes)
+	}
+	want, _ := tbl.Slice(5, 115)
+	got, err := ds.ReadTrials(ctx, 5, 115, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesEqual(t, "spill-to-dir", want, got)
+}
+
+func TestOpenDiskSourceMissing(t *testing.T) {
+	store := testStore(t, 2)
+	if _, err := OpenDiskSource(store, "nope"); err == nil {
+		t.Fatal("missing dataset should error")
+	}
+}
+
+// A spill interrupted before its manifest commits — or whose shard set
+// disagrees with the manifest — must be refused by OpenDiskSource, not
+// silently opened truncated.
+func TestOpenDiskSourceRefusesIncompleteSpill(t *testing.T) {
+	ctx := context.Background()
+	cat := testCatalog(t, 500)
+	tbl, err := Generate(ctx, cat, Config{NumTrials: 120}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := testStore(t, 2)
+	if _, err := Spill(ctx, tbl, store, "ds", 4, 1); err != nil {
+		t.Fatal(err)
+	}
+	// Crash before commit: shards present, manifest never written.
+	if err := store.Delete(manifestDataset("ds")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskSource(store, "ds"); err == nil {
+		t.Fatal("spill without manifest should be refused")
+	}
+	// Manifest present but trailing shards missing (each remaining
+	// shard individually valid).
+	if err := writeManifest(store, "ds", 6, 200); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskSource(store, "ds"); err == nil {
+		t.Fatal("manifest/shard-count mismatch should be refused")
+	}
+	// Shard count right, trial count wrong.
+	if err := writeManifest(store, "ds", 4, 200); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskSource(store, "ds"); err == nil {
+		t.Fatal("manifest/trial-count mismatch should be refused")
+	}
+	// Restoring the true manifest opens cleanly again.
+	if err := writeManifest(store, "ds", 4, 120); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenDiskSource(store, "ds"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSpillValidation(t *testing.T) {
+	ctx := context.Background()
+	cat := testCatalog(t, 500)
+	tbl, err := Generate(ctx, cat, Config{NumTrials: 10}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := testStore(t, 1)
+	if _, err := Spill(ctx, tbl, store, "x", 0, 1); err == nil {
+		t.Fatal("zero parts should error")
+	}
+	if _, err := Spill(ctx, &Table{}, store, "x", 1, 1); err == nil {
+		t.Fatal("empty source should error")
+	}
+}
+
+func TestDiskSourceBounds(t *testing.T) {
+	ctx := context.Background()
+	cat := testCatalog(t, 500)
+	tbl, err := Generate(ctx, cat, Config{NumTrials: 50}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Spill(ctx, tbl, testStore(t, 1), "b", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range [][2]int{{-1, 10}, {0, 51}, {20, 10}} {
+		if _, err := ds.ReadTrials(ctx, r[0], r[1], nil); err == nil {
+			t.Fatalf("range [%d,%d) should error", r[0], r[1])
+		}
+	}
+}
+
+func TestDiskSourceCancellation(t *testing.T) {
+	cat := testCatalog(t, 500)
+	tbl, err := Generate(context.Background(), cat, Config{NumTrials: 50}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ds, err := Spill(context.Background(), tbl, testStore(t, 1), "c", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := ds.ReadTrials(ctx, 0, 50, nil); err == nil {
+		t.Fatal("cancelled read should error")
+	}
+}
+
+// A truncated shard must surface as an error, not a short batch.
+func TestDiskSourceCorruptShard(t *testing.T) {
+	ctx := context.Background()
+	cat := testCatalog(t, 500)
+	tbl, err := Generate(ctx, cat, Config{NumTrials: 80}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := testStore(t, 1)
+	ds, err := Spill(ctx, tbl, store, "t", 2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := store.Corrupt("t", 1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ds.ReadTrials(ctx, 0, 80, nil); err == nil {
+		t.Fatal("truncated shard should error")
+	}
+}
+
+// The spilled dataset must round-trip through the plain codec too:
+// each shard is a self-contained WriteTo-format table.
+func TestShardIsPlainCodec(t *testing.T) {
+	ctx := context.Background()
+	cat := testCatalog(t, 500)
+	tbl, err := Generate(ctx, cat, Config{NumTrials: 60}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := testStore(t, 2)
+	if _, err := Spill(ctx, tbl, store, "p", 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	var shard *Table
+	err = store.ReadPartition("p", 1, func(r io.Reader) error {
+		var err error
+		shard, err = Read(r)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, _ := tbl.Slice(20, 40)
+	tablesEqual(t, "shard codec", want, shard)
+}

@@ -36,12 +36,15 @@ type EngineKind string
 
 // Available engines. Sequential is the paper's CPU baseline; Parallel
 // is the native data-parallel engine; Chunked and Naive run on the
-// simulated many-core device with and without shared-memory chunking.
+// simulated many-core device with and without shared-memory chunking;
+// MapReduce runs stage 2 as a map/reduce job over trial-range splits
+// (the companion paper's Hadoop shape), pairing naturally with Spill.
 const (
 	EngineSequential EngineKind = "sequential"
 	EngineParallel   EngineKind = "parallel"
 	EngineChunked    EngineKind = "chunked"
 	EngineNaive      EngineKind = "naive"
+	EngineMapReduce  EngineKind = "mapreduce"
 )
 
 func (k EngineKind) engine() (aggregate.Engine, error) {
@@ -54,6 +57,8 @@ func (k EngineKind) engine() (aggregate.Engine, error) {
 		return &aggregate.Chunked{}, nil
 	case EngineNaive:
 		return &aggregate.Chunked{Naive: true}, nil
+	case EngineMapReduce:
+		return aggregate.MapReduce{}, nil
 	default:
 		return nil, fmt.Errorf("risk: unknown engine %q", k)
 	}
@@ -79,6 +84,16 @@ type Config struct {
 	// BatchTrials bounds the per-worker resident batch in streaming
 	// mode; 0 means the engine default.
 	BatchTrials int
+	// Spill (implies streaming stage 2) generates the trial stream once
+	// into partitioned diskstore shards and has the engine re-scan them
+	// from disk instead of re-deriving trials per pass.
+	Spill bool
+	// SpillDir roots the spill store; "" uses a temp dir removed after
+	// stage 2.
+	SpillDir string
+	// SpillParts is the spill shard count; 0 picks a default from the
+	// trial count.
+	SpillParts int
 	// Rho correlates the DFA risk sources with the catastrophe book.
 	Rho float64
 	// Workers bounds parallelism everywhere; 0 means all cores.
@@ -186,6 +201,9 @@ func (s *Study) pipeline() (*core.Pipeline, error) {
 		Sampling:             s.cfg.Sampling,
 		Streaming:            s.cfg.Streaming,
 		BatchTrials:          s.cfg.BatchTrials,
+		Spill:                s.cfg.Spill,
+		SpillDir:             s.cfg.SpillDir,
+		SpillParts:           s.cfg.SpillParts,
 		Rho:                  s.cfg.Rho,
 		Workers:              s.cfg.Workers,
 		TwoLayers:            true,

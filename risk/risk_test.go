@@ -94,7 +94,7 @@ func TestPriceContract(t *testing.T) {
 }
 
 func TestEngineKinds(t *testing.T) {
-	for _, k := range []EngineKind{EngineSequential, EngineParallel, EngineChunked, EngineNaive, ""} {
+	for _, k := range []EngineKind{EngineSequential, EngineParallel, EngineChunked, EngineNaive, EngineMapReduce, ""} {
 		if _, err := k.engine(); err != nil {
 			t.Errorf("engine %q: %v", k, err)
 		}

@@ -65,6 +65,39 @@ func TestStreamingStudyMatchesMaterialized(t *testing.T) {
 	}
 }
 
+// The spilled MapReduce study — the paper's distributed shape end to
+// end — must report the same losses as the default materialized
+// Parallel study (sampling draws are trial-keyed, so even the engine
+// swap preserves every number).
+func TestSpilledMapReduceStudyMatchesMaterialized(t *testing.T) {
+	mat := NewStudy(smallConfig(11))
+	if _, err := mat.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	scfg := smallConfig(11)
+	scfg.Engine = EngineMapReduce
+	scfg.Spill = true
+	scfg.SpillParts = 3
+	scfg.BatchTrials = 137
+	sp := NewStudy(scfg)
+	if _, err := sp.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	matLoss, err := mat.CatastropheLosses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	spLoss, err := sp.CatastropheLosses()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range matLoss {
+		if matLoss[i] != spLoss[i] {
+			t.Fatalf("trial %d: materialized %v vs spilled mapreduce %v", i, matLoss[i], spLoss[i])
+		}
+	}
+}
+
 // Quotes must also be mode-independent: PriceContract through a
 // streaming study equals the materialized quote field-for-field
 // (Elapsed aside).
