@@ -112,7 +112,9 @@ func BenchmarkIndexedKernel(b *testing.B) {
 	if _, err := in.EnsureIndex(); err != nil {
 		b.Fatal(err)
 	}
-	cfg := aggregate.Config{Seed: 1, Sampling: true}
+	// Pin the indexed kernel: this benchmark measures the pre-flat
+	// entry scan (the E12 family compares it against the flat layout).
+	cfg := aggregate.Config{Seed: 1, Sampling: true, Kernel: aggregate.KernelIndexed}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := (aggregate.Sequential{}).Run(context.Background(), in, cfg); err != nil {
@@ -132,6 +134,80 @@ func BenchmarkLegacyLookupKernel(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(idxBenchTrials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+// --- E12: the flat SoA trial kernel vs the indexed kernel vs the
+// legacy lookup, expected and sampling modes, on the default
+// 16-contract book at 100k trials (the EXPERIMENTS.md E12 claim:
+// flat ≥1.5× indexed in expected mode, bit-identical always). ---
+
+var (
+	e12Once sync.Once
+	e12In   *aggregate.Input
+	e12Err  error
+)
+
+// e12Input builds the benchtables default book (16 contracts, 10k
+// events) with a 100k-trial YELT, with both kernel layouts pre-built
+// so no timing window pays the pre-join.
+func e12Input(b *testing.B) *aggregate.Input {
+	b.Helper()
+	e12Once.Do(func() {
+		var s *synth.Scenario
+		s, e12Err = synth.Build(context.Background(), synth.Params{
+			Seed: 42, NumEvents: 10_000, NumContracts: 16,
+			LocationsPerContract: 250, NumTrials: 100_000,
+			MeanEventsPerYear: 10, TwoLayers: true,
+		})
+		if e12Err != nil {
+			return
+		}
+		e12In = &aggregate.Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio}
+		if _, e12Err = e12In.EnsureIndex(); e12Err != nil {
+			return
+		}
+		_, e12Err = e12In.EnsureFlat()
+	})
+	if e12Err != nil {
+		b.Fatal(e12Err)
+	}
+	return e12In
+}
+
+func e12Run(b *testing.B, eng aggregate.Engine, cfg aggregate.Config) {
+	b.Helper()
+	in := e12Input(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := eng.Run(context.Background(), in, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1e5*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+func BenchmarkE12FlatKernelExpected(b *testing.B) {
+	e12Run(b, aggregate.Sequential{}, aggregate.Config{Seed: 1})
+}
+
+func BenchmarkE12IndexedKernelExpected(b *testing.B) {
+	e12Run(b, aggregate.Sequential{}, aggregate.Config{Seed: 1, Kernel: aggregate.KernelIndexed})
+}
+
+func BenchmarkE12LegacyKernelExpected(b *testing.B) {
+	e12Run(b, aggregate.LegacyLookup{}, aggregate.Config{Seed: 1})
+}
+
+func BenchmarkE12FlatKernelSampling(b *testing.B) {
+	e12Run(b, aggregate.Sequential{}, aggregate.Config{Seed: 1, Sampling: true})
+}
+
+func BenchmarkE12IndexedKernelSampling(b *testing.B) {
+	e12Run(b, aggregate.Sequential{}, aggregate.Config{Seed: 1, Sampling: true, Kernel: aggregate.KernelIndexed})
+}
+
+func BenchmarkE12LegacyKernelSampling(b *testing.B) {
+	e12Run(b, aggregate.LegacyLookup{}, aggregate.Config{Seed: 1, Sampling: true})
 }
 
 // --- E2: the million-trial single-contract quote ---

@@ -1,16 +1,22 @@
 // Command benchtables regenerates the tables for every experiment
-// E1–E11 in EXPERIMENTS.md — the quantitative claims of Varghese &
+// E1–E12 in EXPERIMENTS.md — the quantitative claims of Varghese &
 // Rau-Chaplin (SC 2012) reproduced on this machine, plus the
-// streaming-stage-2 memory envelope (E10) and the partitioned
-// (spill + MapReduce) stage 2 (E11).
+// streaming-stage-2 memory envelope (E10), the partitioned
+// (spill + MapReduce) stage 2 (E11), and the flat SoA trial kernel
+// (E12).
 //
 // Usage:
 //
-//	benchtables [-e all|1,2,...] [-quick] [-workers N] [-seed S]
+//	benchtables [-e all|1,2,...] [-quick] [-workers N] [-seed S] [-json FILE]
+//
+// -json additionally writes the run's measurements as a
+// machine-readable document (ns/op, bytes, speedups per experiment
+// row) — the format CI tracks as the BENCH_E12.json artifact.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
@@ -52,7 +58,47 @@ var (
 	flagQuick       = flag.Bool("quick", false, "smaller sizes for a fast smoke run")
 	flagWorkers     = flag.Int("workers", 0, "worker bound (0 = all cores)")
 	flagSeed        = flag.Uint64("seed", 42, "master seed")
+	flagJSON        = flag.String("json", "", "also write machine-readable results to this file")
 )
+
+// benchRecord is one machine-readable measurement of a benchtables
+// run — a row of the -json document CI tracks across commits.
+type benchRecord struct {
+	Experiment string  `json:"experiment"`
+	Name       string  `json:"name"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	Bytes      int64   `json:"bytes,omitempty"`
+	Speedup    float64 `json:"speedup,omitempty"`
+}
+
+// benchRecords starts non-nil so a -json run over experiments that
+// record nothing still writes "results": [] rather than null.
+var benchRecords = []benchRecord{}
+
+// record appends one measurement to the -json document (cheap enough
+// to call unconditionally; the document is only written when -json is
+// set).
+func record(exp, name string, d time.Duration, bytes int64, speedup float64) {
+	benchRecords = append(benchRecords, benchRecord{
+		Experiment: exp, Name: name,
+		NsPerOp: float64(d.Nanoseconds()),
+		Bytes:   bytes, Speedup: speedup,
+	})
+}
+
+func writeJSON(path string) error {
+	doc := struct {
+		CPUs    int           `json:"cpus"`
+		Quick   bool          `json:"quick"`
+		Seed    uint64        `json:"seed"`
+		Results []benchRecord `json:"results"`
+	}{runtime.NumCPU(), *flagQuick, *flagSeed, benchRecords}
+	b, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(b, '\n'), 0o644)
+}
 
 func main() {
 	flag.Parse()
@@ -60,13 +106,13 @@ func main() {
 
 	want := map[int]bool{}
 	if *flagExperiments == "all" {
-		for i := 1; i <= 11; i++ {
+		for i := 1; i <= 12; i++ {
 			want[i] = true
 		}
 	} else {
 		for _, tok := range strings.Split(*flagExperiments, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(tok))
-			if err != nil || n < 1 || n > 11 {
+			if err != nil || n < 1 || n > 12 {
 				fmt.Fprintf(os.Stderr, "benchtables: bad experiment %q\n", tok)
 				os.Exit(2)
 			}
@@ -83,6 +129,7 @@ func main() {
 		7: e7Elasticity, 8: e8TrialsSweep, 9: e9DFA,
 		10: e10StreamingEnvelope,
 		11: e11PartitionedStage2,
+		12: e12FlatKernel,
 	}
 	keys := make([]int, 0, len(want))
 	for k := range want {
@@ -95,6 +142,13 @@ func main() {
 			os.Exit(1)
 		}
 		fmt.Println()
+	}
+	if *flagJSON != "" {
+		if err := writeJSON(*flagJSON); err != nil {
+			fmt.Fprintf(os.Stderr, "benchtables: writing %s: %v\n", *flagJSON, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %d results to %s\n", len(benchRecords), *flagJSON)
 	}
 }
 
@@ -704,6 +758,9 @@ func e10StreamingEnvelope(ctx context.Context) error {
 		yelt.HumanBytes(float64(strRes.PeakResidentBytes)), float64(trials)/strDur.Seconds())
 	fmt.Printf("memory envelope: %.0fx below the materialized YELT\n",
 		float64(matRes.PeakResidentBytes)/float64(strRes.PeakResidentBytes))
+	record("E10", "materialized", matDur, matRes.PeakResidentBytes, 0)
+	record("E10", "streaming", strDur, strRes.PeakResidentBytes,
+		float64(matRes.PeakResidentBytes)/float64(strRes.PeakResidentBytes))
 	for t := 0; t < trials; t++ {
 		if matRes.Portfolio.Agg[t] != strRes.Portfolio.Agg[t] || matRes.Portfolio.OccMax[t] != strRes.Portfolio.OccMax[t] {
 			return fmt.Errorf("E10: streaming diverged from materialized at trial %d", t)
@@ -801,6 +858,9 @@ func e11PartitionedStage2(ctx context.Context) error {
 	fmt.Printf("%-14s %12v %16s %14.0f   (+%v spill write, %s on disk)\n", "re-scan", scanDur.Round(time.Millisecond),
 		yelt.HumanBytes(float64(scanRes.PeakResidentBytes)), float64(trials)/scanDur.Seconds(),
 		spillDur.Round(time.Millisecond), yelt.HumanBytes(float64(spillBytes)))
+	record("E11", "materialized", matDur, matRes.PeakResidentBytes, 0)
+	record("E11", "re-derive", derDur, derRes.PeakResidentBytes, 0)
+	record("E11", "re-scan", scanDur, scanRes.PeakResidentBytes, 0)
 	for t := 0; t < trials; t++ {
 		if matRes.Portfolio.Agg[t] != derRes.Portfolio.Agg[t] || matRes.Portfolio.Agg[t] != scanRes.Portfolio.Agg[t] ||
 			matRes.Portfolio.OccMax[t] != derRes.Portfolio.OccMax[t] || matRes.Portfolio.OccMax[t] != scanRes.Portfolio.OccMax[t] {
@@ -808,6 +868,93 @@ func e11PartitionedStage2(ctx context.Context) error {
 		}
 	}
 	fmt.Printf("equivalence: all %d trials bit-identical across the three sources\n", trials)
+	return nil
+}
+
+// E12 — the flat SoA trial kernel: pre-applied occurrence recoveries
+// and flattened layer terms (lossindex.Flat) vs the indexed kernel it
+// replaced vs the pre-index legacy lookup, sampling off and on, at
+// two trial counts. Expected mode is where the flattening bites
+// hardest: the per-(entry, layer) recovery is a build-time constant,
+// so the trial loop collapses to gather-adds. All three kernels are
+// verified bit-identical per cell.
+func e12FlatKernel(ctx context.Context) error {
+	sizes := []int{100_000, 1_000_000}
+	if *flagQuick {
+		sizes = []int{10_000, 100_000}
+	}
+	fmt.Printf("## E12 — flat SoA trial kernel vs indexed vs legacy (sequential engine)\n")
+	for _, trials := range sizes {
+		s, err := scenario(ctx, trials, false)
+		if err != nil {
+			return err
+		}
+		in := aggInput(s)
+		if _, err := in.EnsureIndex(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		fx, err := in.EnsureFlat()
+		if err != nil {
+			return err
+		}
+		flatBuild := time.Since(t0)
+		fmt.Printf("\n%d trials — flat layout: %d entries, %d layer slots, %s, built in %v\n",
+			trials, fx.NumEntries(), fx.NumLayers(),
+			yelt.HumanBytes(float64(fx.SizeBytes())), flatBuild.Round(time.Microsecond))
+		fmt.Printf("%-10s %-10s %12s %14s %12s\n", "mode", "kernel", "time", "trials/s", "vs indexed")
+		for _, sampling := range []bool{false, true} {
+			mode := "expected"
+			if sampling {
+				mode = "sampling"
+			}
+			cfg := aggregate.Config{Seed: *flagSeed + 13, Sampling: sampling}
+			cfgIdx := cfg
+			cfgIdx.Kernel = aggregate.KernelIndexed
+			kernels := []struct {
+				name string
+				run  func() (*aggregate.Result, error)
+			}{
+				{"flat", func() (*aggregate.Result, error) { return (aggregate.Sequential{}).Run(ctx, in, cfg) }},
+				{"indexed", func() (*aggregate.Result, error) { return (aggregate.Sequential{}).Run(ctx, in, cfgIdx) }},
+				{"legacy", func() (*aggregate.Result, error) { return (aggregate.LegacyLookup{}).Run(ctx, in, cfg) }},
+			}
+			results := make([]*aggregate.Result, len(kernels))
+			durs := make([]time.Duration, len(kernels))
+			for i, k := range kernels {
+				t0 := time.Now()
+				results[i], err = k.run()
+				if err != nil {
+					return err
+				}
+				durs[i] = time.Since(t0)
+			}
+			idxDur := durs[1]
+			for i, k := range kernels {
+				spd := idxDur.Seconds() / durs[i].Seconds()
+				fmt.Printf("%-10s %-10s %12v %14.0f %11.2fx\n", mode, k.name,
+					durs[i].Round(time.Millisecond), float64(trials)/durs[i].Seconds(), spd)
+				// Bytes carries the layout the kernel actually scanned:
+				// the flat SoA footprint for flat rows, zero otherwise
+				// (the indexed/legacy layouts are not what E12 sizes).
+				var layoutBytes int64
+				if i == 0 {
+					layoutBytes = fx.SizeBytes()
+				}
+				record("E12", fmt.Sprintf("%s/%s/%dk-trials", k.name, mode, trials/1000),
+					durs[i], layoutBytes, spd)
+			}
+			for t := 0; t < trials; t++ {
+				if results[0].Portfolio.Agg[t] != results[1].Portfolio.Agg[t] ||
+					results[0].Portfolio.Agg[t] != results[2].Portfolio.Agg[t] ||
+					results[0].Portfolio.OccMax[t] != results[1].Portfolio.OccMax[t] ||
+					results[0].Portfolio.OccMax[t] != results[2].Portfolio.OccMax[t] {
+					return fmt.Errorf("E12: kernels diverged at trial %d (%s)", t, mode)
+				}
+			}
+			fmt.Printf("equivalence (%s): all %d trials bit-identical across the three kernels\n", mode, trials)
+		}
+	}
 	return nil
 }
 

@@ -21,10 +21,16 @@
 // Every engine consumes the pre-joined event-major loss index
 // (internal/lossindex) instead of binary-searching per-contract ELTs
 // per occurrence — the paper's "scanned over rather than randomly
-// accessed" layout. The index is built once per input (or supplied by
-// the orchestration layer, which builds it in stage 1) and shared
-// read-only by all workers. LegacyLookup (legacy.go) preserves the
-// pre-index kernel as the equivalence and benchmark baseline.
+// accessed" layout. By default the trial loop runs the flat SoA
+// kernel (flat.go) over lossindex.Flat: flattened layer-term columns,
+// one contiguous per-trial scratch vector, and — in expected mode —
+// occurrence recoveries pre-applied at build time so the inner loop
+// is pure gather-adds. Config.Kernel pins the pre-flat indexed scan
+// (KernelIndexed) for comparison; both layouts are built once per
+// input (or supplied by the orchestration layer, which builds them in
+// stage 1) and shared read-only by all workers. LegacyLookup
+// (legacy.go) preserves the pre-index kernel as the equivalence and
+// benchmark baseline.
 //
 // All engines are bit-deterministic for a given (input, seed) and
 // agree with each other; determinism comes from per-trial RNG streams,
@@ -68,6 +74,10 @@ type Config struct {
 	// (each trial draws from its own stream); only peak memory and the
 	// cancellation-poll granularity change.
 	BatchTrials int
+	// Kernel selects the trial-kernel layout (flat SoA by default;
+	// KernelIndexed pins the pre-flat entry scan). Results are
+	// bit-identical across kernels; see the Kernel type.
+	Kernel Kernel
 }
 
 // DefaultBatchTrials is the default trial-batch granularity: large
@@ -109,6 +119,13 @@ type Input struct {
 	// Index (as the pipeline does) to share one Input across
 	// goroutines.
 	Index *lossindex.Index
+	// Flat is the flat SoA kernel layout derived from (Index,
+	// Portfolio) — pre-applied expected-mode recoveries, flattened
+	// layer terms, precomputed sampling plans. Leave nil to have the
+	// engine build it on first use under the default KernelFlat; the
+	// same sharing caveat as Index applies (pre-set both to share one
+	// Input across goroutines, as the pipeline does).
+	Flat *lossindex.Flat
 }
 
 // EnsureIndex returns the input's loss index, building and memoizing
@@ -125,6 +142,43 @@ func (in *Input) EnsureIndex() (*lossindex.Index, error) {
 	}
 	in.Index = ix
 	return ix, nil
+}
+
+// EnsureFlat returns the input's flat kernel layout, building and
+// memoizing it (and the index it derives from) when absent. Call
+// before spawning workers; the returned layout is immutable and safe
+// for concurrent readers.
+func (in *Input) EnsureFlat() (*lossindex.Flat, error) {
+	if in.Flat != nil {
+		return in.Flat, nil
+	}
+	ix, err := in.EnsureIndex()
+	if err != nil {
+		return nil, err
+	}
+	fx, err := lossindex.Flatten(ix, in.Portfolio)
+	if err != nil {
+		return nil, fmt.Errorf("aggregate: flattening loss index: %w", err)
+	}
+	in.Flat = fx
+	return fx, nil
+}
+
+// ensureKernelData builds the layouts the configured kernel scans:
+// the loss index always (every kernel and the device pre-passes probe
+// it), plus the flat SoA layout under KernelFlat. Engines call it
+// once before spawning workers.
+func (in *Input) ensureKernelData(cfg Config) (*lossindex.Index, error) {
+	idx, err := in.EnsureIndex()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Kernel == KernelFlat {
+		if _, err := in.EnsureFlat(); err != nil {
+			return nil, err
+		}
+	}
+	return idx, nil
 }
 
 // src returns the trial source: Source when set, else the materialized
@@ -185,6 +239,10 @@ func (in *Input) Validate() error {
 		return fmt.Errorf("aggregate: index built for %d contracts, portfolio has %d",
 			in.Index.NumContracts(), len(in.Portfolio.Contracts))
 	}
+	if in.Flat != nil && in.Flat.NumContracts() != len(in.Portfolio.Contracts) {
+		return fmt.Errorf("aggregate: flat layout built for %d contracts, portfolio has %d",
+			in.Flat.NumContracts(), len(in.Portfolio.Contracts))
+	}
 	return nil
 }
 
@@ -215,19 +273,48 @@ type Engine interface {
 // trialScratch holds per-worker reusable buffers so the per-trial hot
 // path is allocation-free.
 type trialScratch struct {
-	layerAgg [][]float64 // [contract][layer] annual occurrence-recovery sums
-	occLoss  []float64   // per-occurrence portfolio recovery, reused
+	layerAgg [][]float64 // indexed kernel: [contract][layer] annual occurrence-recovery sums
+	flatAgg  []float64   // flat kernel: one contiguous [totalLayers] vector of the same sums
+	// perContract/perContractOcc are the per-trial per-contract output
+	// buffers, allocated on first use (perContractBufs) so runs without
+	// per-contract tables never pay for them.
+	perContract    []float64
+	perContractOcc []float64
 }
 
-func newTrialScratch(pf *layers.Portfolio) *trialScratch {
-	s := &trialScratch{layerAgg: make([][]float64, len(pf.Contracts))}
-	for i, c := range pf.Contracts {
-		s.layerAgg[i] = make([]float64, len(c.Layers))
+// newTrialScratch sizes a worker's scratch for the kernel it will
+// run — a run uses exactly one layout, so only that layout's
+// accumulator is allocated.
+func newTrialScratch(pf *layers.Portfolio, kernel Kernel) *trialScratch {
+	s := &trialScratch{}
+	if kernel == KernelIndexed {
+		s.layerAgg = make([][]float64, len(pf.Contracts))
+		for i, c := range pf.Contracts {
+			s.layerAgg[i] = make([]float64, len(c.Layers))
+		}
+		return s
 	}
+	total := 0
+	for _, c := range pf.Contracts {
+		total += len(c.Layers)
+	}
+	s.flatAgg = make([]float64, total)
 	return s
 }
 
-// runTrial computes one trial year. It returns the portfolio aggregate
+// perContractBufs returns the worker's reusable per-contract buffers,
+// allocating them lazily on the first per-contract run.
+func (s *trialScratch) perContractBufs(nc int) (pc, pco []float64) {
+	if len(s.perContract) < nc {
+		s.perContract = make([]float64, nc)
+		s.perContractOcc = make([]float64, nc)
+	}
+	return s.perContract[:nc], s.perContractOcc[:nc]
+}
+
+// runTrial computes one trial year through the indexed (pre-flat)
+// kernel — kept as KernelIndexed for benchmarking the flat layout
+// against. It returns the portfolio aggregate
 // recovery, the largest single-occurrence portfolio recovery, and (if
 // perContract is non-nil) adds each contract's annual recovery into
 // perContract[c].
@@ -255,9 +342,6 @@ func runTrial(
 		for li := range la {
 			la[li] = 0
 		}
-	}
-	if cap(scratch.occLoss) < len(contracts) {
-		scratch.occLoss = make([]float64, len(contracts))
 	}
 
 	for _, occ := range occs {
@@ -308,12 +392,21 @@ func runTrial(
 // range start, so the one shared kernel serves both shapes.
 func runBatch(idx *lossindex.Index, in *Input, cfg Config, batch *yelt.Table, base int, res *Result, scratch *trialScratch, slotOff int) {
 	nc := len(in.Portfolio.Contracts)
-	perContract := make([]float64, nc)
-	perContractOcc := make([]float64, nc)
+	var perContract, perContractOcc []float64
+	if res.PerContract != nil {
+		// Reused across batches via the per-worker scratch; runs without
+		// per-contract output never allocate them.
+		perContract, perContractOcc = scratch.perContractBufs(nc)
+	}
 	for i := 0; i < batch.NumTrials; i++ {
 		trial := base + i
 		slot := trial - slotOff
-		st := rng.NewStream(cfg.Seed, uint64(trial))
+		// The trial's substream only feeds secondary-uncertainty draws;
+		// expected mode never draws, so skip the stream setup entirely.
+		var st *rng.Stream
+		if cfg.Sampling {
+			st = rng.NewStream(cfg.Seed, uint64(trial))
+		}
 		var pc, pco []float64
 		if res.PerContract != nil {
 			for j := range perContract {
@@ -322,7 +415,7 @@ func runBatch(idx *lossindex.Index, in *Input, cfg Config, batch *yelt.Table, ba
 			}
 			pc, pco = perContract, perContractOcc
 		}
-		agg, occMax := runTrial(batch.OccurrencesOf(i), idx, in, cfg, st, scratch, pc, pco)
+		agg, occMax := trialOnce(batch.OccurrencesOf(i), idx, in, cfg, st, scratch, pc, pco)
 		res.Portfolio.Agg[slot] = agg
 		res.Portfolio.OccMax[slot] = occMax
 		if res.PerContract != nil {
@@ -396,8 +489,11 @@ func finishResident(in *Input, res *Result, rt *residentTracker) {
 // streamRange feeds trials [r.Lo, r.Hi) to fn in batches of at most
 // batch trials, reading through buf and polling ctx between batches.
 // worker keys the resident-bytes accounting; pass a distinct key per
-// concurrent caller.
+// concurrent caller. The worker's resident bytes are drained on every
+// exit path (deferred), so an error mid-stream cannot leave its last
+// batch pinned in the tracker's running sum.
 func streamRange(ctx context.Context, src yelt.Source, r stream.Range, batch int, rt *residentTracker, worker int, buf *yelt.Table, fn func(b *yelt.Table, base int) error) error {
+	defer rt.set(worker, 0)
 	for lo := r.Lo; lo < r.Hi; lo += batch {
 		select {
 		case <-ctx.Done():
@@ -414,7 +510,6 @@ func streamRange(ctx context.Context, src yelt.Source, r stream.Range, batch int
 			return err
 		}
 	}
-	rt.set(worker, 0)
 	return nil
 }
 
@@ -449,12 +544,12 @@ func (Sequential) Run(ctx context.Context, in *Input, cfg Config) (*Result, erro
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	idx, err := in.EnsureIndex()
+	idx, err := in.ensureKernelData(cfg)
 	if err != nil {
 		return nil, err
 	}
 	res := newResult(in, cfg)
-	scratch := newTrialScratch(in.Portfolio)
+	scratch := newTrialScratch(in.Portfolio, cfg.Kernel)
 	src := in.src()
 	rt := trackerFor(in)
 	err = streamRange(ctx, src, stream.Range{Lo: 0, Hi: src.TrialCount()}, cfg.batchTrials(), rt, 0, &yelt.Table{},
@@ -484,7 +579,7 @@ func (Parallel) Run(ctx context.Context, in *Input, cfg Config) (*Result, error)
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	idx, err := in.EnsureIndex()
+	idx, err := in.ensureKernelData(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -492,7 +587,7 @@ func (Parallel) Run(ctx context.Context, in *Input, cfg Config) (*Result, error)
 	src := in.src()
 	rt := trackerFor(in)
 	err = stream.ForEachRange(ctx, src.TrialCount(), cfg.Workers, func(ctx context.Context, r stream.Range, w int) error {
-		scratch := newTrialScratch(in.Portfolio)
+		scratch := newTrialScratch(in.Portfolio, cfg.Kernel)
 		return streamRange(ctx, src, r, cfg.batchTrials(), rt, w, &yelt.Table{},
 			func(b *yelt.Table, base int) error {
 				runBatch(idx, in, cfg, b, base, res, scratch, 0)

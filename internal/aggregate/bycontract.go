@@ -124,7 +124,7 @@ func (e ByContract) Run(ctx context.Context, in *Input, cfg Config) (*Result, er
 	if cfg.Sampling {
 		return nil, ErrUnsupportedOnDevice // reuse the sentinel: unsupported configuration
 	}
-	if _, err := in.EnsureIndex(); err != nil {
+	if _, err := in.ensureKernelData(cfg); err != nil {
 		return nil, err
 	}
 	if in.streaming() {
@@ -175,11 +175,12 @@ func (ByContract) runContractMajor(ctx context.Context, in *Input, cfg Config) (
 
 	// Exact portfolio OccMax needs the max over *events*: recompute with
 	// one trial-ordered pass — cheap relative to the per-contract scans.
-	scratch := newTrialScratch(in.Portfolio)
+	scratch := newTrialScratch(in.Portfolio, cfg.Kernel)
+	kcfg := Config{Kernel: cfg.Kernel}
 	err = streamRange(ctx, src, stream.Range{Lo: 0, Hi: n}, cfg.batchTrials(), rt, -1, &yelt.Table{},
 		func(b *yelt.Table, base int) error {
 			for i := 0; i < b.NumTrials; i++ {
-				_, occMax := runTrial(b.OccurrencesOf(i), in.Index, in, Config{}, nil, scratch, nil, nil)
+				_, occMax := trialOnce(b.OccurrencesOf(i), in.Index, in, kcfg, nil, scratch, nil, nil)
 				res.Portfolio.OccMax[base+i] = occMax
 			}
 			return nil
@@ -226,7 +227,8 @@ func (ByContract) runBatchMajor(ctx context.Context, in *Input, cfg Config) (*Re
 		}
 		layerSums[ci] = make([]float64, len(contracts[ci].Layers))
 	}
-	scratch := newTrialScratch(in.Portfolio)
+	scratch := newTrialScratch(in.Portfolio, cfg.Kernel)
+	kcfg := Config{Kernel: cfg.Kernel}
 
 	err = streamRange(ctx, src, stream.Range{Lo: 0, Hi: n}, cfg.batchTrials(), rt, 0, &yelt.Table{},
 		func(b *yelt.Table, base int) error {
@@ -242,7 +244,7 @@ func (ByContract) runBatchMajor(ctx context.Context, in *Input, cfg Config) (*Re
 			// Exact portfolio OccMax over the same resident batch — no
 			// second generation pass.
 			for i := 0; i < b.NumTrials; i++ {
-				_, occMax := runTrial(b.OccurrencesOf(i), in.Index, in, Config{}, nil, scratch, nil, nil)
+				_, occMax := trialOnce(b.OccurrencesOf(i), in.Index, in, kcfg, nil, scratch, nil, nil)
 				res.Portfolio.OccMax[base+i] = occMax
 			}
 			return nil

@@ -1,0 +1,155 @@
+package aggregate
+
+import (
+	"repro/internal/lossindex"
+	"repro/internal/rng"
+	"repro/internal/yelt"
+)
+
+// Kernel selects the trial-kernel data layout the shared runBatch
+// drives. Every engine that funnels through runBatch (Sequential,
+// Parallel, MapReduce, and ByContract's occurrence-max pass) honors
+// it; results are bit-identical across kernels — the choice is purely
+// a performance lever, pinned by the kernel-equivalence suite.
+type Kernel int
+
+const (
+	// KernelFlat (the default) scans the flat SoA layout
+	// (lossindex.Flat): pre-applied occurrence recoveries in expected
+	// mode, flattened layer-term columns, one contiguous per-trial
+	// scratch vector.
+	KernelFlat Kernel = iota
+	// KernelIndexed is the pre-flat indexed kernel: the pre-joined
+	// entry scan with per-entry Contract struct and nested []Layer
+	// walks. Retained for benchmarking the flat layout against
+	// (LegacyLookup remains the pre-index reference below both).
+	KernelIndexed
+)
+
+// runTrialFlat is the flat-SoA trial kernel: one trial year over the
+// Flat layout. The occurrence walk touches only contiguous arrays —
+// no Contract structs, no nested layer slices — and accumulates into
+// the caller's flat layerAgg scratch (length Flat.NumLayers, one slot
+// per flattened layer). In expected mode the inner loop is pure
+// gather-adds from the pre-applied recoveries; in sampling mode the
+// per-entry beta plan is precomputed so only the draw itself remains
+// per trial.
+//
+// Ordering contract: identical to runTrial — occurrences in YELT
+// order, entries in portfolio contract order within each event, layer
+// frames in declaration order, draws (sampling mode) in that exact
+// sequence — so results are bit-identical to the indexed and legacy
+// kernels.
+func runTrialFlat(
+	occs []yelt.Occurrence,
+	fx *lossindex.Flat,
+	sampling bool,
+	st *rng.Stream,
+	layerAgg []float64,
+	perContract []float64,
+	perContractOcc []float64,
+) (agg, occMax float64) {
+	for i := range layerAgg {
+		layerAgg[i] = 0
+	}
+	if sampling {
+		occMax = flatSampledOccurrences(occs, fx, st, layerAgg, perContractOcc)
+	} else {
+		occMax = flatExpectedOccurrences(occs, fx, layerAgg, perContractOcc)
+	}
+
+	// Annual stage: one linear sweep of the flat term columns, contract
+	// frames in portfolio order.
+	ft := fx.Terms
+	first := ft.First
+	for ci := 0; ci+1 < len(first); ci++ {
+		var contractAnnual float64
+		for fl := first[ci]; fl < first[ci+1]; fl++ {
+			contractAnnual += ft.ApplyAggregate(fl, layerAgg[fl])
+		}
+		agg += contractAnnual
+		if perContract != nil {
+			perContract[ci] += contractAnnual
+		}
+	}
+	return agg, occMax
+}
+
+// flatExpectedOccurrences is the expected-mode occurrence walk: the
+// per-(entry, layer) recovery is a build-time constant, so the inner
+// loop gathers pre-applied recoveries into the flat annual sums and
+// reads the per-entry total straight from ExpSum (accumulated at
+// build time in the same order, hence bit-identical).
+func flatExpectedOccurrences(occs []yelt.Occurrence, fx *lossindex.Flat, layerAgg []float64, perContractOcc []float64) (occMax float64) {
+	expOff, expRec, expSum := fx.ExpOff, fx.ExpRec, fx.ExpSum
+	layerOff := fx.LayerOff
+	for _, occ := range occs {
+		lo, hi := fx.Span(occ.EventID)
+		var portfolioOccLoss float64
+		for k := lo; k < hi; k++ {
+			base := int(layerOff[k])
+			for j, r := range expRec[expOff[k]:expOff[k+1]] {
+				layerAgg[base+j] += r
+			}
+			s := expSum[k]
+			portfolioOccLoss += s
+			if perContractOcc != nil {
+				if ci := fx.Contract[k]; s > perContractOcc[ci] {
+					perContractOcc[ci] = s
+				}
+			}
+		}
+		if portfolioOccLoss > occMax {
+			occMax = portfolioOccLoss
+		}
+	}
+	return occMax
+}
+
+// flatSampledOccurrences is the sampling-mode occurrence walk: the
+// loss draw uses the entry's precomputed beta plan (constant when
+// SampleA is 0, mirroring elt.SampleLoss's degenerate branches, which
+// consume no draws), then applies the flattened occurrence terms.
+func flatSampledOccurrences(occs []yelt.Occurrence, fx *lossindex.Flat, st *rng.Stream, layerAgg []float64, perContractOcc []float64) (occMax float64) {
+	ft := fx.Terms
+	expOff, layerOff := fx.ExpOff, fx.LayerOff
+	for _, occ := range occs {
+		lo, hi := fx.Span(occ.EventID)
+		var portfolioOccLoss float64
+		for k := lo; k < hi; k++ {
+			loss := fx.SampleConst[k]
+			if a := fx.SampleA[k]; a > 0 {
+				loss = fx.SampleScale[k] * st.Beta(a, fx.SampleB[k])
+			}
+			base := layerOff[k]
+			end := base + (expOff[k+1] - expOff[k])
+			var contractOcc float64
+			for fl := base; fl < end; fl++ {
+				r := ft.ApplyOccurrence(fl, loss)
+				layerAgg[fl] += r
+				contractOcc += r
+			}
+			portfolioOccLoss += contractOcc
+			if perContractOcc != nil {
+				if ci := fx.Contract[k]; contractOcc > perContractOcc[ci] {
+					perContractOcc[ci] = contractOcc
+				}
+			}
+		}
+		if portfolioOccLoss > occMax {
+			occMax = portfolioOccLoss
+		}
+	}
+	return occMax
+}
+
+// trialOnce dispatches one trial year through the configured kernel —
+// the single seam every runBatch caller (and ByContract's exact
+// occurrence-max pass) goes through, so kernel choice can never
+// diverge between engines.
+func trialOnce(occs []yelt.Occurrence, idx *lossindex.Index, in *Input, cfg Config, st *rng.Stream, scratch *trialScratch, perContract, perContractOcc []float64) (agg, occMax float64) {
+	if cfg.Kernel == KernelIndexed {
+		return runTrial(occs, idx, in, cfg, st, scratch, perContract, perContractOcc)
+	}
+	return runTrialFlat(occs, in.Flat, cfg.Sampling, st, scratch.flatAgg, perContract, perContractOcc)
+}

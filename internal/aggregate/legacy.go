@@ -100,7 +100,7 @@ func (LegacyLookup) Run(ctx context.Context, in *Input, cfg Config) (*Result, er
 		return nil, errors.New("aggregate: legacy lookup requires a materialized YELT input")
 	}
 	res := newResult(in, cfg)
-	scratch := newTrialScratch(in.Portfolio)
+	scratch := newTrialScratch(in.Portfolio, KernelIndexed)
 	nc := len(in.Portfolio.Contracts)
 	perContract := make([]float64, nc)
 	perContractOcc := make([]float64, nc)

@@ -85,7 +85,7 @@ func (m MapReduce) Run(ctx context.Context, in *Input, cfg Config) (*Result, err
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	idx, err := in.EnsureIndex()
+	idx, err := in.ensureKernelData(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -124,7 +124,7 @@ func (m MapReduce) Run(ctx context.Context, in *Input, cfg Config) (*Result, err
 	rt := trackerFor(in)
 	mapf := func(ctx context.Context, sp mapSplit, emit func(int, *segment)) error {
 		seg := newSegment(in, cfg, sp.r)
-		scratch := newTrialScratch(in.Portfolio)
+		scratch := newTrialScratch(in.Portfolio, cfg.Kernel)
 		err := streamRange(ctx, src, sp.r, cfg.batchTrials(), rt, sp.id, &yelt.Table{},
 			func(b *yelt.Table, base int) error {
 				runBatch(idx, in, cfg, b, base, seg.res, scratch, sp.r.Lo)

@@ -117,7 +117,12 @@ type Pipeline struct {
 	// Index is the pre-joined event-major loss index over (ELTs,
 	// Portfolio), built once at the end of stage 1 and shared by every
 	// stage-2 engine run against this pipeline's book.
-	Index     *lossindex.Index
+	Index *lossindex.Index
+	// Flat is the flat SoA trial-kernel layout derived from Index —
+	// built alongside it at the stage-1 boundary (both are pure
+	// functions of the ELTs and portfolio) and shared read-only by
+	// every stage-2 run.
+	Flat      *lossindex.Flat
 	YELT      *yelt.Table
 	CatYLT    *ylt.Table
 	AggResult *aggregate.Result
@@ -194,16 +199,24 @@ func (p *Pipeline) RunStage1(ctx context.Context) error {
 	// Pre-join the book's ELTs into the event-major loss index here, at
 	// the stage boundary: the index is stage-1 output (a function of the
 	// ELTs and the portfolio only), and stage-2 re-runs — engine sweeps,
-	// trial-count sweeps — all reuse it without rebuilding.
+	// trial-count sweeps — all reuse it without rebuilding. The flat
+	// SoA kernel layout is derived in the same breath and reported on
+	// the same stage line (its build time and footprint are part of the
+	// pre-join cost the trial loop amortizes away).
 	idxStart := time.Now()
 	idx, err := lossindex.Build(p.ELTs, p.Portfolio)
 	if err != nil {
 		return fmt.Errorf("core: stage 1 loss index: %w", err)
 	}
+	fx, err := lossindex.Flatten(idx, p.Portfolio)
+	if err != nil {
+		return fmt.Errorf("core: stage 1 flat kernel layout: %w", err)
+	}
 	p.Index = idx
+	p.Flat = fx
 	p.Stages = append(p.Stages, StageReport{
 		Name: "loss-index", Duration: time.Since(idxStart),
-		OutputBytes: idx.SizeBytes(), Items: int64(idx.NumEntries()),
+		OutputBytes: idx.SizeBytes() + fx.SizeBytes(), Items: int64(idx.NumEntries()),
 	})
 	return nil
 }
@@ -223,7 +236,7 @@ func (p *Pipeline) RunStage2(ctx context.Context) error {
 	}
 	start := time.Now()
 	ycfg := yelt.Config{NumTrials: p.Cfg.NumTrials, Workers: p.Cfg.Workers}
-	in := &aggregate.Input{ELTs: p.ELTs, Portfolio: p.Portfolio, Index: p.Index}
+	in := &aggregate.Input{ELTs: p.ELTs, Portfolio: p.Portfolio, Index: p.Index, Flat: p.Flat}
 	var gen *yelt.Generator
 	var ds *yelt.DiskSource
 	if p.Cfg.Streaming || p.Cfg.Spill {

@@ -114,12 +114,19 @@ func TestPipelineDataBurst(t *testing.T) {
 			byName["portfolio-risk"].OutputBytes, byName["risk-modelling"].OutputBytes)
 	}
 	// The pre-joined index trades a constant-factor memory overhead over
-	// the raw ELTs for scan-order access; it must report its volume.
+	// the raw ELTs for scan-order access; it must report its volume —
+	// including the flat kernel layout built alongside it.
 	if byName["loss-index"].OutputBytes <= 0 {
 		t.Fatal("loss-index stage reports no bytes")
 	}
 	if p.Index == nil {
 		t.Fatal("pipeline did not retain the loss index")
+	}
+	if p.Flat == nil {
+		t.Fatal("pipeline did not retain the flat kernel layout")
+	}
+	if byName["loss-index"].OutputBytes <= p.Index.SizeBytes() {
+		t.Fatal("loss-index stage line does not include the flat layout bytes")
 	}
 }
 

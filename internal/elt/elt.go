@@ -121,22 +121,26 @@ func Merge(contractID uint32, tables ...*Table) *Table {
 	return New(contractID, recs)
 }
 
-// SampleLoss draws a realized loss for record r using the
-// industry-standard beta-on-[0, ExposedValue] secondary-uncertainty
-// model: mean and sigma are matched by method of moments. Degenerate
-// parameters fall back to the mean.
-func SampleLoss(st *rng.Stream, r Record) float64 {
+// SampleParams resolves a record's secondary-uncertainty sampling
+// plan: the method-of-moments beta parameters (a, b) with the
+// ExposedValue scale when a draw is needed (a > 0), or the constant
+// the degenerate branches collapse to (a == 0, value in c). It is the
+// per-record half of SampleLoss, split out so scan-oriented layouts
+// can precompute it once per (event, contract) entry instead of
+// re-deriving it for every one of millions of trials; SampleLoss
+// delegates here, so the two can never diverge.
+func SampleParams(r Record) (c, a, b, scale float64) {
 	if r.MeanLoss <= 0 || r.ExposedValue <= 0 {
-		return 0
+		return 0, 0, 0, 0
 	}
 	sigma := r.Sigma()
 	if sigma <= 0 {
-		return r.MeanLoss
+		return r.MeanLoss, 0, 0, 0
 	}
 	mu := r.MeanLoss / r.ExposedValue
 	v := (sigma / r.ExposedValue) * (sigma / r.ExposedValue)
 	if mu >= 1 {
-		return r.ExposedValue
+		return r.ExposedValue, 0, 0, 0
 	}
 	maxV := mu * (1 - mu)
 	if v >= maxV {
@@ -144,9 +148,22 @@ func SampleLoss(st *rng.Stream, r Record) float64 {
 	}
 	k := mu*(1-mu)/v - 1
 	if k <= 0 {
-		return r.MeanLoss
+		return r.MeanLoss, 0, 0, 0
 	}
-	return r.ExposedValue * st.Beta(mu*k, (1-mu)*k)
+	return 0, mu * k, (1 - mu) * k, r.ExposedValue
+}
+
+// SampleLoss draws a realized loss for record r using the
+// industry-standard beta-on-[0, ExposedValue] secondary-uncertainty
+// model: mean and sigma are matched by method of moments. Degenerate
+// parameters fall back to the mean (or the distribution's bounds)
+// without consuming a draw.
+func SampleLoss(st *rng.Stream, r Record) float64 {
+	c, a, b, scale := SampleParams(r)
+	if a == 0 {
+		return c
+	}
+	return scale * st.Beta(a, b)
 }
 
 // --- binary codec ---

@@ -1,0 +1,156 @@
+package lossindex
+
+import (
+	"fmt"
+
+	"repro/internal/elt"
+	"repro/internal/layers"
+)
+
+// Flat is the flat structure-of-arrays trial-kernel layout derived
+// from an Index and the portfolio's layer terms — the last step of the
+// paper's "scanned over rather than randomly accessed" restructuring.
+// Where the indexed kernel still dereferenced a Contract struct and
+// walked its nested []Layer per entry, the flat layout gives the
+// kernel nothing but contiguous arrays, all parallel to the index's
+// packed entry order:
+//
+//	Contract[k]          portfolio contract of entry k (per-contract outputs)
+//	LayerOff[k]          first flat layer slot of entry k's contract
+//	ExpOff[k]..ExpOff[k+1]  entry k's frame in ExpRec (one cell per layer)
+//	ExpRec[...]          pre-applied occurrence recovery of the entry's
+//	                     mean loss through each layer (expected mode)
+//	ExpSum[k]            sum of entry k's ExpRec frame, in layer order
+//	SampleConst/A/B/Scale[k]  the entry's precomputed sampling plan
+//	                     (elt.SampleParams of its record)
+//	Terms                the portfolio's layer terms as SoA columns
+//	                     (layers.FlatTerms), framed per contract
+//
+// In expected mode (Sampling=false) the per-(entry, layer) occurrence
+// recovery is a constant — min(max(mean-ret,0),lim) never changes
+// across trials — so it is applied once here at build time and the
+// kernel's inner loop collapses to gather-adds from ExpRec. ExpSum is
+// accumulated in the same layer order the kernel used, so substituting
+// it for the per-entry running sum is bit-identical. The annual
+// aggregate terms still apply per trial (they depend on the per-year
+// sums) via Terms.
+//
+// Flat is immutable after Flatten and safe for concurrent readers —
+// every engine worker shares one instance alongside the Index.
+type Flat struct {
+	ix    *Index
+	Terms *layers.FlatTerms
+
+	Contract []int32
+	LayerOff []int32
+	ExpOff   []int32 // len NumEntries+1
+	ExpRec   []float64
+	ExpSum   []float64
+
+	SampleConst []float64
+	SampleA     []float64
+	SampleB     []float64
+	SampleScale []float64
+}
+
+// Flatten derives the flat kernel layout from a built index and the
+// portfolio it was built for. Like Build it is a pure function of its
+// inputs.
+func Flatten(ix *Index, pf *layers.Portfolio) (*Flat, error) {
+	if ix == nil {
+		return nil, fmt.Errorf("lossindex: flatten of nil index")
+	}
+	if pf == nil || ix.numContracts != len(pf.Contracts) {
+		n := 0
+		if pf != nil {
+			n = len(pf.Contracts)
+		}
+		return nil, fmt.Errorf("lossindex: flatten: index built for %d contracts, portfolio has %d",
+			ix.numContracts, n)
+	}
+	ft, err := layers.FlattenTerms(pf)
+	if err != nil {
+		return nil, err
+	}
+
+	n := len(ix.entries)
+	f := &Flat{
+		ix:          ix,
+		Terms:       ft,
+		Contract:    make([]int32, n),
+		LayerOff:    make([]int32, n),
+		ExpOff:      make([]int32, n+1),
+		ExpSum:      make([]float64, n),
+		SampleConst: make([]float64, n),
+		SampleA:     make([]float64, n),
+		SampleB:     make([]float64, n),
+		SampleScale: make([]float64, n),
+	}
+	var total int32
+	for k, e := range ix.entries {
+		ci := e.Contract
+		f.Contract[k] = ci
+		f.LayerOff[k] = ft.First[ci]
+		f.ExpOff[k] = total
+		total += ft.First[ci+1] - ft.First[ci]
+	}
+	f.ExpOff[n] = total
+
+	// Pre-apply the occurrence terms to each entry's mean loss through
+	// the original Layer methods, so the constants are by construction
+	// the values the indexed kernel recomputed per trial.
+	f.ExpRec = make([]float64, total)
+	for k, e := range ix.entries {
+		c := &pf.Contracts[e.Contract]
+		off := f.ExpOff[k]
+		var sum float64
+		for li := range c.Layers {
+			r := c.Layers[li].ApplyOccurrence(e.Rec.MeanLoss)
+			f.ExpRec[off+int32(li)] = r
+			sum += r
+		}
+		f.ExpSum[k] = sum
+		f.SampleConst[k], f.SampleA[k], f.SampleB[k], f.SampleScale[k] = elt.SampleParams(e.Rec)
+	}
+	return f, nil
+}
+
+// Span returns the packed-entry range [lo, hi) for an event ID — the
+// flat kernel's one probe per occurrence (lo == hi when the event
+// carries no loss anywhere in the book). Entries k in the span index
+// every per-entry column of the Flat.
+func (f *Flat) Span(eventID uint32) (lo, hi int32) {
+	r := f.ix.Row(eventID)
+	if r < 0 {
+		return 0, 0
+	}
+	return f.ix.offsets[r], f.ix.offsets[r+1]
+}
+
+// Index returns the index the layout was derived from.
+func (f *Flat) Index() *Index { return f.ix }
+
+// NumContracts returns the contract count of the portfolio the layout
+// was built for.
+func (f *Flat) NumContracts() int { return f.ix.numContracts }
+
+// NumLayers returns the total flattened layer count (the flat kernel's
+// per-trial scratch length).
+func (f *Flat) NumLayers() int { return f.Terms.NumLayers() }
+
+// NumEntries returns the number of pre-joined entries the layout
+// parallels.
+func (f *Flat) NumEntries() int { return len(f.Contract) }
+
+// SizeBytes returns the in-memory footprint of the flat layout beyond
+// the index it references — the data-volume line the pipeline reports
+// next to the index size.
+func (f *Flat) SizeBytes() int64 {
+	return int64(len(f.Contract))*4 +
+		int64(len(f.LayerOff))*4 +
+		int64(len(f.ExpOff))*4 +
+		int64(len(f.ExpRec))*8 +
+		int64(len(f.ExpSum))*8 +
+		int64(len(f.SampleConst)+len(f.SampleA)+len(f.SampleB)+len(f.SampleScale))*8 +
+		f.Terms.SizeBytes()
+}

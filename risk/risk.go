@@ -166,15 +166,16 @@ type Study struct {
 	p         *core.Pipeline
 	ran       bool
 	postEvent *postevent.Estimator
-	// quoteIdx caches the single-contract loss index per contract, so
-	// repeated real-time quotes skip the pre-join as well as stage 1.
-	// quoteMu guards quoteIdx and PriceContract's lazy pipeline/stage-1
-	// initialization, making concurrent PriceContract calls safe with
-	// each other; the Study-wide "not safe for concurrent method
-	// calls" contract still applies to mixing PriceContract with other
-	// methods.
-	quoteMu  sync.Mutex
-	quoteIdx map[int]*lossindex.Index
+	// quoteIdx/quoteFlat cache the single-contract loss index and its
+	// flat kernel layout per contract, so repeated real-time quotes
+	// skip the pre-join as well as stage 1. quoteMu guards both maps
+	// and PriceContract's lazy pipeline/stage-1 initialization, making
+	// concurrent PriceContract calls safe with each other; the
+	// Study-wide "not safe for concurrent method calls" contract still
+	// applies to mixing PriceContract with other methods.
+	quoteMu   sync.Mutex
+	quoteIdx  map[int]*lossindex.Index
+	quoteFlat map[int]*lossindex.Flat
 }
 
 // NewStudy returns an unexecuted study.
@@ -326,6 +327,7 @@ func (s *Study) PriceContract(ctx context.Context, contract int, trials int) (*Q
 	s.quoteMu.Lock()
 	if s.quoteIdx == nil {
 		s.quoteIdx = make(map[int]*lossindex.Index)
+		s.quoteFlat = make(map[int]*lossindex.Flat)
 	}
 	idx := s.quoteIdx[contract]
 	if idx == nil {
@@ -336,10 +338,20 @@ func (s *Study) PriceContract(ctx context.Context, contract int, trials int) (*Q
 		}
 		s.quoteIdx[contract] = idx
 	}
+	flat := s.quoteFlat[contract]
+	if flat == nil {
+		flat, err = lossindex.Flatten(idx, single)
+		if err != nil {
+			s.quoteMu.Unlock()
+			return nil, err
+		}
+		s.quoteFlat[contract] = flat
+	}
 	s.quoteMu.Unlock()
 	qin.ELTs = p.ELTs[contract : contract+1]
 	qin.Portfolio = single
 	qin.Index = idx
+	qin.Flat = flat
 	res, err := (aggregate.Parallel{}).Run(ctx, qin, aggregate.Config{
 		Seed: s.cfg.Seed + 103, Sampling: true,
 		Workers: s.cfg.Workers, BatchTrials: s.cfg.BatchTrials,
