@@ -1,5 +1,5 @@
-// Root benchmark harness: one benchmark (family) per experiment E1–E9
-// from EXPERIMENTS.md. Absolute numbers are machine-dependent; the
+// Root benchmark harness: one benchmark (family) per experiment
+// E1–E13 from EXPERIMENTS.md. Absolute numbers are machine-dependent; the
 // *shapes* asserted in EXPERIMENTS.md (who wins, by roughly what
 // factor) are what reproduce the paper. cmd/benchtables prints the
 // richer tables; these benches give `go test -bench` one-line
@@ -208,6 +208,43 @@ func BenchmarkE12IndexedKernelSampling(b *testing.B) {
 
 func BenchmarkE12LegacyKernelSampling(b *testing.B) {
 	e12Run(b, aggregate.LegacyLookup{}, aggregate.Config{Seed: 1, Sampling: true})
+}
+
+// --- E13: the flat SoA year-state kernel for the stateful
+// reinstatements path vs the indexed nested-slice state machine, on
+// the same 100k-trial book under market-standard terms (the
+// EXPERIMENTS.md E13 claim: flat ≥1.5× indexed in expected mode,
+// bit-identical always, premium ledger included). ---
+
+func e13Run(b *testing.B, kernel aggregate.Kernel, sampling bool) {
+	b.Helper()
+	in := e12Input(b)
+	terms := aggregate.StandardReinstatements(in.Portfolio)
+	cfg := aggregate.Config{Seed: 1, Sampling: sampling, Kernel: kernel}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rin := &aggregate.ReinstatementInput{Input: in, Terms: terms}
+		if _, err := aggregate.RunReinstatements(context.Background(), rin, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(1e5*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+}
+
+func BenchmarkE13FlatReinstExpected(b *testing.B) {
+	e13Run(b, aggregate.KernelFlat, false)
+}
+
+func BenchmarkE13IndexedReinstExpected(b *testing.B) {
+	e13Run(b, aggregate.KernelIndexed, false)
+}
+
+func BenchmarkE13FlatReinstSampling(b *testing.B) {
+	e13Run(b, aggregate.KernelFlat, true)
+}
+
+func BenchmarkE13IndexedReinstSampling(b *testing.B) {
+	e13Run(b, aggregate.KernelIndexed, true)
 }
 
 // --- E2: the million-trial single-contract quote ---

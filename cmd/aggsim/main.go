@@ -1,7 +1,9 @@
 // Command aggsim runs stage 2 only: aggregate analysis of a synthetic
 // portfolio over a pre-simulated YELT, with a choice of engine —
-// sequential baseline, native parallel, or the simulated many-core
-// device with/without shared-memory chunking.
+// sequential baseline, native parallel, map/reduce over trial splits,
+// the stateful reinstatements path, or the simulated many-core device
+// with/without shared-memory chunking — and of trial-kernel layout
+// (-kernel flat|indexed, bit-identical results).
 package main
 
 import (
@@ -25,7 +27,8 @@ func main() {
 		trials    = flag.Int("trials", 100_000, "pre-simulated trial years")
 		seed      = flag.Uint64("seed", 1, "master seed")
 		workers   = flag.Int("workers", 0, "parallelism bound (0 = all cores)")
-		engine    = flag.String("engine", "parallel", "sequential|parallel|chunked|naive|mapreduce")
+		engine    = flag.String("engine", "parallel", "sequential|parallel|chunked|naive|mapreduce|reinstatements")
+		kernel    = flag.String("kernel", "flat", "trial-kernel layout: flat|indexed (bit-identical results)")
 		sampling  = flag.Bool("sampling", false, "secondary-uncertainty sampling (host engines only)")
 		streaming = flag.Bool("stream", false, "stream trial batches instead of materializing the YELT (bit-identical results, bounded memory)")
 		batch     = flag.Int("batch", 0, "streaming trial-batch size per worker (0 = engine default)")
@@ -58,6 +61,7 @@ func main() {
 
 	var eng aggregate.Engine
 	var dev *aggregate.Chunked
+	var reinst *aggregate.Reinstatements
 	switch *engine {
 	case "sequential":
 		eng = aggregate.Sequential{}
@@ -65,6 +69,9 @@ func main() {
 		eng = aggregate.Parallel{}
 	case "mapreduce":
 		eng = aggregate.MapReduce{}
+	case "reinstatements":
+		reinst = &aggregate.Reinstatements{}
+		eng = reinst
 	case "chunked":
 		dev = &aggregate.Chunked{}
 		eng = dev
@@ -73,6 +80,16 @@ func main() {
 		eng = dev
 	default:
 		fmt.Fprintf(os.Stderr, "aggsim: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+	var kern aggregate.Kernel
+	switch *kernel {
+	case "flat":
+		kern = aggregate.KernelFlat
+	case "indexed":
+		kern = aggregate.KernelIndexed
+	default:
+		fmt.Fprintf(os.Stderr, "aggsim: unknown kernel %q\n", *kernel)
 		os.Exit(2)
 	}
 
@@ -126,6 +143,7 @@ func main() {
 	start := time.Now()
 	res, err := eng.Run(ctx, in, aggregate.Config{
 		Seed: *seed + 13, Sampling: *sampling, Workers: *workers, BatchTrials: *batch,
+		Kernel: kern,
 	})
 	if err != nil {
 		fail(err)
@@ -156,6 +174,14 @@ func main() {
 		fmt.Printf("streaming: peak-resident=%s materialized-equivalent=%s (%.0fx smaller)\n",
 			yelt.HumanBytes(float64(res.PeakResidentBytes)), yelt.HumanBytes(float64(matBytes)),
 			float64(matBytes)/float64(res.PeakResidentBytes))
+	}
+	if reinst != nil {
+		var total float64
+		for _, p := range reinst.LastPremium {
+			total += p
+		}
+		fmt.Printf("reinstatements: total premium=%.0f mean/trial=%.2f (standard terms: 1 reinstatement at 100%%, 5%% rate-on-line)\n",
+			total, total/float64(len(reinst.LastPremium)))
 	}
 	if dev != nil {
 		st := dev.LastStats

@@ -1,9 +1,9 @@
 // Command benchtables regenerates the tables for every experiment
-// E1–E12 in EXPERIMENTS.md — the quantitative claims of Varghese &
+// E1–E13 in EXPERIMENTS.md — the quantitative claims of Varghese &
 // Rau-Chaplin (SC 2012) reproduced on this machine, plus the
 // streaming-stage-2 memory envelope (E10), the partitioned
-// (spill + MapReduce) stage 2 (E11), and the flat SoA trial kernel
-// (E12).
+// (spill + MapReduce) stage 2 (E11), the flat SoA trial kernel (E12),
+// and the flat SoA year-state kernel for reinstatements (E13).
 //
 // Usage:
 //
@@ -11,7 +11,8 @@
 //
 // -json additionally writes the run's measurements as a
 // machine-readable document (ns/op, bytes, speedups per experiment
-// row) — the format CI tracks as the BENCH_E12.json artifact.
+// row) — the format CI tracks as the BENCH_E12.json / BENCH_E13.json
+// artifacts.
 package main
 
 import (
@@ -106,13 +107,13 @@ func main() {
 
 	want := map[int]bool{}
 	if *flagExperiments == "all" {
-		for i := 1; i <= 12; i++ {
+		for i := 1; i <= 13; i++ {
 			want[i] = true
 		}
 	} else {
 		for _, tok := range strings.Split(*flagExperiments, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(tok))
-			if err != nil || n < 1 || n > 12 {
+			if err != nil || n < 1 || n > 13 {
 				fmt.Fprintf(os.Stderr, "benchtables: bad experiment %q\n", tok)
 				os.Exit(2)
 			}
@@ -130,6 +131,7 @@ func main() {
 		10: e10StreamingEnvelope,
 		11: e11PartitionedStage2,
 		12: e12FlatKernel,
+		13: e13ReinstatementsKernel,
 	}
 	keys := make([]int, 0, len(want))
 	for k := range want {
@@ -953,6 +955,98 @@ func e12FlatKernel(ctx context.Context) error {
 				}
 			}
 			fmt.Printf("equivalence (%s): all %d trials bit-identical across the three kernels\n", mode, trials)
+		}
+	}
+	return nil
+}
+
+// E13 — the flat SoA year-state kernel for the stateful
+// reinstatements path: contiguous available/reinstatement-balance
+// columns over layers.FlatTerms, reset by bulk copy, driven from
+// lossindex.Flat gather offsets — vs the indexed nested-slice state
+// machine it replaced, sampling off and on, at two trial counts,
+// under market-standard terms. The occurrence walk still serializes
+// within a trial (that is the contractual semantics); the win is
+// every access in the serial walk becoming a linear-offset load.
+// Both kernels are verified bit-identical per cell, premium ledger
+// included.
+func e13ReinstatementsKernel(ctx context.Context) error {
+	sizes := []int{100_000, 1_000_000}
+	if *flagQuick {
+		sizes = []int{10_000, 100_000}
+	}
+	fmt.Printf("## E13 — flat SoA year-state reinstatements kernel vs indexed (stateful path)\n")
+	for _, trials := range sizes {
+		s, err := scenario(ctx, trials, false)
+		if err != nil {
+			return err
+		}
+		in := aggInput(s)
+		if _, err := in.EnsureIndex(); err != nil {
+			return err
+		}
+		t0 := time.Now()
+		fx, err := in.EnsureFlat()
+		if err != nil {
+			return err
+		}
+		tmpl, err := fx.Terms.NewFlatYearStates(aggregate.StandardReinstatements(s.Portfolio))
+		if err != nil {
+			return err
+		}
+		flatBuild := time.Since(t0)
+		fmt.Printf("\n%d trials — flat layout: %d entries, %d year-state slots, %s (+%s states), built in %v\n",
+			trials, fx.NumEntries(), tmpl.NumLayers(),
+			yelt.HumanBytes(float64(fx.SizeBytes())), yelt.HumanBytes(float64(tmpl.SizeBytes())),
+			flatBuild.Round(time.Microsecond))
+		terms := aggregate.StandardReinstatements(s.Portfolio)
+		fmt.Printf("%-10s %-10s %12s %14s %12s\n", "mode", "kernel", "time", "trials/s", "vs indexed")
+		for _, sampling := range []bool{false, true} {
+			mode := "expected"
+			if sampling {
+				mode = "sampling"
+			}
+			kernels := []struct {
+				name   string
+				kernel aggregate.Kernel
+			}{
+				{"flat", aggregate.KernelFlat},
+				{"indexed", aggregate.KernelIndexed},
+			}
+			results := make([]*aggregate.ReinstatementResult, len(kernels))
+			durs := make([]time.Duration, len(kernels))
+			for i, k := range kernels {
+				rin := &aggregate.ReinstatementInput{Input: in, Terms: terms}
+				cfg := aggregate.Config{Seed: *flagSeed + 13, Sampling: sampling, Workers: *flagWorkers, Kernel: k.kernel}
+				t0 := time.Now()
+				results[i], err = aggregate.RunReinstatements(ctx, rin, cfg)
+				if err != nil {
+					return err
+				}
+				durs[i] = time.Since(t0)
+			}
+			idxDur := durs[1]
+			for i, k := range kernels {
+				spd := idxDur.Seconds() / durs[i].Seconds()
+				fmt.Printf("%-10s %-10s %12v %14.0f %11.2fx\n", mode, k.name,
+					durs[i].Round(time.Millisecond), float64(trials)/durs[i].Seconds(), spd)
+				// Bytes carries the layout the kernel scanned: flat SoA +
+				// year-state columns for flat rows, zero otherwise.
+				var layoutBytes int64
+				if i == 0 {
+					layoutBytes = fx.SizeBytes() + tmpl.SizeBytes()
+				}
+				record("E13", fmt.Sprintf("%s/%s/%dk-trials", k.name, mode, trials/1000),
+					durs[i], layoutBytes, spd)
+			}
+			for t := 0; t < trials; t++ {
+				if results[0].Portfolio.Agg[t] != results[1].Portfolio.Agg[t] ||
+					results[0].Portfolio.OccMax[t] != results[1].Portfolio.OccMax[t] ||
+					results[0].ReinstPremium[t] != results[1].ReinstPremium[t] {
+					return fmt.Errorf("E13: kernels diverged at trial %d (%s)", t, mode)
+				}
+			}
+			fmt.Printf("equivalence (%s): all %d trials bit-identical across kernels, premium ledger included\n", mode, trials)
 		}
 	}
 	return nil

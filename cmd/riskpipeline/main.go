@@ -26,7 +26,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "master seed")
 		rho       = flag.Float64("rho", 0.25, "DFA copula equicorrelation")
 		workers   = flag.Int("workers", 0, "parallelism bound (0 = all cores)")
-		engine    = flag.String("engine", "parallel", "stage-2 engine: sequential|parallel|mapreduce")
+		engine    = flag.String("engine", "parallel", "stage-2 engine: sequential|parallel|mapreduce|reinstatements")
+		kernel    = flag.String("kernel", "flat", "stage-2 trial-kernel layout: flat|indexed (bit-identical results)")
 		streaming = flag.Bool("stream", false, "fuse stage-2 YELT generation into the engine (bounded memory, bit-identical results)")
 		batch     = flag.Int("batch", 0, "streaming trial-batch size per worker (0 = engine default)")
 		spill     = flag.Bool("spill", false, "spill the generated trial stream into diskstore shards and run stage 2 over the shards (implies -stream)")
@@ -35,6 +36,7 @@ func main() {
 	flag.Parse()
 
 	var eng aggregate.Engine
+	var reinst *aggregate.Reinstatements
 	switch *engine {
 	case "sequential":
 		eng = aggregate.Sequential{}
@@ -42,8 +44,21 @@ func main() {
 		eng = aggregate.Parallel{}
 	case "mapreduce":
 		eng = aggregate.MapReduce{}
+	case "reinstatements":
+		reinst = &aggregate.Reinstatements{}
+		eng = reinst
 	default:
 		fmt.Fprintf(os.Stderr, "riskpipeline: unknown engine %q\n", *engine)
+		os.Exit(2)
+	}
+	var kern aggregate.Kernel
+	switch *kernel {
+	case "flat":
+		kern = aggregate.KernelFlat
+	case "indexed":
+		kern = aggregate.KernelIndexed
+	default:
+		fmt.Fprintf(os.Stderr, "riskpipeline: unknown kernel %q\n", *kernel)
 		os.Exit(2)
 	}
 
@@ -54,6 +69,7 @@ func main() {
 		LocationsPerContract: *locations,
 		NumTrials:            *trials,
 		Engine:               eng,
+		Kernel:               kern,
 		Sampling:             *sampling,
 		Streaming:            *streaming,
 		BatchTrials:          *batch,
@@ -90,6 +106,14 @@ func main() {
 	}
 	if *spill {
 		fmt.Printf("(spilled stage 2: the yelt-spill line is the shard write; the engine re-scanned those shards from disk)\n")
+	}
+	if reinst != nil {
+		var total float64
+		for _, prem := range reinst.LastPremium {
+			total += prem
+		}
+		fmt.Printf("reinstatement premium (standard terms): total=%.0f mean/trial=%.2f\n",
+			total, total/float64(len(reinst.LastPremium)))
 	}
 	fmt.Println()
 

@@ -22,10 +22,11 @@ import (
 // each trial batch exactly once and the contract workers share that
 // one resident batch — the per-batch cache that trades the
 // decomposition's repeated regeneration (once per contract, plus the
-// final occurrence pass) back down to a single generation pass, at the
-// cost of holding every contract's dense mean-loss vector resident at
-// once. TestByContractStreamingSingleGeneration pins the single-pass
-// claim via Generator.Streamed.
+// final occurrence pass) back down to a single generation pass. Both
+// forms hold every contract's dense mean-loss vector resident
+// (projected from the flat layout in one entry sweep — see
+// contractMeansAll). TestByContractStreamingSingleGeneration pins the
+// single-pass claim via Generator.Streamed.
 //
 // Results are identical to the other engines in expected mode; in
 // sampling mode they are *internally* consistent but differ from the
@@ -38,22 +39,41 @@ type ByContract struct{}
 // Name implements Engine.
 func (ByContract) Name() string { return "by-contract" }
 
-// contractMeans flattens contract ci's ELT into a dense row →
-// mean-loss vector (O(contract records)), so the per-occurrence probe
-// is two array indexings — no binary search.
-func contractMeans(in *Input, ci int) []float64 {
-	idx := in.Index
-	c := &in.Portfolio.Contracts[ci]
-	means := make([]float64, idx.NumRows())
-	for _, r := range in.ELTs[c.ELTIndex].Records {
-		if r.MeanLoss <= 0 {
-			continue
-		}
-		if row := idx.Row(r.EventID); row >= 0 {
-			means[row] = r.MeanLoss
-		}
+// contractMeansAll builds every contract's dense row → mean-loss
+// vector, so the per-occurrence probe is two array indexings — no
+// binary search. With the flat kernel layout resident (the default)
+// all vectors are projected from the packed lossindex.Flat mean
+// column in one linear sweep of the entries; the per-record ELT scan
+// with its Row probe per record is kept — parallel across contracts —
+// only for indexed-kernel runs that never built the flat layout. Both
+// produce identical vectors (TestByContractMeansFromFlatMatchELTScan
+// pins it). All vectors are resident for the run either way
+// (contracts × rows floats — small next to the contracts × trials
+// partial tables the decomposition already holds).
+func contractMeansAll(ctx context.Context, in *Input, cfg Config) ([][]float64, error) {
+	if in.Flat != nil {
+		return in.Flat.DenseMeansAll(), nil
 	}
-	return means
+	idx := in.Index
+	out := make([][]float64, len(in.Portfolio.Contracts))
+	err := stream.ForEach(ctx, len(in.Portfolio.Contracts), cfg.Workers, func(_ context.Context, ci int) error {
+		c := &in.Portfolio.Contracts[ci]
+		means := make([]float64, idx.NumRows())
+		for _, r := range in.ELTs[c.ELTIndex].Records {
+			if r.MeanLoss <= 0 {
+				continue
+			}
+			if row := idx.Row(r.EventID); row >= 0 {
+				means[row] = r.MeanLoss
+			}
+		}
+		out[ci] = means
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
 }
 
 // runContractBatch walks one trial batch for one contract, writing
@@ -144,9 +164,12 @@ func (ByContract) runContractMajor(ctx context.Context, in *Input, cfg Config) (
 
 	partialAgg := make([][]float64, len(contracts))
 	partialOcc := make([][]float64, len(contracts))
+	means, err := contractMeansAll(ctx, in, cfg)
+	if err != nil {
+		return nil, err
+	}
 
-	err := stream.ForEach(ctx, len(contracts), cfg.Workers, func(ctx context.Context, ci int) error {
-		means := contractMeans(in, ci)
+	err = stream.ForEach(ctx, len(contracts), cfg.Workers, func(ctx context.Context, ci int) error {
 		agg := make([]float64, n)
 		// Per-contract occurrence maxima are only an output when
 		// per-contract tables were requested; skip the n-length arrays
@@ -158,7 +181,7 @@ func (ByContract) runContractMajor(ctx context.Context, in *Input, cfg Config) (
 		layerSums := make([]float64, len(contracts[ci].Layers))
 		err := streamRange(ctx, src, stream.Range{Lo: 0, Hi: n}, cfg.batchTrials(), rt, ci, &yelt.Table{},
 			func(b *yelt.Table, base int) error {
-				runContractBatch(in, ci, means, layerSums, b, base, agg, occ)
+				runContractBatch(in, ci, means[ci], layerSums, b, base, agg, occ)
 				return nil
 			})
 		if err != nil {
@@ -205,14 +228,7 @@ func (ByContract) runBatchMajor(ctx context.Context, in *Input, cfg Config) (*Re
 	res := newResult(in, cfg)
 	rt := trackerFor(in)
 
-	// All contracts' dense mean-loss vectors resident at once — the
-	// memory half of the trade (contract-major holds only one per live
-	// worker).
-	means := make([][]float64, len(contracts))
-	err := stream.ForEach(ctx, len(contracts), cfg.Workers, func(_ context.Context, ci int) error {
-		means[ci] = contractMeans(in, ci)
-		return nil
-	})
+	means, err := contractMeansAll(ctx, in, cfg)
 	if err != nil {
 		return nil, err
 	}

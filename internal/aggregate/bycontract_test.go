@@ -55,6 +55,45 @@ func TestByContractPerContractOutput(t *testing.T) {
 	}
 }
 
+// The two contractMeans paths — projected from the packed
+// lossindex.Flat columns (the default) and re-scanned from the
+// contract's ELT (the indexed-kernel fallback) — must produce
+// identical dense vectors, and therefore identical engine results.
+func TestByContractMeansFromFlatMatchELTScan(t *testing.T) {
+	s := buildScenario(t, synth.Small(45))
+	ix, err := lossindex.Build(s.ELTs, s.Portfolio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := lossindex.Flatten(ix, s.Portfolio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	withFlat := &Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio, Index: ix, Flat: fx}
+	withoutFlat := &Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio, Index: ix}
+	fromFlat, err := contractMeansAll(context.Background(), withFlat, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fromELTs, err := contractMeansAll(context.Background(), withoutFlat, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for ci := range s.Portfolio.Contracts {
+		bitIdentical(t, "dense means", fromFlat[ci], fromELTs[ci])
+	}
+	cfg := Config{PerContract: true, Kernel: KernelIndexed} // indexed: the engine never builds Flat itself
+	want, err := ByContract{}.Run(context.Background(), withoutFlat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ByContract{}.Run(context.Background(), withFlat, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resultsBitIdentical(t, "by-contract means source", want, got)
+}
+
 func TestByContractRefusesSampling(t *testing.T) {
 	s := buildScenario(t, synth.Small(43))
 	if _, err := (ByContract{}).Run(context.Background(), input(s), Config{Sampling: true}); err == nil {

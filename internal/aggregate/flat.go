@@ -9,8 +9,10 @@ import (
 // Kernel selects the trial-kernel data layout the shared runBatch
 // drives. Every engine that funnels through runBatch (Sequential,
 // Parallel, MapReduce, and ByContract's occurrence-max pass) honors
-// it; results are bit-identical across kernels — the choice is purely
-// a performance lever, pinned by the kernel-equivalence suite.
+// it, as does the stateful RunReinstatements path (runTrialReinstFlat
+// over layers.FlatYearStates); results are bit-identical across
+// kernels — the choice is purely a performance lever, pinned by the
+// kernel-equivalence suites.
 type Kernel int
 
 const (

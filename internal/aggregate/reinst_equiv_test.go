@@ -1,0 +1,194 @@
+package aggregate
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"repro/internal/layers"
+	"repro/internal/lossindex"
+	"repro/internal/synth"
+)
+
+// The reinstatements kernel-equivalence suite: the flat SoA year-state
+// kernel (runTrialReinstFlat over lossindex.Flat + layers.FlatYearStates)
+// must be bit-identical to the indexed nested-slice state machine for
+// every sampling × seed × batch-size × terms-regime combination — the
+// stateful counterpart of the PR-4 flat_equiv suite. Recoveries,
+// occurrence maxima, AND the per-trial premium ledger all have to
+// survive the flattening; that contract is what makes Config.Kernel a
+// pure performance lever on the stateful path too.
+
+// reinstRegimes builds the terms regimes the suite sweeps: terms that
+// never bind, terms that bind but reinstate, terms exhausted after the
+// initial limit, and a mixed book where premium accrues on only some
+// layers (zero upfront premium elsewhere — the premBase==0 encoding).
+func reinstRegimes(pf *layers.Portfolio) map[string][][]layers.ReinstatementTerms {
+	uniform := func(count int, rate, upfront float64) [][]layers.ReinstatementTerms {
+		out := make([][]layers.ReinstatementTerms, len(pf.Contracts))
+		for ci, c := range pf.Contracts {
+			out[ci] = make([]layers.ReinstatementTerms, len(c.Layers))
+			for li := range c.Layers {
+				out[ci][li] = layers.ReinstatementTerms{Count: count, PremiumRate: rate, UpfrontPremium: upfront}
+			}
+		}
+		return out
+	}
+	partial := uniform(2, 0.5, 750)
+	fl := 0
+	for ci := range partial {
+		for li := range partial[ci] {
+			if fl%2 == 0 {
+				partial[ci][li].UpfrontPremium = 0
+			}
+			fl++
+		}
+	}
+	return map[string][][]layers.ReinstatementTerms{
+		"unlimited":       UnlimitedReinstatements(pf),
+		"binding":         uniform(1, 1.0, 1000),
+		"exhausted":       uniform(0, 1.0, 1000),
+		"partial-premium": partial,
+	}
+}
+
+func reinstBitIdentical(t *testing.T, name string, want, got *ReinstatementResult) {
+	t.Helper()
+	bitIdentical(t, name+" agg", want.Portfolio.Agg, got.Portfolio.Agg)
+	bitIdentical(t, name+" occmax", want.Portfolio.OccMax, got.Portfolio.OccMax)
+	bitIdentical(t, name+" premium", want.ReinstPremium, got.ReinstPremium)
+}
+
+func TestReinstKernelEquivalence(t *testing.T) {
+	s := buildScenario(t, synth.Small(51))
+	ix, err := lossindex.Build(s.ELTs, s.Portfolio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := lossindex.Flatten(ix, s.Portfolio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for regime, terms := range reinstRegimes(s.Portfolio) {
+		for _, seed := range []uint64{5, 17} {
+			for _, sampling := range []bool{false, true} {
+				name := fmt.Sprintf("%s/sampling=%v/seed=%d", regime, sampling, seed)
+				cfg := Config{Seed: seed, Sampling: sampling, Workers: 3}
+				cfgIdx := cfg
+				cfgIdx.Kernel = KernelIndexed
+				in := func() *ReinstatementInput {
+					return &ReinstatementInput{
+						Input: &Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio, Index: ix, Flat: fx},
+						Terms: terms,
+					}
+				}
+				want, err := RunReinstatements(ctx, in(), cfgIdx)
+				if err != nil {
+					t.Fatalf("%s indexed: %v", name, err)
+				}
+				got, err := RunReinstatements(ctx, in(), cfg)
+				if err != nil {
+					t.Fatalf("%s flat: %v", name, err)
+				}
+				reinstBitIdentical(t, name, want, got)
+			}
+		}
+	}
+}
+
+// Batch size must not leak into the flat kernel's results: streaming
+// sources at batch sizes that do and do not divide the trial count
+// must match the materialized indexed reference bit-for-bit, premium
+// ledger included.
+func TestReinstKernelEquivalenceAcrossBatchSizes(t *testing.T) {
+	s := buildScenario(t, synth.Small(52))
+	ix, err := lossindex.Build(s.ELTs, s.Portfolio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	terms := reinstRegimes(s.Portfolio)["binding"]
+	ctx := context.Background()
+	refCfg := Config{Seed: 9, Sampling: true, Kernel: KernelIndexed}
+	want, err := RunReinstatements(ctx, &ReinstatementInput{
+		Input: &Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio, Index: ix},
+		Terms: terms,
+	}, refCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, batch := range equivBatchSizes {
+		for _, kernel := range []Kernel{KernelFlat, KernelIndexed} {
+			cfg := Config{Seed: 9, Sampling: true, Workers: 2, BatchTrials: batch, Kernel: kernel}
+			got, err := RunReinstatements(ctx, &ReinstatementInput{
+				Input: streamingInput(t, s, ix),
+				Terms: terms,
+			}, cfg)
+			if err != nil {
+				t.Fatalf("batch=%d kernel=%d: %v", batch, kernel, err)
+			}
+			reinstBitIdentical(t, fmt.Sprintf("batch=%d/kernel=%d", batch, kernel), want, got)
+		}
+	}
+}
+
+// A bare input must lazily build the layouts the flat stateful kernel
+// scans, and an indexed-kernel run must not force the flat build —
+// the same laziness contract the stateless engines keep.
+func TestReinstKernelLazyBuild(t *testing.T) {
+	s := buildScenario(t, synth.Small(53))
+	terms := reinstRegimes(s.Portfolio)["binding"]
+	cfg := Config{Seed: 3, Sampling: true}
+	in := input(s)
+	if _, err := RunReinstatements(context.Background(), &ReinstatementInput{Input: in, Terms: terms}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if in.Index == nil || in.Flat == nil {
+		t.Fatal("flat stateful run did not memoize its layouts")
+	}
+	in2 := input(s)
+	cfg.Kernel = KernelIndexed
+	if _, err := RunReinstatements(context.Background(), &ReinstatementInput{Input: in2, Terms: terms}, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if in2.Index == nil {
+		t.Fatal("indexed stateful run did not memoize the index")
+	}
+	if in2.Flat != nil {
+		t.Fatal("indexed stateful run built the flat layout it does not scan")
+	}
+}
+
+// The Reinstatements engine adapter must agree with a direct
+// RunReinstatements call under the same (derived) terms, and retain
+// the premium ledger on the engine.
+func TestReinstatementsEngineAdapter(t *testing.T) {
+	s := buildScenario(t, synth.Small(54))
+	cfg := Config{Seed: 7, Sampling: true}
+	eng := &Reinstatements{}
+	res, err := eng.Run(context.Background(), input(s), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := RunReinstatements(context.Background(), &ReinstatementInput{
+		Input: input(s), Terms: StandardReinstatements(s.Portfolio),
+	}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitIdentical(t, "adapter agg", want.Portfolio.Agg, res.Portfolio.Agg)
+	bitIdentical(t, "adapter occmax", want.Portfolio.OccMax, res.Portfolio.OccMax)
+	bitIdentical(t, "adapter premium", want.ReinstPremium, eng.LastPremium)
+	var total float64
+	for _, p := range eng.LastPremium {
+		total += p
+	}
+	if total <= 0 {
+		t.Fatal("standard terms on a loss-making book should charge premium")
+	}
+	// The stateful path has no per-contract tables; the adapter must
+	// refuse the option rather than return nil slots.
+	if _, err := eng.Run(context.Background(), input(s), Config{PerContract: true}); err == nil {
+		t.Fatal("PerContract accepted by an engine that cannot produce it")
+	}
+}

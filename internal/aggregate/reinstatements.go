@@ -60,13 +60,30 @@ type ReinstatementResult struct {
 // in parallel over trials. Like the stateless engines it is a pure
 // function of (input, cfg); the YELT's day-of-year ordering is what
 // makes limit erosion well-defined.
+//
+// Config.Kernel selects the data layout, exactly as for the stateless
+// engines: KernelFlat (the default) drives runTrialReinstFlat over
+// lossindex.Flat and a layers.FlatYearStates — contiguous year-state
+// columns reset by bulk copy — while KernelIndexed pins the
+// nested-slice state machine below. Results are bit-identical across
+// kernels (the reinstatements kernel-equivalence suite pins this);
+// the choice is purely a performance lever.
 func RunReinstatements(ctx context.Context, in *ReinstatementInput, cfg Config) (*ReinstatementResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
-	idx, err := in.EnsureIndex()
+	idx, err := in.ensureKernelData(cfg)
 	if err != nil {
 		return nil, err
+	}
+	var tmpl *layers.FlatYearStates
+	if cfg.Kernel == KernelFlat {
+		// One validated template shared by every worker; workers Clone it
+		// so only the live columns are per-worker.
+		tmpl, err = in.Flat.Terms.NewFlatYearStates(in.Terms)
+		if err != nil {
+			return nil, fmt.Errorf("aggregate: flattening year states: %w", err)
+		}
 	}
 	src := in.src()
 	n := src.TrialCount()
@@ -78,17 +95,41 @@ func RunReinstatements(ctx context.Context, in *ReinstatementInput, cfg Config) 
 	rt := trackerFor(in.Input)
 
 	err = stream.ForEachRange(ctx, n, cfg.Workers, func(ctx context.Context, r stream.Range, w int) error {
-		// Per-worker year states and annual sums, reused across trials.
-		states := make([][]layers.YearState, len(contracts))
-		sums := make([][]float64, len(contracts))
-		for ci, c := range contracts {
-			states[ci] = make([]layers.YearState, len(c.Layers))
-			sums[ci] = make([]float64, len(c.Layers))
+		// Per-worker year states and annual sums, reused across trials:
+		// one flat vector each under KernelFlat, the nested per-contract
+		// slices under KernelIndexed.
+		var fy *layers.FlatYearStates
+		var flatSums []float64
+		var states [][]layers.YearState
+		var sums [][]float64
+		if tmpl != nil {
+			fy = tmpl.Clone()
+			flatSums = make([]float64, tmpl.NumLayers())
+		} else {
+			states = make([][]layers.YearState, len(contracts))
+			sums = make([][]float64, len(contracts))
+			for ci, c := range contracts {
+				states[ci] = make([]layers.YearState, len(c.Layers))
+				sums[ci] = make([]float64, len(c.Layers))
+			}
 		}
 		return streamRange(ctx, src, r, cfg.batchTrials(), rt, w, &yelt.Table{}, func(b *yelt.Table, base int) error {
 			for i := 0; i < b.NumTrials; i++ {
 				trial := base + i
-				st := rng.NewStream(cfg.Seed, uint64(trial))
+				// The trial's substream only feeds secondary-uncertainty
+				// draws; expected mode never draws, so skip the stream
+				// setup entirely (mirrors runBatch).
+				var st *rng.Stream
+				if cfg.Sampling {
+					st = rng.NewStream(cfg.Seed, uint64(trial))
+				}
+				if fy != nil {
+					agg, occMax, premium := runTrialReinstFlat(b.OccurrencesOf(i), in.Flat, fy, cfg.Sampling, st, flatSums)
+					res.Portfolio.Agg[trial] = agg
+					res.Portfolio.OccMax[trial] = occMax
+					res.ReinstPremium[trial] = premium
+					continue
+				}
 				for ci, c := range contracts {
 					for li := range c.Layers {
 						states[ci][li] = c.Layers[li].NewYearState(in.Terms[ci][li])

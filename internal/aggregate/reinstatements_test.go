@@ -2,11 +2,13 @@ package aggregate
 
 import (
 	"context"
+	"errors"
 	"math"
 	"testing"
 
 	"repro/internal/layers"
 	"repro/internal/synth"
+	"repro/internal/yelt"
 )
 
 func reinstTerms(pf *layers.Portfolio, count int, rate float64) [][]layers.ReinstatementTerms {
@@ -144,5 +146,76 @@ func TestReinstatementsCancellation(t *testing.T) {
 		&ReinstatementInput{Input: input(s), Terms: UnlimitedReinstatements(s.Portfolio)},
 		Config{}); err == nil {
 		t.Fatal("cancelled run should error")
+	}
+}
+
+// cancellingSource cancels its context after serving cancelAfter
+// reads — the mid-run cancellation shape (a client disconnect, a
+// deadline firing while trials stream).
+type cancellingSource struct {
+	inner       yelt.Source
+	cancel      context.CancelFunc
+	cancelAfter int
+	reads       int
+}
+
+func (c *cancellingSource) TrialCount() int { return c.inner.TrialCount() }
+
+func (c *cancellingSource) ReadTrials(ctx context.Context, lo, hi int, buf *yelt.Table) (*yelt.Table, error) {
+	c.reads++
+	if c.reads == c.cancelAfter {
+		c.cancel()
+	}
+	return c.inner.ReadTrials(ctx, lo, hi, buf)
+}
+
+// A cancellation arriving mid-run — after trials have already been
+// processed — must abort the stateful engine promptly with
+// context.Canceled, for both kernels (every other engine has this
+// test; the reinstatements path polls in the same streamRange loop).
+func TestReinstatementsMidRunCancellation(t *testing.T) {
+	s := buildScenario(t, synth.Small(27))
+	for _, kernel := range []Kernel{KernelFlat, KernelIndexed} {
+		ctx, cancel := context.WithCancel(context.Background())
+		src := &cancellingSource{inner: s.YELT, cancel: cancel, cancelAfter: 2}
+		in := &ReinstatementInput{
+			Input: &Input{Source: src, ELTs: s.ELTs, Portfolio: s.Portfolio},
+			Terms: UnlimitedReinstatements(s.Portfolio),
+		}
+		_, err := RunReinstatements(ctx, in, Config{Workers: 1, BatchTrials: 100, Kernel: kernel})
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("kernel=%d: err = %v, want context.Canceled", kernel, err)
+		}
+		if src.reads < 2 {
+			t.Fatalf("kernel=%d: cancelled before any trials streamed (%d reads)", kernel, src.reads)
+		}
+		cancel()
+	}
+}
+
+// Expected mode never draws from the per-trial substream, so results
+// must be independent of the seed — the contract that lets the engine
+// skip RNG stream setup entirely when sampling is off.
+func TestReinstatementsExpectedModeSeedIndependent(t *testing.T) {
+	s := buildScenario(t, synth.Small(28))
+	terms := reinstTerms(s.Portfolio, 1, 0.5)
+	for _, kernel := range []Kernel{KernelFlat, KernelIndexed} {
+		a, err := RunReinstatements(context.Background(),
+			&ReinstatementInput{Input: input(s), Terms: terms}, Config{Seed: 1, Kernel: kernel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := RunReinstatements(context.Background(),
+			&ReinstatementInput{Input: input(s), Terms: terms}, Config{Seed: 999_999_937, Kernel: kernel})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a.Portfolio.Agg {
+			if a.Portfolio.Agg[i] != b.Portfolio.Agg[i] ||
+				a.Portfolio.OccMax[i] != b.Portfolio.OccMax[i] ||
+				a.ReinstPremium[i] != b.ReinstPremium[i] {
+				t.Fatalf("kernel=%d: expected-mode trial %d depends on the seed", kernel, i)
+			}
+		}
 	}
 }

@@ -1,0 +1,153 @@
+package aggregate
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/layers"
+	"repro/internal/lossindex"
+	"repro/internal/rng"
+	"repro/internal/yelt"
+)
+
+// runTrialReinstFlat is the flat-SoA trial kernel for the stateful
+// occurrence-ordered path: one contractual year over lossindex.Flat
+// and a layers.FlatYearStates. Where the indexed kernel dereferenced
+// a Contract struct and walked nested [][]layers.YearState slices per
+// entry, this kernel touches only contiguous arrays: the entry's
+// LayerOff gather offset locates its contract's year-state frame, the
+// occurrence-term recovery comes from the pre-applied ExpRec column
+// (expected mode — the per-(entry, layer) value min(max(mean-ret,0),
+// lim) is a build-time constant even though the *state capping* is
+// not) or from the precomputed sampling plan plus the flat term
+// columns (sampling mode), and annual sums accumulate into one flat
+// sums vector. Occurrence order still serializes within the trial —
+// that is the contractual semantics — but every memory access in the
+// serial walk is now a linear-offset load.
+//
+// Ordering contract: identical to the indexed path in
+// RunReinstatements — occurrences in YELT (day) order, entries in
+// portfolio contract order within each event, layer frames in
+// declaration order, state updates and draws in that exact sequence —
+// so recoveries, premiums, and the annual close are bit-identical to
+// the nested-slice state machine.
+func runTrialReinstFlat(
+	occs []yelt.Occurrence,
+	fx *lossindex.Flat,
+	fy *layers.FlatYearStates,
+	sampling bool,
+	st *rng.Stream,
+	sums []float64,
+) (agg, occMax, premium float64) {
+	for i := range sums {
+		sums[i] = 0
+	}
+	fy.Reset()
+	ft := fx.Terms
+	expOff, layerOff := fx.ExpOff, fx.LayerOff
+	for _, occ := range occs {
+		lo, hi := fx.Span(occ.EventID)
+		var occTotal float64
+		for k := lo; k < hi; k++ {
+			base := layerOff[k]
+			n := expOff[k+1] - expOff[k]
+			if sampling {
+				loss := fx.SampleConst[k]
+				if a := fx.SampleA[k]; a > 0 {
+					loss = fx.SampleScale[k] * st.Beta(a, fx.SampleB[k])
+				}
+				for fl := base; fl < base+n; fl++ {
+					rcv, p := fy.Occurrence(fl, ft.ApplyOccurrence(fl, loss))
+					sums[fl] += rcv
+					occTotal += rcv
+					premium += p
+				}
+			} else {
+				off := expOff[k]
+				for j := int32(0); j < n; j++ {
+					fl := base + j
+					rcv, p := fy.Occurrence(fl, fx.ExpRec[off+j])
+					sums[fl] += rcv
+					occTotal += rcv
+					premium += p
+				}
+			}
+		}
+		if occTotal > occMax {
+			occMax = occTotal
+		}
+	}
+	// Annual close: every flat slot in frame order — the same addition
+	// sequence as the nested for-ci/for-li walk.
+	for fl := int32(0); fl < int32(len(sums)); fl++ {
+		agg += fy.CloseYear(fl, sums[fl])
+	}
+	return agg, occMax, premium
+}
+
+// StandardReinstatements builds market-style terms against every
+// limited layer of the portfolio: one reinstatement "at 100%"
+// (PremiumRate 1) of an upfront premium quoted at a 5% rate-on-line.
+// Unlimited layers get zero terms — reinstatements are meaningless
+// without an occurrence limit. This is the default book the
+// reinstatements engine and the CLIs run when no explicit terms are
+// supplied.
+func StandardReinstatements(pf *layers.Portfolio) [][]layers.ReinstatementTerms {
+	out := make([][]layers.ReinstatementTerms, len(pf.Contracts))
+	for ci, c := range pf.Contracts {
+		out[ci] = make([]layers.ReinstatementTerms, len(c.Layers))
+		for li, l := range c.Layers {
+			if l.OccLimit > 0 {
+				out[ci][li] = layers.ReinstatementTerms{
+					Count: 1, PremiumRate: 1, UpfrontPremium: 0.05 * l.OccLimit,
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Reinstatements adapts the stateful occurrence-ordered path to the
+// Engine interface, so the orchestration layers (core.Pipeline,
+// risk.Study) and the CLIs can select it like any stateless engine.
+// The per-trial premium ledger — which Result has no slot for — is
+// retained on the engine (LastPremium), mirroring how Chunked exposes
+// its device statistics.
+type Reinstatements struct {
+	// Terms are the per-contract-layer reinstatement provisions,
+	// shaped like ReinstatementInput.Terms. Nil derives
+	// StandardReinstatements from the input's portfolio at Run time.
+	Terms [][]layers.ReinstatementTerms
+	// LastPremium is the per-trial reinstatement premium of the most
+	// recent Run.
+	LastPremium []float64
+}
+
+// Name implements Engine.
+func (*Reinstatements) Name() string { return "reinstatements" }
+
+// Run implements Engine.
+func (e *Reinstatements) Run(ctx context.Context, in *Input, cfg Config) (*Result, error) {
+	if cfg.PerContract {
+		// The stateful path produces no per-contract tables; refuse
+		// loudly rather than return nil PerContract slots (the same
+		// stance ByContract takes on sampling).
+		return nil, ErrUnsupportedOnDevice // reuse the sentinel: unsupported configuration
+	}
+	terms := e.Terms
+	if terms == nil {
+		if in.Portfolio == nil {
+			return nil, errors.New("aggregate: missing portfolio")
+		}
+		terms = StandardReinstatements(in.Portfolio)
+	}
+	rres, err := RunReinstatements(ctx, &ReinstatementInput{Input: in, Terms: terms}, cfg)
+	if err != nil {
+		return nil, err
+	}
+	e.LastPremium = rres.ReinstPremium
+	return &Result{
+		Portfolio:         rres.Portfolio,
+		PeakResidentBytes: rres.PeakResidentBytes,
+	}, nil
+}

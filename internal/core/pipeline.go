@@ -41,6 +41,11 @@ type Config struct {
 	NumTrials int
 	Engine    aggregate.Engine // nil = Parallel
 	Sampling  bool
+	// Kernel selects the stage-2 trial-kernel layout (flat SoA by
+	// default; aggregate.KernelIndexed pins the pre-flat scan). Results
+	// are bit-identical across kernels — this is the benchmarking lever
+	// threaded through from the CLIs.
+	Kernel aggregate.Kernel
 	// Streaming fuses YELT generation into the aggregate engines: trial
 	// batches are re-derived on demand (yelt.Generator) and the table is
 	// never materialized, so NumTrials is bounded by time instead of
@@ -294,6 +299,7 @@ func (p *Pipeline) RunStage2(ctx context.Context) error {
 		Sampling:    p.Cfg.Sampling,
 		Workers:     p.Cfg.Workers,
 		BatchTrials: p.Cfg.BatchTrials,
+		Kernel:      p.Cfg.Kernel,
 	})
 	if err != nil {
 		return fmt.Errorf("core: stage 2 aggregate: %w", err)

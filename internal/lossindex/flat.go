@@ -17,6 +17,9 @@ import (
 //
 //	Contract[k]          portfolio contract of entry k (per-contract outputs)
 //	LayerOff[k]          first flat layer slot of entry k's contract
+//	Mean[k]              entry k's raw mean loss (the stateful kernels and
+//	                     dense per-contract projections still need the
+//	                     pre-terms loss)
 //	ExpOff[k]..ExpOff[k+1]  entry k's frame in ExpRec (one cell per layer)
 //	ExpRec[...]          pre-applied occurrence recovery of the entry's
 //	                     mean loss through each layer (expected mode)
@@ -43,6 +46,7 @@ type Flat struct {
 
 	Contract []int32
 	LayerOff []int32
+	Mean     []float64
 	ExpOff   []int32 // len NumEntries+1
 	ExpRec   []float64
 	ExpSum   []float64
@@ -79,6 +83,7 @@ func Flatten(ix *Index, pf *layers.Portfolio) (*Flat, error) {
 		Terms:       ft,
 		Contract:    make([]int32, n),
 		LayerOff:    make([]int32, n),
+		Mean:        make([]float64, n),
 		ExpOff:      make([]int32, n+1),
 		ExpSum:      make([]float64, n),
 		SampleConst: make([]float64, n),
@@ -91,6 +96,7 @@ func Flatten(ix *Index, pf *layers.Portfolio) (*Flat, error) {
 		ci := e.Contract
 		f.Contract[k] = ci
 		f.LayerOff[k] = ft.First[ci]
+		f.Mean[k] = e.Rec.MeanLoss
 		f.ExpOff[k] = total
 		total += ft.First[ci+1] - ft.First[ci]
 	}
@@ -127,6 +133,32 @@ func (f *Flat) Span(eventID uint32) (lo, hi int32) {
 	return f.ix.offsets[r], f.ix.offsets[r+1]
 }
 
+// DenseMeansAll returns every contract's dense row → mean-loss
+// vector (out[ci][row]), filled in ONE linear sweep of the packed
+// entry columns, so contract-decomposed engines can project their
+// per-contract loss vectors straight from the flat layout instead of
+// re-scanning each contract's ELT and probing Row per record — and
+// without a per-contract pass over the entries, which would be
+// quadratic in the contract count on the many-contract books the
+// decomposition exists for. Rows where a contract has no (positive)
+// loss stay zero, matching the per-ELT projection exactly; when a
+// contract's table carries duplicate records for an event, the last
+// one wins, as it did in the record scan (entries of a row are packed
+// in contract-then-record order).
+func (f *Flat) DenseMeansAll() [][]float64 {
+	rows := f.ix.NumRows()
+	out := make([][]float64, f.NumContracts())
+	for ci := range out {
+		out[ci] = make([]float64, rows)
+	}
+	for r := 0; r+1 < len(f.ix.offsets); r++ {
+		for k := f.ix.offsets[r]; k < f.ix.offsets[r+1]; k++ {
+			out[f.Contract[k]][r] = f.Mean[k]
+		}
+	}
+	return out
+}
+
 // Index returns the index the layout was derived from.
 func (f *Flat) Index() *Index { return f.ix }
 
@@ -148,6 +180,7 @@ func (f *Flat) NumEntries() int { return len(f.Contract) }
 func (f *Flat) SizeBytes() int64 {
 	return int64(len(f.Contract))*4 +
 		int64(len(f.LayerOff))*4 +
+		int64(len(f.Mean))*8 +
 		int64(len(f.ExpOff))*4 +
 		int64(len(f.ExpRec))*8 +
 		int64(len(f.ExpSum))*8 +

@@ -60,6 +60,9 @@ func TestFlattenColumnsMatchEntries(t *testing.T) {
 			if fx.ExpSum[k] != sum {
 				t.Fatalf("entry %d: exp sum %g, want %g", k, fx.ExpSum[k], sum)
 			}
+			if fx.Mean[k] != e.Rec.MeanLoss {
+				t.Fatalf("entry %d: mean %g, want %g", k, fx.Mean[k], e.Rec.MeanLoss)
+			}
 			wc, wa, wb, ws := elt.SampleParams(e.Rec)
 			if fx.SampleConst[k] != wc || fx.SampleA[k] != wa || fx.SampleB[k] != wb || fx.SampleScale[k] != ws {
 				t.Fatalf("entry %d: sampling plan (%g,%g,%g,%g), want (%g,%g,%g,%g)",
@@ -84,6 +87,37 @@ func TestFlatSpanMatchesEntriesFor(t *testing.T) {
 		for j, e := range ents {
 			if fx.Contract[lo+int32(j)] != e.Contract {
 				t.Fatalf("event %d entry %d: contract mismatch", ev, j)
+			}
+		}
+	}
+}
+
+// DenseMeansAll must reproduce the per-ELT projection it replaces:
+// for every contract, scan the contract's records, keep positive
+// means of indexed events, and leave every other row zero.
+func TestFlatDenseMeansAll(t *testing.T) {
+	s, ix, fx := flatScenario(t)
+	all := fx.DenseMeansAll()
+	if len(all) != len(s.Portfolio.Contracts) {
+		t.Fatalf("%d mean vectors for %d contracts", len(all), len(s.Portfolio.Contracts))
+	}
+	for ci, c := range s.Portfolio.Contracts {
+		want := make([]float64, ix.NumRows())
+		for _, r := range s.ELTs[c.ELTIndex].Records {
+			if r.MeanLoss <= 0 {
+				continue
+			}
+			if row := ix.Row(r.EventID); row >= 0 {
+				want[row] = r.MeanLoss
+			}
+		}
+		got := all[ci]
+		if len(got) != len(want) {
+			t.Fatalf("contract %d: %d rows, want %d", ci, len(got), len(want))
+		}
+		for row := range want {
+			if got[row] != want[row] {
+				t.Fatalf("contract %d row %d: %g, want %g", ci, row, got[row], want[row])
 			}
 		}
 	}

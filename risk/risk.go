@@ -38,13 +38,17 @@ type EngineKind string
 // is the native data-parallel engine; Chunked and Naive run on the
 // simulated many-core device with and without shared-memory chunking;
 // MapReduce runs stage 2 as a map/reduce job over trial-range splits
-// (the companion paper's Hadoop shape), pairing naturally with Spill.
+// (the companion paper's Hadoop shape), pairing naturally with Spill;
+// Reinstatements runs the stateful occurrence-ordered path, eroding
+// and reinstating layer limits in date order under market-standard
+// terms (the fine-grained contractual-terms workload).
 const (
-	EngineSequential EngineKind = "sequential"
-	EngineParallel   EngineKind = "parallel"
-	EngineChunked    EngineKind = "chunked"
-	EngineNaive      EngineKind = "naive"
-	EngineMapReduce  EngineKind = "mapreduce"
+	EngineSequential     EngineKind = "sequential"
+	EngineParallel       EngineKind = "parallel"
+	EngineChunked        EngineKind = "chunked"
+	EngineNaive          EngineKind = "naive"
+	EngineMapReduce      EngineKind = "mapreduce"
+	EngineReinstatements EngineKind = "reinstatements"
 )
 
 func (k EngineKind) engine() (aggregate.Engine, error) {
@@ -59,8 +63,33 @@ func (k EngineKind) engine() (aggregate.Engine, error) {
 		return &aggregate.Chunked{Naive: true}, nil
 	case EngineMapReduce:
 		return aggregate.MapReduce{}, nil
+	case EngineReinstatements:
+		return &aggregate.Reinstatements{}, nil
 	default:
 		return nil, fmt.Errorf("risk: unknown engine %q", k)
+	}
+}
+
+// KernelKind selects the stage-2 trial-kernel data layout. Results
+// are bit-identical across kernels; the choice is a performance
+// lever, exposed so studies can benchmark the flat SoA layout against
+// the pre-flat indexed scan.
+type KernelKind string
+
+// Available kernels. The empty value means KernelFlat.
+const (
+	KernelFlat    KernelKind = "flat"
+	KernelIndexed KernelKind = "indexed"
+)
+
+func (k KernelKind) kernel() (aggregate.Kernel, error) {
+	switch k {
+	case KernelFlat, "":
+		return aggregate.KernelFlat, nil
+	case KernelIndexed:
+		return aggregate.KernelIndexed, nil
+	default:
+		return 0, fmt.Errorf("risk: unknown kernel %q", k)
 	}
 }
 
@@ -73,6 +102,10 @@ type Config struct {
 	Trials               int
 	MeanEventsPerYear    float64
 	Engine               EngineKind
+	// Kernel selects the stage-2 trial-kernel layout ("" or KernelFlat
+	// for the flat SoA default, KernelIndexed to pin the pre-flat
+	// scan). Bit-identical results either way.
+	Kernel KernelKind
 	// Sampling enables secondary-uncertainty sampling in stage 2.
 	Sampling bool
 	// Streaming runs stage 2 (and PriceContract quotes) in bounded
@@ -191,6 +224,10 @@ func (s *Study) pipeline() (*core.Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	kern, err := s.cfg.Kernel.kernel()
+	if err != nil {
+		return nil, err
+	}
 	s.p = core.New(core.Config{
 		Seed:                 s.cfg.Seed,
 		NumEvents:            s.cfg.Events,
@@ -199,6 +236,7 @@ func (s *Study) pipeline() (*core.Pipeline, error) {
 		MeanEventsPerYear:    s.cfg.MeanEventsPerYear,
 		NumTrials:            s.cfg.Trials,
 		Engine:               eng,
+		Kernel:               kern,
 		Sampling:             s.cfg.Sampling,
 		Streaming:            s.cfg.Streaming,
 		BatchTrials:          s.cfg.BatchTrials,
@@ -352,9 +390,14 @@ func (s *Study) PriceContract(ctx context.Context, contract int, trials int) (*Q
 	qin.Portfolio = single
 	qin.Index = idx
 	qin.Flat = flat
+	kern, err := s.cfg.Kernel.kernel()
+	if err != nil {
+		return nil, err
+	}
 	res, err := (aggregate.Parallel{}).Run(ctx, qin, aggregate.Config{
 		Seed: s.cfg.Seed + 103, Sampling: true,
 		Workers: s.cfg.Workers, BatchTrials: s.cfg.BatchTrials,
+		Kernel: kern,
 	})
 	if err != nil {
 		return nil, err

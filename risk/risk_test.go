@@ -40,6 +40,45 @@ func TestStudyRun(t *testing.T) {
 	}
 }
 
+// The reinstatements engine must run end to end through the public
+// API, and the kernel choice — flat SoA (default) vs indexed — must
+// not change a single trial loss for any engine it is threaded to.
+func TestStudyReinstatementsEngineAndKernels(t *testing.T) {
+	losses := map[KernelKind][]float64{}
+	for _, kern := range []KernelKind{KernelFlat, KernelIndexed} {
+		cfg := smallConfig(7)
+		cfg.Engine = EngineReinstatements
+		cfg.Sampling = true
+		cfg.Kernel = kern
+		study := NewStudy(cfg)
+		rep, err := study.Run(context.Background())
+		if err != nil {
+			t.Fatalf("kernel %q: %v", kern, err)
+		}
+		if rep.Catastrophe.AAL <= 0 {
+			t.Fatalf("kernel %q: cat AAL should be positive", kern)
+		}
+		l, err := study.CatastropheLosses()
+		if err != nil {
+			t.Fatal(err)
+		}
+		losses[kern] = l
+	}
+	for i := range losses[KernelFlat] {
+		if losses[KernelFlat][i] != losses[KernelIndexed][i] {
+			t.Fatalf("trial %d differs across kernels", i)
+		}
+	}
+}
+
+func TestStudyRejectsUnknownKernel(t *testing.T) {
+	cfg := smallConfig(8)
+	cfg.Kernel = "warp-speed"
+	if _, err := NewStudy(cfg).Run(context.Background()); err == nil {
+		t.Fatal("unknown kernel accepted")
+	}
+}
+
 func TestLossesAccessors(t *testing.T) {
 	study := NewStudy(smallConfig(2))
 	if _, err := study.CatastropheLosses(); err == nil {
