@@ -187,7 +187,9 @@ func e12Run(b *testing.B, eng aggregate.Engine, cfg aggregate.Config) {
 }
 
 func BenchmarkE12FlatKernelExpected(b *testing.B) {
-	e12Run(b, aggregate.Sequential{}, aggregate.Config{Seed: 1})
+	// Pinned: the default kernel is now the blocked one (E14), so the
+	// E12 single-trial flat measurements name their kernel explicitly.
+	e12Run(b, aggregate.Sequential{}, aggregate.Config{Seed: 1, Kernel: aggregate.KernelFlat})
 }
 
 func BenchmarkE12IndexedKernelExpected(b *testing.B) {
@@ -199,7 +201,7 @@ func BenchmarkE12LegacyKernelExpected(b *testing.B) {
 }
 
 func BenchmarkE12FlatKernelSampling(b *testing.B) {
-	e12Run(b, aggregate.Sequential{}, aggregate.Config{Seed: 1, Sampling: true})
+	e12Run(b, aggregate.Sequential{}, aggregate.Config{Seed: 1, Sampling: true, Kernel: aggregate.KernelFlat})
 }
 
 func BenchmarkE12IndexedKernelSampling(b *testing.B) {
@@ -208,6 +210,36 @@ func BenchmarkE12IndexedKernelSampling(b *testing.B) {
 
 func BenchmarkE12LegacyKernelSampling(b *testing.B) {
 	e12Run(b, aggregate.LegacyLookup{}, aggregate.Config{Seed: 1, Sampling: true})
+}
+
+// --- E14: the trial-blocked flat kernel (the new default) vs the
+// single-trial flat kernel, sweeping the block size, on the same
+// 100k-trial book (the EXPERIMENTS.md E14 claim: blocked ≥1.2× flat
+// in expected mode, bit-identical always, results independent of
+// TrialBlock). ---
+
+func BenchmarkE14BlockSizesExpected(b *testing.B) {
+	for _, block := range []int{1, 32, 64, 128} {
+		b.Run(fmt.Sprintf("block=%d", block), func(b *testing.B) {
+			e12Run(b, aggregate.Sequential{}, aggregate.Config{Seed: 1, Kernel: aggregate.KernelBlocked, TrialBlock: block})
+		})
+	}
+}
+
+func BenchmarkE14BlockFlatExpected(b *testing.B) {
+	e12Run(b, aggregate.Sequential{}, aggregate.Config{Seed: 1, Kernel: aggregate.KernelFlat})
+}
+
+func BenchmarkE14BlockSizesSampling(b *testing.B) {
+	for _, block := range []int{1, 32, 64, 128} {
+		b.Run(fmt.Sprintf("block=%d", block), func(b *testing.B) {
+			e12Run(b, aggregate.Sequential{}, aggregate.Config{Seed: 1, Sampling: true, Kernel: aggregate.KernelBlocked, TrialBlock: block})
+		})
+	}
+}
+
+func BenchmarkE14BlockFlatSampling(b *testing.B) {
+	e12Run(b, aggregate.Sequential{}, aggregate.Config{Seed: 1, Sampling: true, Kernel: aggregate.KernelFlat})
 }
 
 // --- E13: the flat SoA year-state kernel for the stateful

@@ -3,7 +3,7 @@
 // sequential baseline, native parallel, map/reduce over trial splits,
 // the stateful reinstatements path, or the simulated many-core device
 // with/without shared-memory chunking — and of trial-kernel layout
-// (-kernel flat|indexed, bit-identical results).
+// (-kernel blocked|flat|indexed, bit-identical results).
 package main
 
 import (
@@ -28,7 +28,8 @@ func main() {
 		seed      = flag.Uint64("seed", 1, "master seed")
 		workers   = flag.Int("workers", 0, "parallelism bound (0 = all cores)")
 		engine    = flag.String("engine", "parallel", "sequential|parallel|chunked|naive|mapreduce|reinstatements")
-		kernel    = flag.String("kernel", "flat", "trial-kernel layout: flat|indexed (bit-identical results)")
+		kernel    = flag.String("kernel", "blocked", "trial-kernel layout: blocked|flat|indexed (bit-identical results)")
+		block     = flag.Int("block", 0, "blocked-kernel trial-block size (0 = engine default)")
 		sampling  = flag.Bool("sampling", false, "secondary-uncertainty sampling (host engines only)")
 		streaming = flag.Bool("stream", false, "stream trial batches instead of materializing the YELT (bit-identical results, bounded memory)")
 		batch     = flag.Int("batch", 0, "streaming trial-batch size per worker (0 = engine default)")
@@ -84,6 +85,8 @@ func main() {
 	}
 	var kern aggregate.Kernel
 	switch *kernel {
+	case "blocked":
+		kern = aggregate.KernelBlocked
 	case "flat":
 		kern = aggregate.KernelFlat
 	case "indexed":
@@ -143,7 +146,7 @@ func main() {
 	start := time.Now()
 	res, err := eng.Run(ctx, in, aggregate.Config{
 		Seed: *seed + 13, Sampling: *sampling, Workers: *workers, BatchTrials: *batch,
-		Kernel: kern,
+		Kernel: kern, TrialBlock: *block,
 	})
 	if err != nil {
 		fail(err)

@@ -1,9 +1,10 @@
 // Command benchtables regenerates the tables for every experiment
-// E1–E13 in EXPERIMENTS.md — the quantitative claims of Varghese &
+// E1–E14 in EXPERIMENTS.md — the quantitative claims of Varghese &
 // Rau-Chaplin (SC 2012) reproduced on this machine, plus the
 // streaming-stage-2 memory envelope (E10), the partitioned
 // (spill + MapReduce) stage 2 (E11), the flat SoA trial kernel (E12),
-// and the flat SoA year-state kernel for reinstatements (E13).
+// the flat SoA year-state kernel for reinstatements (E13), and the
+// blocked trial kernel with the two-lifetime device arena (E14).
 //
 // Usage:
 //
@@ -11,7 +12,7 @@
 //
 // -json additionally writes the run's measurements as a
 // machine-readable document (ns/op, bytes, speedups per experiment
-// row) — the format CI tracks as the BENCH_E12.json / BENCH_E13.json
+// row) — the format CI tracks as the BENCH_E10.json … BENCH_E14.json
 // artifacts.
 package main
 
@@ -107,13 +108,13 @@ func main() {
 
 	want := map[int]bool{}
 	if *flagExperiments == "all" {
-		for i := 1; i <= 13; i++ {
+		for i := 1; i <= 14; i++ {
 			want[i] = true
 		}
 	} else {
 		for _, tok := range strings.Split(*flagExperiments, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(tok))
-			if err != nil || n < 1 || n > 13 {
+			if err != nil || n < 1 || n > 14 {
 				fmt.Fprintf(os.Stderr, "benchtables: bad experiment %q\n", tok)
 				os.Exit(2)
 			}
@@ -132,6 +133,7 @@ func main() {
 		11: e11PartitionedStage2,
 		12: e12FlatKernel,
 		13: e13ReinstatementsKernel,
+		14: e14BlockedKernel,
 	}
 	keys := make([]int, 0, len(want))
 	for k := range want {
@@ -910,7 +912,10 @@ func e12FlatKernel(ctx context.Context) error {
 			if sampling {
 				mode = "sampling"
 			}
-			cfg := aggregate.Config{Seed: *flagSeed + 13, Sampling: sampling}
+			// E12 compares the trial-at-a-time kernels; pin KernelFlat
+			// explicitly now that the config default is the blocked
+			// kernel (E14 measures that one).
+			cfg := aggregate.Config{Seed: *flagSeed + 13, Sampling: sampling, Kernel: aggregate.KernelFlat}
 			cfgIdx := cfg
 			cfgIdx.Kernel = aggregate.KernelIndexed
 			kernels := []struct {
@@ -1049,6 +1054,181 @@ func e13ReinstatementsKernel(ctx context.Context) error {
 			fmt.Printf("equivalence (%s): all %d trials bit-identical across kernels, premium ledger included\n", mode, trials)
 		}
 	}
+	return nil
+}
+
+// E14 — the blocked SoA trial kernel (event-major over a block of
+// trial years, pre-resolved spans, dense ExpRec scatter) against the
+// trial-at-a-time flat and indexed kernels, plus the two-lifetime
+// device arena: Chunked streaming with the loss vectors uploaded once
+// into the study-resident arena while occurrences/offsets/outputs
+// cycle per batch. Host-kernel timings are medians over interleaved
+// repetitions — back-to-back single runs are incomparable on noisy
+// machines, interleaved medians are stable. Every cell is verified
+// bit-identical across kernels (and against the legacy lookup
+// reference) before any number is printed.
+func e14BlockedKernel(ctx context.Context) error {
+	trials := 100_000
+	reps := 5
+	if *flagQuick {
+		trials = 20_000
+		reps = 3
+	}
+	fmt.Printf("## E14 — blocked SoA trial kernel + two-lifetime device arena (%d trials, median of %d interleaved reps)\n", trials, reps)
+	s, err := scenario(ctx, trials, false)
+	if err != nil {
+		return err
+	}
+	in := aggInput(s)
+	fx, err := in.EnsureFlat()
+	if err != nil {
+		return err
+	}
+
+	type cell struct {
+		name string
+		cfg  aggregate.Config
+	}
+	runCells := func(cells []cell) ([]*aggregate.Result, []time.Duration, error) {
+		durs := make([][]time.Duration, len(cells))
+		results := make([]*aggregate.Result, len(cells))
+		for r := 0; r < reps; r++ {
+			for i, c := range cells {
+				t0 := time.Now()
+				res, err := (aggregate.Sequential{}).Run(ctx, in, c.cfg)
+				if err != nil {
+					return nil, nil, err
+				}
+				durs[i] = append(durs[i], time.Since(t0))
+				results[i] = res
+			}
+		}
+		med := make([]time.Duration, len(cells))
+		for i := range cells {
+			sort.Slice(durs[i], func(a, b int) bool { return durs[i][a] < durs[i][b] })
+			med[i] = durs[i][len(durs[i])/2]
+		}
+		return results, med, nil
+	}
+	checkIdentical := func(tag string, results []*aggregate.Result) error {
+		for t := 0; t < trials; t++ {
+			for i := 1; i < len(results); i++ {
+				if results[0].Portfolio.Agg[t] != results[i].Portfolio.Agg[t] ||
+					results[0].Portfolio.OccMax[t] != results[i].Portfolio.OccMax[t] {
+					return fmt.Errorf("E14: %s kernels diverged at trial %d", tag, t)
+				}
+			}
+		}
+		return nil
+	}
+
+	for _, sampling := range []bool{false, true} {
+		mode := "expected"
+		if sampling {
+			mode = "sampling"
+		}
+		base := aggregate.Config{Seed: *flagSeed + 13, Sampling: sampling}
+		cells := []cell{
+			{"blocked", base}, // KernelBlocked is the zero value / default
+			{"flat", base},
+			{"indexed", base},
+		}
+		cells[1].cfg.Kernel = aggregate.KernelFlat
+		cells[2].cfg.Kernel = aggregate.KernelIndexed
+		results, med, err := runCells(cells)
+		if err != nil {
+			return err
+		}
+		legacy, err := (aggregate.LegacyLookup{}).Run(ctx, in, base)
+		if err != nil {
+			return err
+		}
+		if err := checkIdentical(mode, append(results, legacy)); err != nil {
+			return err
+		}
+		fmt.Printf("\n%-10s %-10s %12s %14s %12s\n", "mode", "kernel", "time", "trials/s", "vs flat")
+		flatDur := med[1]
+		for i, c := range cells {
+			spd := flatDur.Seconds() / med[i].Seconds()
+			fmt.Printf("%-10s %-10s %12v %14.0f %11.2fx\n", mode, c.name,
+				med[i].Round(time.Millisecond), float64(trials)/med[i].Seconds(), spd)
+			var layoutBytes int64
+			if i == 0 {
+				layoutBytes = fx.SizeBytes()
+			}
+			record("E14", fmt.Sprintf("%s/%s/%dk-trials", c.name, mode, trials/1000),
+				med[i], layoutBytes, spd)
+		}
+		fmt.Printf("equivalence (%s): all %d trials bit-identical across blocked/flat/indexed/legacy\n", mode, trials)
+	}
+
+	// Block-size sweep, expected mode: results are bit-independent of
+	// the block size; throughput is not.
+	blockCells := []cell{}
+	for _, tb := range []int{1, 32, 64, 128} {
+		c := cell{fmt.Sprintf("block=%d", tb), aggregate.Config{Seed: *flagSeed + 13, TrialBlock: tb}}
+		blockCells = append(blockCells, c)
+	}
+	results, med, err := runCells(blockCells)
+	if err != nil {
+		return err
+	}
+	if err := checkIdentical("block-sweep", results); err != nil {
+		return err
+	}
+	fmt.Printf("\n%-10s %12s %14s\n", "block", "time", "trials/s")
+	for i, c := range blockCells {
+		fmt.Printf("%-10s %12v %14.0f\n", c.name, med[i].Round(time.Millisecond), float64(trials)/med[i].Seconds())
+		record("E14", fmt.Sprintf("sweep/%s/%dk-trials", c.name, trials/1000), med[i], 0, 0)
+	}
+
+	// Two-lifetime arena: stream the occurrence-only book through the
+	// device engine and split the link traffic by buffer lifetime. The
+	// resident column is paid once per run; the batch column is the
+	// steady-state per-pass cost, which no longer includes the loss
+	// vectors (pre-arena, every pass re-uploaded them).
+	occ, err := scenario(ctx, trials, true)
+	if err != nil {
+		return err
+	}
+	occIn := aggInput(occ)
+	gen, err := occ.YELTGenerator()
+	if err != nil {
+		return err
+	}
+	strIn := &aggregate.Input{Source: gen, ELTs: occ.ELTs, Portfolio: occ.Portfolio, Index: occIn.Index, Flat: occIn.Flat}
+	ch := &aggregate.Chunked{}
+	batchT := aggregate.DefaultBatchTrials
+	t0 := time.Now()
+	strRes, err := ch.Run(ctx, strIn, aggregate.Config{BatchTrials: batchT})
+	if err != nil {
+		return err
+	}
+	strDur := time.Since(t0)
+	matRef := &aggregate.Chunked{}
+	matRes, err := matRef.Run(ctx, occIn, aggregate.Config{})
+	if err != nil {
+		return err
+	}
+	for t := 0; t < trials; t++ {
+		if strRes.Portfolio.Agg[t] != matRes.Portfolio.Agg[t] ||
+			strRes.Portfolio.OccMax[t] != matRes.Portfolio.OccMax[t] {
+			return fmt.Errorf("E14: arena'd streaming device run diverged at trial %d", t)
+		}
+	}
+	st := ch.LastStats
+	numBatches := (trials + batchT - 1) / batchT
+	perPass := st.ResidentTransferFloats * uint64(numBatches) // what per-pass re-upload would have cost
+	fmt.Printf("\ndevice arena (streaming, %d batches of %d trials):\n", numBatches, batchT)
+	fmt.Printf("%-26s %16s %16s\n", "transfer lifetime", "floats", "per batch")
+	fmt.Printf("%-26s %16d %16d\n", "study-resident (once)", st.ResidentTransferFloats, st.ResidentTransferFloats)
+	fmt.Printf("%-26s %16d %16d\n", "per-batch (cycled)", st.TransferFloats, st.TransferFloats/uint64(numBatches))
+	fmt.Printf("loss vectors saved from re-staging: %d floats (%.1fx less resident traffic than per-pass upload)\n",
+		perPass-st.ResidentTransferFloats, float64(perPass)/float64(st.ResidentTransferFloats))
+	fmt.Printf("streaming device run: %v, modeled device time %s, results bit-identical to single-pass\n",
+		strDur.Round(time.Millisecond), fmtSec(st.ModeledSeconds(devDefault())))
+	record("E14", fmt.Sprintf("arena/resident-floats/%dk-trials", trials/1000), strDur, int64(st.ResidentTransferFloats), 0)
+	record("E14", fmt.Sprintf("arena/batch-floats/%dk-trials", trials/1000), strDur, int64(st.TransferFloats), 0)
 	return nil
 }
 

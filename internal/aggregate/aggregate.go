@@ -21,16 +21,18 @@
 // Every engine consumes the pre-joined event-major loss index
 // (internal/lossindex) instead of binary-searching per-contract ELTs
 // per occurrence — the paper's "scanned over rather than randomly
-// accessed" layout. By default the trial loop runs the flat SoA
-// kernel (flat.go) over lossindex.Flat: flattened layer-term columns,
-// one contiguous per-trial scratch vector, and — in expected mode —
-// occurrence recoveries pre-applied at build time so the inner loop
-// is pure gather-adds. Config.Kernel pins the pre-flat indexed scan
-// (KernelIndexed) for comparison; both layouts are built once per
-// input (or supplied by the orchestration layer, which builds them in
-// stage 1) and shared read-only by all workers. LegacyLookup
-// (legacy.go) preserves the pre-index kernel as the equivalence and
-// benchmark baseline.
+// accessed" layout. By default the trial loop runs the trial-blocked
+// flat SoA kernel (blocked.go) over lossindex.Flat: Config.TrialBlock
+// trial years per pass over flattened layer-term columns, with
+// per-occurrence span resolution hoisted into an event-major pre-pass
+// and — in expected mode — occurrence recoveries pre-applied at build
+// time so the inner loop is pure gather-adds. Config.Kernel pins the
+// single-trial flat kernel (KernelFlat, flat.go) and the pre-flat
+// indexed scan (KernelIndexed) for comparison; the layouts are built
+// once per input (or supplied by the orchestration layer, which
+// builds them in stage 1) and shared read-only by all workers.
+// LegacyLookup (legacy.go) preserves the pre-index kernel as the
+// equivalence and benchmark baseline.
 //
 // All engines are bit-deterministic for a given (input, seed) and
 // agree with each other; determinism comes from per-trial RNG streams,
@@ -74,10 +76,17 @@ type Config struct {
 	// (each trial draws from its own stream); only peak memory and the
 	// cancellation-poll granularity change.
 	BatchTrials int
-	// Kernel selects the trial-kernel layout (flat SoA by default;
-	// KernelIndexed pins the pre-flat entry scan). Results are
-	// bit-identical across kernels; see the Kernel type.
+	// Kernel selects the trial-kernel layout (trial-blocked flat SoA by
+	// default; KernelFlat pins the single-trial flat kernel,
+	// KernelIndexed the pre-flat entry scan). Results are bit-identical
+	// across kernels; see the Kernel type.
 	Kernel Kernel
+	// TrialBlock bounds how many trial years the blocked kernel
+	// (KernelBlocked) processes per pass; <= 0 means DefaultTrialBlock.
+	// Results are bit-independent of the block size — blocking never
+	// reorders an addition within a trial — so it is purely a
+	// performance lever, like BatchTrials.
+	TrialBlock int
 }
 
 // DefaultBatchTrials is the default trial-batch granularity: large
@@ -122,7 +131,8 @@ type Input struct {
 	// Flat is the flat SoA kernel layout derived from (Index,
 	// Portfolio) — pre-applied expected-mode recoveries, flattened
 	// layer terms, precomputed sampling plans. Leave nil to have the
-	// engine build it on first use under the default KernelFlat; the
+	// engine build it on first use under the flat kernels (the default
+	// KernelBlocked, or KernelFlat); the
 	// same sharing caveat as Index applies (pre-set both to share one
 	// Input across goroutines, as the pipeline does).
 	Flat *lossindex.Flat
@@ -166,14 +176,14 @@ func (in *Input) EnsureFlat() (*lossindex.Flat, error) {
 
 // ensureKernelData builds the layouts the configured kernel scans:
 // the loss index always (every kernel and the device pre-passes probe
-// it), plus the flat SoA layout under KernelFlat. Engines call it
-// once before spawning workers.
+// it), plus the flat SoA layout under the flat kernels (KernelBlocked
+// and KernelFlat). Engines call it once before spawning workers.
 func (in *Input) ensureKernelData(cfg Config) (*lossindex.Index, error) {
 	idx, err := in.EnsureIndex()
 	if err != nil {
 		return nil, err
 	}
-	if cfg.Kernel == KernelFlat {
+	if cfg.Kernel != KernelIndexed {
 		if _, err := in.EnsureFlat(); err != nil {
 			return nil, err
 		}
@@ -275,6 +285,17 @@ type Engine interface {
 type trialScratch struct {
 	layerAgg [][]float64 // indexed kernel: [contract][layer] annual occurrence-recovery sums
 	flatAgg  []float64   // flat kernel: one contiguous [totalLayers] vector of the same sums
+	// Blocked-kernel scratch (blocked.go), grown on demand via
+	// blockBufs/blockPerContractBufs so single-trial runs never pay for
+	// it: the block×NumLayers accumulator matrix, the event-major span
+	// staging arrays, and the block×numContracts output matrices.
+	blockAgg []float64
+	spanLo   []int32
+	spanHi   []int32
+	spanSum  []float64
+	blockCA  []float64
+	blockPC  []float64
+	blockPCO []float64
 	// perContract/perContractOcc are the per-trial per-contract output
 	// buffers, allocated on first use (perContractBufs) so runs without
 	// per-contract tables never pay for them.
@@ -284,7 +305,11 @@ type trialScratch struct {
 
 // newTrialScratch sizes a worker's scratch for the kernel it will
 // run — a run uses exactly one layout, so only that layout's
-// accumulator is allocated.
+// accumulator is allocated. The flat kernels (blocked and
+// single-trial) share the flatAgg vector — single-trial callers of a
+// blocked run (ByContract's exact occurrence-max pass) land on it via
+// trialOnce — while the blocked kernel's block-sized buffers grow
+// lazily in blockBufs on the first blocked batch.
 func newTrialScratch(pf *layers.Portfolio, kernel Kernel) *trialScratch {
 	s := &trialScratch{}
 	if kernel == KernelIndexed {
@@ -391,6 +416,13 @@ func runTrial(
 // mapper a segment table covering only its trial range and passes the
 // range start, so the one shared kernel serves both shapes.
 func runBatch(idx *lossindex.Index, in *Input, cfg Config, batch *yelt.Table, base int, res *Result, scratch *trialScratch, slotOff int) {
+	if cfg.Kernel == KernelBlocked {
+		// The blocked kernel owns the whole batch loop: it tiles the
+		// batch into TrialBlock-sized blocks and fills the same result
+		// slots with bit-identical values (see blocked.go).
+		runBatchBlocked(in.Flat, in, cfg, batch, base, res, scratch, slotOff)
+		return
+	}
 	nc := len(in.Portfolio.Contracts)
 	var perContract, perContractOcc []float64
 	if res.PerContract != nil {

@@ -1,0 +1,372 @@
+package aggregate
+
+import (
+	"repro/internal/lossindex"
+	"repro/internal/rng"
+	"repro/internal/yelt"
+)
+
+// This file is the trial-blocked flat SoA kernel (KernelBlocked, the
+// default): instead of driving lossindex.Flat one trial year at a time
+// through runTrialFlat, runBatchBlocked processes Config.TrialBlock
+// trials per pass. Blocking buys three things the single-trial kernel
+// cannot have:
+//
+//   - The per-occurrence span resolution (Flat.Span: a rowOf probe plus
+//     two offset loads) is hoisted out of the trial loop into one
+//     event-major pass over the block's contiguous occurrence stream,
+//     so the accumulation loops consume precomputed [lo, hi) spans.
+//   - The per-trial accumulators are rows of one contiguous
+//     block×NumLayers matrix, zeroed with a single bulk clear per block
+//     instead of one clear per trial, and the annual-terms columns are
+//     hoisted once per block.
+//   - Per-trial dispatch overhead (kernel call, sampling/per-contract
+//     branches, scratch setup) is paid once per block, and the gather
+//     loops use length-pinned re-slicing so the compiler can prove the
+//     inner adds in bounds.
+//
+// Bit-identity: in expected mode the inner loop is gather-adds of
+// build-time constants into per-trial accumulator rows. Hoisting the
+// span resolution and fusing the trial loop never moves an addition
+// across trials (each trial owns its row) and never reorders an
+// addition within a trial (each trial's occurrences, entries, and
+// layer frames are still visited in exactly the runTrialFlat order),
+// so every per-trial sum associates identically and the results are
+// bit-for-bit those of KernelFlat (hence of KernelIndexed and
+// LegacyLookup, pinned by the kernel-equivalence suites). Sampling
+// mode stays trial-major within the block — each trial's substream
+// must consume its draws in YELT order — but shares the hoisted span
+// pass and column locals. Results are independent of TrialBlock.
+
+// DefaultTrialBlock is the default trial-block size. Big enough to
+// amortize per-block setup (span staging, accumulator clear, column
+// hoisting) across many trials; small enough that the block's
+// accumulator matrix (TrialBlock × NumLayers floats) and staged spans
+// stay cache-resident on typical books.
+const DefaultTrialBlock = 64
+
+func (cfg Config) trialBlock() int {
+	if cfg.TrialBlock > 0 {
+		return cfg.TrialBlock
+	}
+	return DefaultTrialBlock
+}
+
+// blockBufs returns the blocked kernel's per-block scratch: the
+// block×NumLayers accumulator matrix (zeroed by the caller) and the
+// span staging arrays for nOccs occurrences, grown on demand and
+// reused across blocks.
+func (s *trialScratch) blockBufs(cells, nOccs int) (blockAgg []float64, spanLo, spanHi []int32, spanSum []float64) {
+	if cap(s.blockAgg) < cells {
+		s.blockAgg = make([]float64, cells)
+	}
+	if cap(s.spanLo) < nOccs {
+		s.spanLo = make([]int32, nOccs)
+		s.spanHi = make([]int32, nOccs)
+		s.spanSum = make([]float64, nOccs)
+	}
+	return s.blockAgg[:cells], s.spanLo[:nOccs], s.spanHi[:nOccs], s.spanSum[:nOccs]
+}
+
+// blockCABuf returns the annual stage's per-trial contract-sum
+// accumulator (length = block trials), grown on demand.
+func (s *trialScratch) blockCABuf(n int) []float64 {
+	if cap(s.blockCA) < n {
+		s.blockCA = make([]float64, n)
+	}
+	return s.blockCA[:n]
+}
+
+// blockPerContractBufs returns the block×numContracts per-contract
+// output matrices (annual recoveries and occurrence maxima), grown on
+// demand like blockBufs.
+func (s *trialScratch) blockPerContractBufs(cells int) (pc, pco []float64) {
+	if cap(s.blockPC) < cells {
+		s.blockPC = make([]float64, cells)
+		s.blockPCO = make([]float64, cells)
+	}
+	return s.blockPC[:cells], s.blockPCO[:cells]
+}
+
+// runBatchBlocked is runBatch's KernelBlocked body: it tiles the batch
+// into TrialBlock-sized blocks and drives each through the blocked
+// flat kernel. Local trial i of the batch is global trial base+i
+// (fixing the RNG substream) and lands in result slot base+i-slotOff,
+// exactly as in the single-trial path, so results are independent of
+// both the batch and the block tiling.
+func runBatchBlocked(fx *lossindex.Flat, in *Input, cfg Config, batch *yelt.Table, base int, res *Result, scratch *trialScratch, slotOff int) {
+	nl := fx.NumLayers()
+	nc := len(in.Portfolio.Contracts)
+	block := cfg.trialBlock()
+	offs := batch.Offsets
+	for t0 := 0; t0 < batch.NumTrials; t0 += block {
+		t1 := min(t0+block, batch.NumTrials)
+		n := t1 - t0
+		nOccs := int(offs[t1] - offs[t0])
+		blockAgg, spanLo, spanHi, spanSum := scratch.blockBufs(n*nl, nOccs)
+		for i := range blockAgg {
+			blockAgg[i] = 0
+		}
+
+		var pc, pco []float64
+		if res.PerContract != nil {
+			pc, pco = scratch.blockPerContractBufs(n * nc)
+			for i := range pc {
+				pc[i] = 0
+				pco[i] = 0
+			}
+		}
+		slot := base + t0 - slotOff
+		aggOut := res.Portfolio.Agg[slot : slot+n]
+		occOut := res.Portfolio.OccMax[slot : slot+n]
+
+		// Event-major span staging: one linear pass over the block's
+		// contiguous occurrence stream, independent of trial boundaries —
+		// the per-occurrence span work is paid here once, not inside the
+		// trial loop. The dense expected path stages ExpRec-frame
+		// coordinates plus the precomputed per-event occurrence sum; the
+		// entry-structured paths (sampling, per-contract maxima) stage
+		// entry spans.
+		stream := batch.Occs[offs[t0]:offs[t1]]
+		if !cfg.Sampling && pco == nil {
+			stageExpSpans(stream, fx, spanLo, spanHi, spanSum)
+			blockExpectedDense(batch, t0, t1, fx, nl, blockAgg, spanLo, spanHi, spanSum, occOut)
+		} else {
+			stageSpans(stream, fx, spanLo, spanHi)
+			if cfg.Sampling {
+				blockSampledOccurrences(batch, t0, t1, fx, cfg.Seed, base, nl, nc, blockAgg, spanLo, spanHi, occOut, pco)
+			} else {
+				blockExpectedOccurrences(batch, t0, t1, fx, nl, nc, blockAgg, spanLo, spanHi, occOut, pco)
+			}
+		}
+		blockAnnual(fx, n, nl, blockAgg, aggOut, pc, nc, scratch.blockCABuf(n))
+
+		if res.PerContract != nil {
+			for i := 0; i < n; i++ {
+				rowPC := pc[i*nc : i*nc+nc]
+				rowPCO := pco[i*nc : i*nc+nc]
+				for ci := 0; ci < nc; ci++ {
+					res.PerContract[ci].Agg[slot+i] = rowPC[ci]
+					res.PerContract[ci].OccMax[slot+i] = rowPCO[ci]
+				}
+			}
+		}
+	}
+}
+
+// stageSpans resolves the packed-entry span of every occurrence in the
+// stream — the blocked kernel's event-major pre-pass.
+func stageSpans(occs []yelt.Occurrence, fx *lossindex.Flat, spanLo, spanHi []int32) {
+	spanLo = spanLo[:len(occs)]
+	spanHi = spanHi[:len(occs)]
+	for i := range occs {
+		spanLo[i], spanHi[i] = fx.Span(occs[i].EventID)
+	}
+}
+
+// stageExpSpans resolves, for every occurrence in the stream, the
+// contiguous ExpRec frame covering the event's entries and the event's
+// precomputed whole-portfolio occurrence recovery (Flat.RowSum) — the
+// dense expected path's event-major pre-pass.
+func stageExpSpans(occs []yelt.Occurrence, fx *lossindex.Flat, expLo, expHi []int32, occSum []float64) {
+	expLo = expLo[:len(occs)]
+	expHi = expHi[:len(occs)]
+	occSum = occSum[:len(occs)]
+	for i := range occs {
+		expLo[i], expHi[i], occSum[i] = fx.ExpSpan(occs[i].EventID)
+	}
+}
+
+// blockExpectedDense is the blocked expected-mode occurrence stage
+// without per-contract maxima — the hot default. Because an event's
+// entries are packed, their per-layer ExpRec frames concatenate into
+// one contiguous run [expLo, expHi), and ExpDst gives each cell's
+// destination layer slot — so the whole per-occurrence nested
+// entry×layer gather collapses to one flat scatter-add loop, in
+// exactly the same element order (entries ascending, layers in
+// declaration order within each entry), hence bit-identical sums. The
+// per-occurrence portfolio recovery is the staged build-time RowSum,
+// accumulated in that same order at Flatten time.
+func blockExpectedDense(b *yelt.Table, t0, t1 int, fx *lossindex.Flat, nl int, blockAgg []float64, expLo, expHi []int32, occSum, occMaxOut []float64) {
+	expRec, expDst := fx.ExpRec, fx.ExpDst
+	offs := b.Offsets
+	streamBase := offs[t0]
+	for t := t0; t < t1; t++ {
+		row := blockAgg[(t-t0)*nl : (t-t0)*nl+nl]
+		var occMax float64
+		for o := int(offs[t] - streamBase); o < int(offs[t+1]-streamBase); o++ {
+			rec := expRec[expLo[o]:expHi[o]]
+			dst := expDst[expLo[o]:expHi[o]]
+			dst = dst[:len(rec)]
+			for j, r := range rec {
+				row[dst[j]] += r
+			}
+			if s := occSum[o]; s > occMax {
+				occMax = s
+			}
+		}
+		occMaxOut[t-t0] = occMax
+	}
+}
+
+// blockExpectedOccurrences is the blocked expected-mode occurrence
+// stage: for each trial of the block, gather the pre-applied
+// recoveries of its occurrences' (pre-staged) spans into the trial's
+// accumulator row. The inner add loop is the same gather as
+// flatExpectedOccurrences over a length-pinned destination re-slice,
+// in the same order, so each row's sums associate identically.
+func blockExpectedOccurrences(b *yelt.Table, t0, t1 int, fx *lossindex.Flat, nl, nc int, blockAgg []float64, spanLo, spanHi []int32, occMaxOut, pco []float64) {
+	expOff, expRec, expSum := fx.ExpOff, fx.ExpRec, fx.ExpSum
+	layerOff, contract := fx.LayerOff, fx.Contract
+	offs := b.Offsets
+	streamBase := offs[t0]
+	for t := t0; t < t1; t++ {
+		row := blockAgg[(t-t0)*nl : (t-t0)*nl+nl]
+		var pcoRow []float64
+		if pco != nil {
+			pcoRow = pco[(t-t0)*nc : (t-t0)*nc+nc]
+		}
+		var occMax float64
+		for o := int(offs[t] - streamBase); o < int(offs[t+1]-streamBase); o++ {
+			var portfolioOccLoss float64
+			if pcoRow == nil {
+				for k := spanLo[o]; k < spanHi[o]; k++ {
+					rec := expRec[expOff[k]:expOff[k+1]]
+					dst := row[layerOff[k]:]
+					dst = dst[:len(rec)]
+					for j, r := range rec {
+						dst[j] += r
+					}
+					portfolioOccLoss += expSum[k]
+				}
+			} else {
+				for k := spanLo[o]; k < spanHi[o]; k++ {
+					rec := expRec[expOff[k]:expOff[k+1]]
+					dst := row[layerOff[k]:]
+					dst = dst[:len(rec)]
+					for j, r := range rec {
+						dst[j] += r
+					}
+					s := expSum[k]
+					portfolioOccLoss += s
+					if ci := contract[k]; s > pcoRow[ci] {
+						pcoRow[ci] = s
+					}
+				}
+			}
+			if portfolioOccLoss > occMax {
+				occMax = portfolioOccLoss
+			}
+		}
+		occMaxOut[t-t0] = occMax
+	}
+}
+
+// blockSampledOccurrences is the blocked sampling-mode occurrence
+// stage. Draw order is sacrosanct — each trial's substream consumes
+// its beta draws in YELT occurrence order — so the walk stays
+// trial-major within the block; the blocked win is the pre-staged
+// spans and the hoisted plan/term columns.
+func blockSampledOccurrences(b *yelt.Table, t0, t1 int, fx *lossindex.Flat, seed uint64, base, nl, nc int, blockAgg []float64, spanLo, spanHi []int32, occMaxOut, pco []float64) {
+	ft := fx.Terms
+	expOff, layerOff, contract := fx.ExpOff, fx.LayerOff, fx.Contract
+	sampleConst, sampleA, sampleB, sampleScale := fx.SampleConst, fx.SampleA, fx.SampleB, fx.SampleScale
+	occRet, occLim := ft.OccRet, ft.OccLim
+	offs := b.Offsets
+	streamBase := offs[t0]
+	for t := t0; t < t1; t++ {
+		st := rng.NewStream(seed, uint64(base+t))
+		row := blockAgg[(t-t0)*nl : (t-t0)*nl+nl]
+		var pcoRow []float64
+		if pco != nil {
+			pcoRow = pco[(t-t0)*nc : (t-t0)*nc+nc]
+		}
+		var occMax float64
+		for o := int(offs[t] - streamBase); o < int(offs[t+1]-streamBase); o++ {
+			var portfolioOccLoss float64
+			for k := spanLo[o]; k < spanHi[o]; k++ {
+				loss := sampleConst[k]
+				if a := sampleA[k]; a > 0 {
+					loss = sampleScale[k] * st.Beta(a, sampleB[k])
+				}
+				fb := layerOff[k]
+				end := fb + (expOff[k+1] - expOff[k])
+				var contractOcc float64
+				for fl := fb; fl < end; fl++ {
+					// Inlined FlatTerms.ApplyOccurrence, arithmetic
+					// unchanged: min(max(loss-ret, 0), lim).
+					var r float64
+					if ret := occRet[fl]; loss > ret {
+						r = loss - ret
+						if lim := occLim[fl]; r > lim {
+							r = lim
+						}
+					}
+					row[fl] += r
+					contractOcc += r
+				}
+				portfolioOccLoss += contractOcc
+				if pcoRow != nil {
+					if ci := contract[k]; contractOcc > pcoRow[ci] {
+						pcoRow[ci] = contractOcc
+					}
+				}
+			}
+			if portfolioOccLoss > occMax {
+				occMax = portfolioOccLoss
+			}
+		}
+		occMaxOut[t-t0] = occMax
+	}
+}
+
+// blockAnnual applies the annual aggregate terms to the block's
+// accumulator matrix, layer-major: contract frames outer (portfolio
+// order), layers within the frame next (declaration order), trials
+// innermost — so each layer's terms load once per block instead of
+// once per trial, and the clamp arithmetic is the inlined
+// FlatTerms.ApplyAggregate: min(max(sum-ret, 0), lim) · share.
+//
+// The interchange is bit-identical to runTrialFlat's trial-major
+// annual stage: each trial i accumulates its contract sum ca[i] over
+// the frame's layers in declaration order, and its portfolio sum
+// aggOut[i] over contracts in portfolio order — only independent
+// trials are interleaved, never the additions within one trial.
+func blockAnnual(fx *lossindex.Flat, n, nl int, blockAgg, aggOut, pc []float64, nc int, ca []float64) {
+	ft := fx.Terms
+	first := ft.First
+	aggRet, aggLim, share := ft.AggRet, ft.AggLim, ft.Share
+	for i := 0; i < n; i++ {
+		aggOut[i] = 0
+	}
+	for ci := 0; ci+1 < len(first); ci++ {
+		for i := 0; i < n; i++ {
+			ca[i] = 0
+		}
+		for fl := first[ci]; fl < first[ci+1]; fl++ {
+			ret, lim, sh := aggRet[fl], aggLim[fl], share[fl]
+			idx := int(fl)
+			for i := 0; i < n; i++ {
+				sum := blockAgg[idx]
+				idx += nl
+				var r float64
+				if sum > ret {
+					r = sum - ret
+					if r > lim {
+						r = lim
+					}
+					r *= sh
+				}
+				ca[i] += r
+			}
+		}
+		for i := 0; i < n; i++ {
+			aggOut[i] += ca[i]
+		}
+		if pc != nil {
+			for i := 0; i < n; i++ {
+				pc[i*nc+ci] += ca[i]
+			}
+		}
+	}
+}

@@ -16,15 +16,24 @@ import (
 type Kernel int
 
 const (
-	// KernelFlat (the default) scans the flat SoA layout
-	// (lossindex.Flat): pre-applied occurrence recoveries in expected
+	// KernelBlocked (the default) is the trial-blocked flat SoA kernel
+	// (blocked.go): Config.TrialBlock trial years processed per pass
+	// over the lossindex.Flat columns, with per-occurrence span
+	// resolution hoisted out of the trial loop and the per-trial
+	// accumulators packed into one contiguous block matrix. Results are
+	// bit-identical to KernelFlat — blocking never reorders an addition
+	// within a trial.
+	KernelBlocked Kernel = iota
+	// KernelFlat is the single-trial flat SoA kernel over
+	// lossindex.Flat: pre-applied occurrence recoveries in expected
 	// mode, flattened layer-term columns, one contiguous per-trial
-	// scratch vector.
-	KernelFlat Kernel = iota
+	// scratch vector. Retained as the pinned single-trial reference the
+	// blocked kernel is measured against.
+	KernelFlat
 	// KernelIndexed is the pre-flat indexed kernel: the pre-joined
 	// entry scan with per-entry Contract struct and nested []Layer
-	// walks. Retained for benchmarking the flat layout against
-	// (LegacyLookup remains the pre-index reference below both).
+	// walks. Retained for benchmarking the flat layouts against
+	// (LegacyLookup remains the pre-index reference below all three).
 	KernelIndexed
 )
 
@@ -148,7 +157,10 @@ func flatSampledOccurrences(occs []yelt.Occurrence, fx *lossindex.Flat, st *rng.
 // trialOnce dispatches one trial year through the configured kernel —
 // the single seam every runBatch caller (and ByContract's exact
 // occurrence-max pass) goes through, so kernel choice can never
-// diverge between engines.
+// diverge between engines. Single-trial callers under KernelBlocked
+// run the flat single-trial kernel (a block of one), which is
+// bit-identical to the blocked pass; batch callers reach the blocked
+// pass through runBatch's dispatch instead.
 func trialOnce(occs []yelt.Occurrence, idx *lossindex.Index, in *Input, cfg Config, st *rng.Stream, scratch *trialScratch, perContract, perContractOcc []float64) (agg, occMax float64) {
 	if cfg.Kernel == KernelIndexed {
 		return runTrial(occs, idx, in, cfg, st, scratch, perContract, perContractOcc)

@@ -12,12 +12,16 @@ import (
 	"repro/internal/yelt"
 )
 
-// The kernel-equivalence suite: the flat SoA kernel, the indexed
-// (pre-flat) kernel, and the pre-index LegacyLookup reference must be
-// bit-identical for every engine × sampling × per-contract × seed ×
-// batch-size combination. This is the contract that makes the kernel
-// choice a pure performance lever — draw order, accumulation order,
-// and clamp arithmetic all survive the flattening.
+// The kernel-equivalence suite: the trial-blocked flat kernel, the
+// single-trial flat SoA kernel, the indexed (pre-flat) kernel, and the
+// pre-index LegacyLookup reference must be bit-identical for every
+// engine × sampling × per-contract × seed × batch-size × block-size
+// combination. This is the contract that makes the kernel choice a
+// pure performance lever — draw order, accumulation order, and clamp
+// arithmetic all survive the flattening and the blocking.
+
+// allKernels is the full kernel sweep the equivalence tests pin.
+var allKernels = []Kernel{KernelBlocked, KernelFlat, KernelIndexed}
 
 type kernelCase struct {
 	name     string
@@ -65,7 +69,7 @@ func TestKernelEquivalenceAllEngines(t *testing.T) {
 					if !wantSampling {
 						continue
 					}
-					for _, kernel := range []Kernel{KernelFlat, KernelIndexed} {
+					for _, kernel := range allKernels {
 						name := fmt.Sprintf("%s/kernel=%d/sampling=%v/percon=%v/seed=%d", kc.name, kernel, sampling, perCon, seed)
 						cfg := refCfg
 						cfg.Kernel = kernel
@@ -102,7 +106,7 @@ func TestKernelEquivalenceAcrossBatchSizes(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, batch := range []int{1, 7, 500, 997, 4096} {
-		for _, kernel := range []Kernel{KernelFlat, KernelIndexed} {
+		for _, kernel := range allKernels {
 			gen, err := s.YELTGenerator()
 			if err != nil {
 				t.Fatal(err)
@@ -116,6 +120,53 @@ func TestKernelEquivalenceAcrossBatchSizes(t *testing.T) {
 				t.Fatal(err)
 			}
 			resultsBitIdentical(t, fmt.Sprintf("batch=%d/kernel=%d", batch, kernel), legacy, got)
+		}
+	}
+}
+
+// Block size must not leak into blocked-kernel results either: the
+// blocked kernel at block sizes that do and do not divide the trial
+// count (or the batch size) must still match the legacy reference
+// bit-for-bit, in both modes, with and without per-contract tables.
+// Block 1 degenerates to per-trial passes; blocks larger than a batch
+// clamp to it.
+func TestKernelEquivalenceAcrossBlockSizes(t *testing.T) {
+	s := buildScenario(t, synth.Small(36))
+	ix, err := lossindex.Build(s.ELTs, s.Portfolio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fx, err := lossindex.Flatten(ix, s.Portfolio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, sampling := range []bool{false, true} {
+		for _, perCon := range []bool{false, true} {
+			refCfg := Config{Seed: 21, Sampling: sampling, PerContract: perCon}
+			legacy, err := LegacyLookup{}.Run(ctx, input(s), refCfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, block := range []int{1, 32, 33, 64, 97, 128} {
+				for _, batch := range []int{0, 97} { // 0: default; 97: blocks straddle batch ends
+					name := fmt.Sprintf("block=%d/batch=%d/sampling=%v/percon=%v", block, batch, sampling, perCon)
+					cfg := refCfg
+					cfg.Kernel = KernelBlocked
+					cfg.TrialBlock = block
+					cfg.BatchTrials = batch
+					gen, err := s.YELTGenerator()
+					if err != nil {
+						t.Fatal(err)
+					}
+					in := &Input{Source: gen, ELTs: s.ELTs, Portfolio: s.Portfolio, Index: ix, Flat: fx}
+					got, err := (Parallel{}).Run(ctx, in, cfg)
+					if err != nil {
+						t.Fatalf("%s: %v", name, err)
+					}
+					resultsBitIdentical(t, name, legacy, got)
+				}
+			}
 		}
 	}
 }

@@ -62,12 +62,15 @@ type ReinstatementResult struct {
 // makes limit erosion well-defined.
 //
 // Config.Kernel selects the data layout, exactly as for the stateless
-// engines: KernelFlat (the default) drives runTrialReinstFlat over
-// lossindex.Flat and a layers.FlatYearStates — contiguous year-state
-// columns reset by bulk copy — while KernelIndexed pins the
-// nested-slice state machine below. Results are bit-identical across
-// kernels (the reinstatements kernel-equivalence suite pins this);
-// the choice is purely a performance lever.
+// engines: the flat kernels (the default KernelBlocked and
+// KernelFlat, identical here — limit erosion is stateful per trial,
+// so there is no event-major blocking to exploit and both drive the
+// single-trial runTrialReinstFlat) scan lossindex.Flat and a
+// layers.FlatYearStates — contiguous year-state columns reset by bulk
+// copy — while KernelIndexed pins the nested-slice state machine
+// below. Results are bit-identical across kernels (the reinstatements
+// kernel-equivalence suite pins this); the choice is purely a
+// performance lever.
 func RunReinstatements(ctx context.Context, in *ReinstatementInput, cfg Config) (*ReinstatementResult, error) {
 	if err := in.Validate(); err != nil {
 		return nil, err
@@ -77,7 +80,7 @@ func RunReinstatements(ctx context.Context, in *ReinstatementInput, cfg Config) 
 		return nil, err
 	}
 	var tmpl *layers.FlatYearStates
-	if cfg.Kernel == KernelFlat {
+	if cfg.Kernel != KernelIndexed {
 		// One validated template shared by every worker; workers Clone it
 		// so only the live columns are per-worker.
 		tmpl, err = in.Flat.Terms.NewFlatYearStates(in.Terms)

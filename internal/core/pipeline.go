@@ -41,11 +41,15 @@ type Config struct {
 	NumTrials int
 	Engine    aggregate.Engine // nil = Parallel
 	Sampling  bool
-	// Kernel selects the stage-2 trial-kernel layout (flat SoA by
-	// default; aggregate.KernelIndexed pins the pre-flat scan). Results
-	// are bit-identical across kernels — this is the benchmarking lever
+	// Kernel selects the stage-2 trial-kernel layout (blocked SoA by
+	// default; aggregate.KernelFlat pins the trial-at-a-time flat scan,
+	// aggregate.KernelIndexed the pre-flat scan). Results are
+	// bit-identical across kernels — this is the benchmarking lever
 	// threaded through from the CLIs.
 	Kernel aggregate.Kernel
+	// TrialBlock is the blocked kernel's trial-block size; <= 0 means
+	// aggregate.DefaultTrialBlock. Results are bit-independent of it.
+	TrialBlock int
 	// Streaming fuses YELT generation into the aggregate engines: trial
 	// batches are re-derived on demand (yelt.Generator) and the table is
 	// never materialized, so NumTrials is bounded by time instead of
@@ -300,6 +304,7 @@ func (p *Pipeline) RunStage2(ctx context.Context) error {
 		Workers:     p.Cfg.Workers,
 		BatchTrials: p.Cfg.BatchTrials,
 		Kernel:      p.Cfg.Kernel,
+		TrialBlock:  p.Cfg.TrialBlock,
 	})
 	if err != nil {
 		return fmt.Errorf("core: stage 2 aggregate: %w", err)

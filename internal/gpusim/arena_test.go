@@ -1,0 +1,132 @@
+package gpusim
+
+import (
+	"errors"
+	"reflect"
+	"testing"
+)
+
+// The two-lifetime arena: resident allocations sit at the bottom of
+// global memory, survive FreeBatch, and are only released by FreeAll;
+// transfers touching them are counted separately.
+
+func TestResidentArenaLifecycle(t *testing.T) {
+	d := NewDevice(Config{}, 64)
+
+	res, err := d.AllocResident(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := d.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Resident data must survive the batch reset; the batch region is
+	// recycled.
+	want := []float64{1, 2, 3, 4, 5, 6, 7, 8}
+	if err := d.CopyToDevice(res, want); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CopyToDevice(batch, []float64{9, 9, 9, 9, 9, 9, 9, 9}); err != nil {
+		t.Fatal(err)
+	}
+	d.FreeBatch()
+	batch2, err := d.Alloc(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if batch2 != batch {
+		t.Fatalf("batch region not recycled: %+v vs %+v", batch2, batch)
+	}
+	got := make([]float64, 8)
+	if err := d.CopyFromDevice(res, got); err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("resident data clobbered at %d: %v != %v", i, got[i], want[i])
+		}
+	}
+
+	// Interleaving resident allocations into the batch region would
+	// let FreeBatch strand a hole; it must be rejected.
+	if _, err := d.AllocResident(4); err == nil {
+		t.Fatal("resident alloc after batch alloc should fail")
+	}
+
+	// FreeAll releases the resident region too.
+	d.FreeAll()
+	if _, err := d.AllocResident(16); err != nil {
+		t.Fatalf("resident alloc after FreeAll: %v", err)
+	}
+
+	// Capacity errors still surface as ErrOutOfMemory.
+	if _, err := d.AllocResident(1024); !errors.Is(err, ErrOutOfMemory) {
+		t.Fatalf("oversized resident alloc: %v", err)
+	}
+}
+
+func TestTransferCountersSplitByLifetime(t *testing.T) {
+	d := NewDevice(Config{}, 64)
+	res, err := d.AllocResident(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	batch, err := d.Alloc(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := make([]float64, 8)
+	if err := d.CopyToDevice(res, data); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CopyToDevice(batch, data[:6]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CopyFromDevice(res, data[:4]); err != nil {
+		t.Fatal(err)
+	}
+	if err := d.CopyFromDevice(batch, data[:3]); err != nil {
+		t.Fatal(err)
+	}
+	s := d.Stats()
+	if s.ResidentTransferFloats != 8+4 {
+		t.Fatalf("resident transfers = %d, want 12", s.ResidentTransferFloats)
+	}
+	if s.TransferFloats != 6+3 {
+		t.Fatalf("batch transfers = %d, want 9", s.TransferFloats)
+	}
+	// Both flows cross the same host link, so both are charged in the
+	// modeled time.
+	cfg := d.Config()
+	if got, want := s.ModeledCycles(cfg), (uint64(12)+9)*cfg.TransferCost; got != want {
+		t.Fatalf("modeled cycles = %d, want %d", got, want)
+	}
+}
+
+// Stats.Add must sum every numeric field — enforced by reflection so a
+// future counter cannot silently drop out of the streaming-growth
+// carry.
+func TestStatsAddSumsEveryField(t *testing.T) {
+	var a, b Stats
+	av, bv := reflect.ValueOf(&a).Elem(), reflect.ValueOf(&b).Elem()
+	typ := av.Type()
+	for i := 0; i < typ.NumField(); i++ {
+		if typ.Field(i).Type.Kind() != reflect.Uint64 {
+			t.Fatalf("Stats field %s is %s; Add assumes uint64 counters",
+				typ.Field(i).Name, typ.Field(i).Type)
+		}
+		av.Field(i).SetUint(uint64(100 + i))
+		bv.Field(i).SetUint(uint64(1000 * (i + 1)))
+	}
+	sum := a.Add(b)
+	sv := reflect.ValueOf(sum)
+	for i := 0; i < typ.NumField(); i++ {
+		want := uint64(100+i) + uint64(1000*(i+1))
+		if got := sv.Field(i).Uint(); got != want {
+			t.Fatalf("Stats.Add dropped field %s: got %d, want %d",
+				typ.Field(i).Name, got, want)
+		}
+	}
+}

@@ -23,7 +23,16 @@ import (
 //	ExpOff[k]..ExpOff[k+1]  entry k's frame in ExpRec (one cell per layer)
 //	ExpRec[...]          pre-applied occurrence recovery of the entry's
 //	                     mean loss through each layer (expected mode)
+//	ExpDst[e]            flat layer slot ExpRec[e] accumulates into —
+//	                     the scatter index that lets the blocked kernel
+//	                     sweep a whole event's ExpRec frame in one flat
+//	                     loop, no per-entry re-slicing
 //	ExpSum[k]            sum of entry k's ExpRec frame, in layer order
+//	RowSum[r]            sum of row r's ExpSum values, in entry order —
+//	                     the event's whole-portfolio expected occurrence
+//	                     recovery, precomputed in exactly the kernels'
+//	                     accumulation order (hence bit-identical to the
+//	                     per-occurrence running sum it replaces)
 //	SampleConst/A/B/Scale[k]  the entry's precomputed sampling plan
 //	                     (elt.SampleParams of its record)
 //	Terms                the portfolio's layer terms as SoA columns
@@ -49,7 +58,9 @@ type Flat struct {
 	Mean     []float64
 	ExpOff   []int32 // len NumEntries+1
 	ExpRec   []float64
+	ExpDst   []int32 // parallel to ExpRec
 	ExpSum   []float64
+	RowSum   []float64 // len Index().NumRows()
 
 	SampleConst []float64
 	SampleA     []float64
@@ -106,6 +117,7 @@ func Flatten(ix *Index, pf *layers.Portfolio) (*Flat, error) {
 	// the original Layer methods, so the constants are by construction
 	// the values the indexed kernel recomputed per trial.
 	f.ExpRec = make([]float64, total)
+	f.ExpDst = make([]int32, total)
 	for k, e := range ix.entries {
 		c := &pf.Contracts[e.Contract]
 		off := f.ExpOff[k]
@@ -113,12 +125,39 @@ func Flatten(ix *Index, pf *layers.Portfolio) (*Flat, error) {
 		for li := range c.Layers {
 			r := c.Layers[li].ApplyOccurrence(e.Rec.MeanLoss)
 			f.ExpRec[off+int32(li)] = r
+			f.ExpDst[off+int32(li)] = f.LayerOff[k] + int32(li)
 			sum += r
 		}
 		f.ExpSum[k] = sum
 		f.SampleConst[k], f.SampleA[k], f.SampleB[k], f.SampleScale[k] = elt.SampleParams(e.Rec)
 	}
+
+	// Row totals, accumulated entry-then-layer exactly as the kernels'
+	// per-occurrence running sums, so substituting RowSum for them is
+	// bit-identical (ExpSum itself was accumulated in layer order above).
+	f.RowSum = make([]float64, ix.NumRows())
+	for r := 0; r+1 < len(ix.offsets); r++ {
+		var s float64
+		for k := ix.offsets[r]; k < ix.offsets[r+1]; k++ {
+			s += f.ExpSum[k]
+		}
+		f.RowSum[r] = s
+	}
 	return f, nil
+}
+
+// ExpSpan returns, for an event ID, the contiguous ExpRec frame
+// [lo, hi) covering every entry of the event (entries are packed, so
+// their per-layer frames concatenate) and the event's precomputed
+// whole-portfolio expected occurrence recovery (RowSum). lo == hi and
+// a zero sum when the event carries no loss anywhere in the book —
+// exactly the running sum an empty span would have produced.
+func (f *Flat) ExpSpan(eventID uint32) (lo, hi int32, occSum float64) {
+	r := f.ix.Row(eventID)
+	if r < 0 {
+		return 0, 0, 0
+	}
+	return f.ExpOff[f.ix.offsets[r]], f.ExpOff[f.ix.offsets[r+1]], f.RowSum[r]
 }
 
 // Span returns the packed-entry range [lo, hi) for an event ID — the
@@ -159,6 +198,35 @@ func (f *Flat) DenseMeansAll() [][]float64 {
 	return out
 }
 
+// DeviceVectors returns the per-row portfolio recovery vectors the
+// device engine uploads: aggVec folds each layer's share into the
+// pre-applied occurrence recovery, occVec is the share-free recovery
+// that drives OccMax. Both are projected in one linear sweep of the
+// packed ExpRec column — no Contract struct walk, no per-record layer
+// dispatch. The sweep visits row → entry → layer exactly as the
+// legacy per-row construction did, and adding a zero recovery is
+// exact, so the vectors are bit-identical to the nested walk they
+// replace (TestChunkedVectorsMatchLegacy pins it).
+func (f *Flat) DeviceVectors() (aggVec, occVec []float64) {
+	rows := f.ix.NumRows()
+	aggVec = make([]float64, rows)
+	occVec = make([]float64, rows)
+	share := f.Terms.Share
+	for r := 0; r+1 < len(f.ix.offsets); r++ {
+		var av, ov float64
+		for k := f.ix.offsets[r]; k < f.ix.offsets[r+1]; k++ {
+			for e := f.ExpOff[k]; e < f.ExpOff[k+1]; e++ {
+				rec := f.ExpRec[e]
+				av += rec * share[f.ExpDst[e]]
+				ov += rec
+			}
+		}
+		aggVec[r] = av
+		occVec[r] = ov
+	}
+	return aggVec, occVec
+}
+
 // Index returns the index the layout was derived from.
 func (f *Flat) Index() *Index { return f.ix }
 
@@ -183,7 +251,9 @@ func (f *Flat) SizeBytes() int64 {
 		int64(len(f.Mean))*8 +
 		int64(len(f.ExpOff))*4 +
 		int64(len(f.ExpRec))*8 +
+		int64(len(f.ExpDst))*4 +
 		int64(len(f.ExpSum))*8 +
+		int64(len(f.RowSum))*8 +
 		int64(len(f.SampleConst)+len(f.SampleA)+len(f.SampleB)+len(f.SampleScale))*8 +
 		f.Terms.SizeBytes()
 }

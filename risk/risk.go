@@ -72,19 +72,22 @@ func (k EngineKind) engine() (aggregate.Engine, error) {
 
 // KernelKind selects the stage-2 trial-kernel data layout. Results
 // are bit-identical across kernels; the choice is a performance
-// lever, exposed so studies can benchmark the flat SoA layout against
-// the pre-flat indexed scan.
+// lever, exposed so studies can benchmark the blocked and flat SoA
+// layouts against the pre-flat indexed scan.
 type KernelKind string
 
-// Available kernels. The empty value means KernelFlat.
+// Available kernels. The empty value means KernelBlocked.
 const (
+	KernelBlocked KernelKind = "blocked"
 	KernelFlat    KernelKind = "flat"
 	KernelIndexed KernelKind = "indexed"
 )
 
 func (k KernelKind) kernel() (aggregate.Kernel, error) {
 	switch k {
-	case KernelFlat, "":
+	case KernelBlocked, "":
+		return aggregate.KernelBlocked, nil
+	case KernelFlat:
 		return aggregate.KernelFlat, nil
 	case KernelIndexed:
 		return aggregate.KernelIndexed, nil
@@ -102,10 +105,14 @@ type Config struct {
 	Trials               int
 	MeanEventsPerYear    float64
 	Engine               EngineKind
-	// Kernel selects the stage-2 trial-kernel layout ("" or KernelFlat
-	// for the flat SoA default, KernelIndexed to pin the pre-flat
-	// scan). Bit-identical results either way.
+	// Kernel selects the stage-2 trial-kernel layout ("" or
+	// KernelBlocked for the blocked SoA default, KernelFlat for the
+	// trial-at-a-time flat scan, KernelIndexed to pin the pre-flat
+	// scan). Bit-identical results in every case.
 	Kernel KernelKind
+	// TrialBlock is the blocked kernel's trial-block size; 0 means the
+	// engine default. Results are bit-independent of the value.
+	TrialBlock int
 	// Sampling enables secondary-uncertainty sampling in stage 2.
 	Sampling bool
 	// Streaming runs stage 2 (and PriceContract quotes) in bounded
@@ -237,6 +244,7 @@ func (s *Study) pipeline() (*core.Pipeline, error) {
 		NumTrials:            s.cfg.Trials,
 		Engine:               eng,
 		Kernel:               kern,
+		TrialBlock:           s.cfg.TrialBlock,
 		Sampling:             s.cfg.Sampling,
 		Streaming:            s.cfg.Streaming,
 		BatchTrials:          s.cfg.BatchTrials,
@@ -397,7 +405,7 @@ func (s *Study) PriceContract(ctx context.Context, contract int, trials int) (*Q
 	res, err := (aggregate.Parallel{}).Run(ctx, qin, aggregate.Config{
 		Seed: s.cfg.Seed + 103, Sampling: true,
 		Workers: s.cfg.Workers, BatchTrials: s.cfg.BatchTrials,
-		Kernel: kern,
+		Kernel: kern, TrialBlock: s.cfg.TrialBlock,
 	})
 	if err != nil {
 		return nil, err

@@ -41,11 +41,13 @@ func TestStudyRun(t *testing.T) {
 }
 
 // The reinstatements engine must run end to end through the public
-// API, and the kernel choice — flat SoA (default) vs indexed — must
-// not change a single trial loss for any engine it is threaded to.
+// API, and the kernel choice — blocked SoA (default), flat, or
+// indexed — must not change a single trial loss for any engine it is
+// threaded to.
 func TestStudyReinstatementsEngineAndKernels(t *testing.T) {
+	kernels := []KernelKind{KernelBlocked, KernelFlat, KernelIndexed}
 	losses := map[KernelKind][]float64{}
-	for _, kern := range []KernelKind{KernelFlat, KernelIndexed} {
+	for _, kern := range kernels {
 		cfg := smallConfig(7)
 		cfg.Engine = EngineReinstatements
 		cfg.Sampling = true
@@ -64,9 +66,11 @@ func TestStudyReinstatementsEngineAndKernels(t *testing.T) {
 		}
 		losses[kern] = l
 	}
-	for i := range losses[KernelFlat] {
-		if losses[KernelFlat][i] != losses[KernelIndexed][i] {
-			t.Fatalf("trial %d differs across kernels", i)
+	for _, kern := range kernels[1:] {
+		for i := range losses[KernelBlocked] {
+			if losses[KernelBlocked][i] != losses[kern][i] {
+				t.Fatalf("trial %d differs between kernels blocked and %q", i, kern)
+			}
 		}
 	}
 }
