@@ -1,5 +1,5 @@
 // Root benchmark harness: one benchmark (family) per experiment
-// E1–E13 from EXPERIMENTS.md. Absolute numbers are machine-dependent; the
+// E1–E15 from EXPERIMENTS.md. Absolute numbers are machine-dependent; the
 // *shapes* asserted in EXPERIMENTS.md (who wins, by roughly what
 // factor) are what reproduce the paper. cmd/benchtables prints the
 // richer tables; these benches give `go test -bench` one-line
@@ -10,7 +10,11 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"net/http"
+	"net/http/httptest"
 	"os"
+	"runtime"
+	"strings"
 	"sync"
 	"testing"
 
@@ -23,8 +27,10 @@ import (
 	"repro/internal/mapreduce"
 	"repro/internal/memstore"
 	"repro/internal/rdbms"
+	"repro/internal/serve"
 	"repro/internal/synth"
 	"repro/internal/yelt"
+	"repro/risk"
 )
 
 var (
@@ -749,4 +755,54 @@ func BenchmarkE9DFAIntegration(b *testing.B) {
 			b.ReportMetric(float64(bytes)/1e6, "MB-out")
 		})
 	}
+}
+
+// --- E15: client-observed quote latency through the serving tier — a
+// warmed serve.Server over a shared risk.Study behind real HTTP. One
+// closed-loop client, so ns/op is the full request path: admission,
+// queue, per-contract aggregate simulation, JSON. cmd/benchtables -e 15
+// adds the multi-client calm/active/burst table. ---
+
+var (
+	e15Once sync.Once
+	e15TS   *httptest.Server
+	e15Err  error
+)
+
+func e15Server(b *testing.B) *httptest.Server {
+	b.Helper()
+	e15Once.Do(func() {
+		study := risk.NewStudy(risk.Config{
+			Seed: 42, Events: 2_000, Contracts: 8, LocationsPerContract: 150,
+			Trials: 5_000, MeanEventsPerYear: 10, Rho: 0.2, Workers: 1,
+		})
+		srv := serve.New(study, serve.Config{Workers: runtime.GOMAXPROCS(0), DefaultTrials: 2_000})
+		if err := srv.Warm(context.Background()); err != nil {
+			e15Err = err
+			return
+		}
+		e15TS = httptest.NewServer(srv.Handler())
+	})
+	if e15Err != nil {
+		b.Fatal(e15Err)
+	}
+	return e15TS
+}
+
+func BenchmarkE15QuoteLatency(b *testing.B) {
+	ts := e15Server(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		body := fmt.Sprintf(`{"contract": %d, "trials": 2000}`, i%8)
+		resp, err := http.Post(ts.URL+"/v1/quote", "application/json", strings.NewReader(body))
+		if err != nil {
+			b.Fatal(err)
+		}
+		_, _ = io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			b.Fatalf("quote status = %d", resp.StatusCode)
+		}
+	}
+	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "quotes/s")
 }

@@ -1,10 +1,11 @@
 // Command benchtables regenerates the tables for every experiment
-// E1–E14 in EXPERIMENTS.md — the quantitative claims of Varghese &
+// E1–E15 in EXPERIMENTS.md — the quantitative claims of Varghese &
 // Rau-Chaplin (SC 2012) reproduced on this machine, plus the
 // streaming-stage-2 memory envelope (E10), the partitioned
 // (spill + MapReduce) stage 2 (E11), the flat SoA trial kernel (E12),
-// the flat SoA year-state kernel for reinstatements (E13), and the
-// blocked trial kernel with the two-lifetime device arena (E14).
+// the flat SoA year-state kernel for reinstatements (E13), the
+// blocked trial kernel with the two-lifetime device arena (E14), and
+// the real-time quote serving tier under calm/active/burst load (E15).
 //
 // Usage:
 //
@@ -12,7 +13,7 @@
 //
 // -json additionally writes the run's measurements as a
 // machine-readable document (ns/op, bytes, speedups per experiment
-// row) — the format CI tracks as the BENCH_E10.json … BENCH_E14.json
+// row) — the format CI tracks as the BENCH_E10.json … BENCH_E15.json
 // artifacts.
 package main
 
@@ -22,6 +23,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http/httptest"
 	"os"
 	"runtime"
 	"sort"
@@ -40,8 +42,11 @@ import (
 	"repro/internal/memstore"
 	"repro/internal/metrics"
 	"repro/internal/rdbms"
+	"repro/internal/serve"
+	"repro/internal/serve/loadgen"
 	"repro/internal/synth"
 	"repro/internal/yelt"
+	"repro/risk"
 )
 
 func devDefault() gpusim.Config { return gpusim.DefaultConfig() }
@@ -108,13 +113,13 @@ func main() {
 
 	want := map[int]bool{}
 	if *flagExperiments == "all" {
-		for i := 1; i <= 14; i++ {
+		for i := 1; i <= 15; i++ {
 			want[i] = true
 		}
 	} else {
 		for _, tok := range strings.Split(*flagExperiments, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(tok))
-			if err != nil || n < 1 || n > 14 {
+			if err != nil || n < 1 || n > 15 {
 				fmt.Fprintf(os.Stderr, "benchtables: bad experiment %q\n", tok)
 				os.Exit(2)
 			}
@@ -134,6 +139,7 @@ func main() {
 		12: e12FlatKernel,
 		13: e13ReinstatementsKernel,
 		14: e14BlockedKernel,
+		15: e15QuoteService,
 	}
 	keys := make([]int, 0, len(want))
 	for k := range want {
@@ -1243,4 +1249,105 @@ func fmtSec(s float64) string {
 	default:
 		return fmt.Sprintf("%.1fh", s/3600)
 	}
+}
+
+// e15QuoteService runs the real-time quote serving tier end to end: a
+// warmed serve.Server over a shared risk.Study, driven by closed-loop
+// load in three phases — calm (half the pool), active (pool-sized) and
+// burst (several times pool+queue, so admission control must shed
+// 429s) — then drained gracefully. The paper's claim under test is
+// that per-contract aggregate simulation is fast enough for real-time
+// pricing (§II); the serving tier adds the operational half: bounded
+// queueing keeps served latency flat under overload instead of letting
+// it collapse.
+func e15QuoteService(ctx context.Context) error {
+	events, contracts, locs := 2_000, 8, 150
+	studyTrials, quoteTrials := 5_000, 2_000
+	perClient := 6
+	if *flagQuick {
+		events, contracts, locs = 600, 4, 60
+		studyTrials, quoteTrials = 1_200, 500
+		perClient = 3
+	}
+	pool := runtime.GOMAXPROCS(0)
+	if *flagWorkers > 0 {
+		pool = *flagWorkers
+	}
+	queue := pool // tight: burst must shed, not buffer
+
+	fmt.Printf("## E15 — real-time quote service (%d contracts, %d-trial quotes, pool %d, queue %d)\n",
+		contracts, quoteTrials, pool, queue)
+
+	study := risk.NewStudy(risk.Config{
+		Seed:                 *flagSeed,
+		Events:               events,
+		Contracts:            contracts,
+		LocationsPerContract: locs,
+		Trials:               studyTrials,
+		MeanEventsPerYear:    10,
+		Rho:                  0.2,
+		// Single-threaded per quote: the pool supplies the parallelism.
+		Workers: 1,
+	})
+	srv := serve.New(study, serve.Config{
+		Workers:       pool,
+		QueueDepth:    queue,
+		Timeout:       time.Minute,
+		DefaultTrials: quoteTrials,
+	})
+	t0 := time.Now()
+	if err := srv.Warm(ctx); err != nil {
+		return err
+	}
+	warmDur := time.Since(t0)
+	fmt.Printf("%-10s %12v  (stage 1 + %d per-contract quote layouts)\n", "warm-up", warmDur.Round(time.Millisecond), contracts)
+	record("E15", "warm", warmDur, 0, 0)
+
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	clamp := func(n int) int {
+		if n < 1 {
+			return 1
+		}
+		return n
+	}
+	phases := []loadgen.Phase{
+		{Name: "calm", Clients: clamp(pool / 2), Trials: quoteTrials, Contracts: contracts},
+		{Name: "active", Clients: pool, Trials: quoteTrials, Contracts: contracts},
+		{Name: "burst", Clients: 4 * (pool + queue), Trials: quoteTrials, Contracts: contracts},
+	}
+	for i := range phases {
+		phases[i].Requests = phases[i].Clients * perClient
+	}
+	results, err := loadgen.Run(ctx, ts.Client(), ts.URL, phases)
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("%-10s %6s %6s %6s %6s %6s %10s %10s %8s\n",
+		"phase", "sent", "ok", "429", "503", "err", "p50", "p99", "ok/s")
+	for _, r := range results {
+		fmt.Printf("%-10s %6d %6d %6d %6d %6d %10v %10v %8.1f\n",
+			r.Phase, r.Sent, r.OK, r.Rejected, r.Unavail, r.Errors,
+			r.P50.Round(100*time.Microsecond), r.P99.Round(100*time.Microsecond), r.QPS)
+		record("E15", r.Phase+"/p50", r.P50, 0, 0)
+		record("E15", r.Phase+"/p99", r.P99, 0, r.QPS)
+	}
+	if burst := results[len(results)-1]; burst.Rejected == 0 {
+		fmt.Printf("note: burst shed no load — pool drained %d clients without filling the queue\n", 4*(pool+queue))
+	}
+
+	// Graceful retirement: stop admitting, stop the HTTP layer, drain
+	// the pool. The drain time bounds what a SIGTERM costs in flight.
+	t0 = time.Now()
+	srv.BeginDrain()
+	ts.Close()
+	if err := srv.Drain(ctx); err != nil {
+		return err
+	}
+	drainDur := time.Since(t0)
+	fmt.Printf("%-10s %12v\n", "drain", drainDur.Round(time.Millisecond))
+	record("E15", "drain", drainDur, 0, 0)
+	return nil
 }

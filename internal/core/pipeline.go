@@ -164,10 +164,41 @@ func New(cfg Config) *Pipeline {
 	return &Pipeline{Cfg: cfg}
 }
 
+// setStage records rep in p.Stages, replacing any earlier report with
+// the same name. Stage re-runs — engine or kernel sweeps calling
+// RunStage2 repeatedly, a full Run after a quote path already
+// triggered stage 1 — refresh their line instead of appending
+// duplicates, so p.Stages always holds at most one line per stage.
+func (p *Pipeline) setStage(rep StageReport) {
+	for i := range p.Stages {
+		if p.Stages[i].Name == rep.Name {
+			p.Stages[i] = rep
+			return
+		}
+	}
+	p.Stages = append(p.Stages, rep)
+}
+
+// dropStage removes the named stage line, if present.
+func (p *Pipeline) dropStage(name string) {
+	for i := range p.Stages {
+		if p.Stages[i].Name == name {
+			p.Stages = append(p.Stages[:i], p.Stages[i+1:]...)
+			return
+		}
+	}
+}
+
 // RunStage1 executes risk modelling: catalogue generation, synthetic
 // exposure, and the catastrophe-model engine producing one ELT per
-// contract.
+// contract. It is idempotent: the artifacts are pure functions of Cfg,
+// so once they exist a second call (e.g. Run after a quote path
+// already triggered stage 1) returns immediately instead of
+// regenerating identical data.
 func (p *Pipeline) RunStage1(ctx context.Context) error {
+	if p.Catalog != nil && p.Index != nil {
+		return nil
+	}
 	start := time.Now()
 	ccfg := catalog.DefaultConfig()
 	ccfg.NumEvents = p.Cfg.NumEvents
@@ -200,7 +231,7 @@ func (p *Pipeline) RunStage1(ctx context.Context) error {
 		items += int64(tbl.Len())
 	}
 	p.Portfolio = synth.BuildPortfolio(p.ELTs, false, p.Cfg.TwoLayers)
-	p.Stages = append(p.Stages, StageReport{
+	p.setStage(StageReport{
 		Name: "risk-modelling", Duration: time.Since(start),
 		OutputBytes: bytes, Items: items,
 	})
@@ -223,7 +254,7 @@ func (p *Pipeline) RunStage1(ctx context.Context) error {
 	}
 	p.Index = idx
 	p.Flat = fx
-	p.Stages = append(p.Stages, StageReport{
+	p.setStage(StageReport{
 		Name: "loss-index", Duration: time.Since(idxStart),
 		OutputBytes: idx.SizeBytes() + fx.SizeBytes(), Items: int64(idx.NumEntries()),
 	})
@@ -242,6 +273,11 @@ func (p *Pipeline) RunStage1(ctx context.Context) error {
 func (p *Pipeline) RunStage2(ctx context.Context) error {
 	if p.Catalog == nil {
 		return errors.New("core: stage 2 requires stage 1 artifacts")
+	}
+	if !p.Cfg.Spill {
+		// A non-spill re-run supersedes any earlier spilled run; its
+		// stale shard line no longer describes this pipeline's stage 2.
+		p.dropStage("yelt-spill")
 	}
 	start := time.Now()
 	ycfg := yelt.Config{NumTrials: p.Cfg.NumTrials, Workers: p.Cfg.Workers}
@@ -280,7 +316,7 @@ func (p *Pipeline) RunStage2(ctx context.Context) error {
 			if err != nil {
 				return fmt.Errorf("core: stage 2 spill size: %w", err)
 			}
-			p.Stages = append(p.Stages, StageReport{
+			p.setStage(StageReport{
 				Name: "yelt-spill", Duration: time.Since(spillStart),
 				OutputBytes: spillBytes, Items: int64(ds.Shards()),
 			})
@@ -329,7 +365,7 @@ func (p *Pipeline) RunStage2(ctx context.Context) error {
 		rep.OutputBytes = p.YELT.SizeBytes() + res.Portfolio.SizeBytes()
 		rep.Items = int64(p.YELT.Len())
 	}
-	p.Stages = append(p.Stages, rep)
+	p.setStage(rep)
 	return nil
 }
 
@@ -354,7 +390,7 @@ func (p *Pipeline) RunStage3(ctx context.Context) error {
 		return fmt.Errorf("core: stage 3: %w", err)
 	}
 	p.DFAResult = res
-	p.Stages = append(p.Stages, StageReport{
+	p.setStage(StageReport{
 		Name: "dfa", Duration: time.Since(start),
 		OutputBytes: res.TotalBytes,
 		Items:       int64(res.Enterprise.NumTrials()) * int64(len(res.PerSource)+2),

@@ -179,6 +179,125 @@ func TestEngineChoice(t *testing.T) {
 	}
 }
 
+// Stage 1 is idempotent: a second RunStage1 (or a full Run after a
+// quote path already triggered stage 1) must keep the existing
+// artifacts and append no duplicate stage lines.
+func TestStage1Idempotent(t *testing.T) {
+	p := New(smallConfig(8))
+	if err := p.RunStage1(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cat, idx := p.Catalog, p.Index
+	if err := p.RunStage1(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if p.Catalog != cat || p.Index != idx {
+		t.Fatal("second RunStage1 regenerated stage-1 artifacts")
+	}
+	if len(p.Stages) != 2 {
+		t.Fatalf("stages after two RunStage1 = %d, want 2", len(p.Stages))
+	}
+}
+
+// The serving lifecycle: RunStage1 first (a quote warm-up), then a
+// full Run for the portfolio report. Stage 1 must not re-execute and
+// every stage must report exactly one line.
+func TestRunAfterStage1NoDuplicateStageLines(t *testing.T) {
+	p := New(smallConfig(9))
+	if err := p.RunStage1(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	cat := p.Catalog
+	rep, err := p.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Catalog != cat {
+		t.Fatal("Run re-executed stage 1 from scratch")
+	}
+	counts := map[string]int{}
+	for _, s := range rep.Stages {
+		counts[s.Name]++
+	}
+	for _, name := range []string{"risk-modelling", "loss-index", "portfolio-risk", "dfa"} {
+		if counts[name] != 1 {
+			t.Fatalf("stage %q has %d report lines, want 1 (stages: %v)", name, counts[name], rep.Stages)
+		}
+	}
+	if len(rep.Stages) != 4 {
+		t.Fatalf("stages = %d, want 4", len(rep.Stages))
+	}
+}
+
+// A kernel sweep re-running stage 2 on one pipeline (as benchtables
+// does) must refresh the portfolio-risk line in place, not accumulate
+// one line per run — and the swept kernels must agree bit-identically.
+func TestRepeatedStage2ReplacesStageLine(t *testing.T) {
+	p := New(smallConfig(10))
+	if err := p.RunStage1(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var ref []float64
+	for i, kern := range []aggregate.Kernel{aggregate.KernelBlocked, aggregate.KernelFlat, aggregate.KernelIndexed} {
+		p.Cfg.Kernel = kern
+		if err := p.RunStage2(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if i == 0 {
+			ref = append(ref, p.CatYLT.Agg...)
+		} else {
+			for t2 := range ref {
+				if ref[t2] != p.CatYLT.Agg[t2] {
+					t.Fatalf("kernel sweep diverged at trial %d", t2)
+				}
+			}
+		}
+	}
+	counts := map[string]int{}
+	for _, s := range p.Stages {
+		counts[s.Name]++
+	}
+	if counts["portfolio-risk"] != 1 {
+		t.Fatalf("portfolio-risk lines = %d after 3 stage-2 runs, want 1", counts["portfolio-risk"])
+	}
+	if len(p.Stages) != 3 {
+		t.Fatalf("stages = %d, want 3 (risk-modelling, loss-index, portfolio-risk)", len(p.Stages))
+	}
+}
+
+// A non-spill stage-2 re-run supersedes an earlier spilled run: the
+// stale yelt-spill line must not linger in the report.
+func TestStage2RerunDropsStaleSpillLine(t *testing.T) {
+	cfg := smallConfig(11)
+	cfg.Spill = true
+	cfg.SpillParts = 2
+	p := New(cfg)
+	if err := p.RunStage1(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if err := p.RunStage2(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, s := range p.Stages {
+		if s.Name == "yelt-spill" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("spilled run did not report a yelt-spill line")
+	}
+	p.Cfg.Spill = false
+	if err := p.RunStage2(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p.Stages {
+		if s.Name == "yelt-spill" {
+			t.Fatal("stale yelt-spill line survived a non-spill re-run")
+		}
+	}
+}
+
 func TestCancellationPropagates(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	cancel()

@@ -1,0 +1,155 @@
+// Package loadgen is a closed-loop HTTP load generator for the quote
+// serving tier. Each phase runs a fixed number of concurrent clients,
+// every client posting its next quote the moment the previous answer
+// lands, until the phase's request budget is spent. Responses are
+// classified by status (200 / 429 / 503 / other) and OK latencies feed
+// the phase's p50/p99 — so a burst phase shows exactly how the tier
+// degrades: shed 429s fast while served latency holds.
+package loadgen
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Phase is one load step against the server.
+type Phase struct {
+	Name      string
+	Clients   int // concurrent closed-loop clients
+	Requests  int // total requests across all clients
+	Trials    int // per-quote trial count sent in the request body
+	Contracts int // quotes round-robin over contracts [0, Contracts)
+}
+
+// Result aggregates one phase.
+type Result struct {
+	Phase    string
+	Sent     int
+	OK       int
+	Rejected int // 429: queue full
+	Unavail  int // 503: timeout or draining
+	Errors   int // anything else, including transport errors
+	Elapsed  time.Duration
+	P50      time.Duration // over OK latencies
+	P99      time.Duration
+	QPS      float64 // served (OK) per second of phase wall time
+}
+
+// Run executes the phases in order against baseURL and returns one
+// Result per phase. It stops early on ctx cancellation.
+func Run(ctx context.Context, client *http.Client, baseURL string, phases []Phase) ([]Result, error) {
+	if client == nil {
+		client = http.DefaultClient
+	}
+	results := make([]Result, 0, len(phases))
+	for _, ph := range phases {
+		if err := ctx.Err(); err != nil {
+			return results, err
+		}
+		res, err := runPhase(ctx, client, baseURL, ph)
+		if err != nil {
+			return results, fmt.Errorf("loadgen: phase %s: %w", ph.Name, err)
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+func runPhase(ctx context.Context, client *http.Client, baseURL string, ph Phase) (Result, error) {
+	if ph.Clients <= 0 || ph.Requests <= 0 || ph.Contracts <= 0 {
+		return Result{}, fmt.Errorf("phase needs positive clients, requests, contracts (got %+v)", ph)
+	}
+	var (
+		next     atomic.Int64 // request ticket counter, shared by all clients
+		ok       atomic.Int64
+		rejected atomic.Int64
+		unavail  atomic.Int64
+		errs     atomic.Int64
+
+		latMu sync.Mutex
+		lats  []time.Duration
+	)
+	start := time.Now()
+	var wg sync.WaitGroup
+	for c := 0; c < ph.Clients; c++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				ticket := next.Add(1) - 1
+				if ticket >= int64(ph.Requests) || ctx.Err() != nil {
+					return
+				}
+				contract := int(ticket) % ph.Contracts
+				body := fmt.Sprintf(`{"contract": %d, "trials": %d}`, contract, ph.Trials)
+				t0 := time.Now()
+				status, err := postQuote(ctx, client, baseURL, body)
+				lat := time.Since(t0)
+				switch {
+				case err != nil:
+					errs.Add(1)
+				case status == http.StatusOK:
+					ok.Add(1)
+					latMu.Lock()
+					lats = append(lats, lat)
+					latMu.Unlock()
+				case status == http.StatusTooManyRequests:
+					rejected.Add(1)
+				case status == http.StatusServiceUnavailable:
+					unavail.Add(1)
+				default:
+					errs.Add(1)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	res := Result{
+		Phase:    ph.Name,
+		Sent:     int(ok.Load() + rejected.Load() + unavail.Load() + errs.Load()),
+		OK:       int(ok.Load()),
+		Rejected: int(rejected.Load()),
+		Unavail:  int(unavail.Load()),
+		Errors:   int(errs.Load()),
+		Elapsed:  elapsed,
+		P50:      quantile(lats, 0.50),
+		P99:      quantile(lats, 0.99),
+	}
+	if elapsed > 0 {
+		res.QPS = float64(res.OK) / elapsed.Seconds()
+	}
+	return res, ctx.Err()
+}
+
+func postQuote(ctx context.Context, client *http.Client, baseURL, body string) (int, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost, baseURL+"/v1/quote", bytes.NewBufferString(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := client.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	// Drain so the transport reuses the connection.
+	_, _ = io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode, nil
+}
+
+func quantile(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	cp := append([]time.Duration(nil), lats...)
+	sort.Slice(cp, func(i, j int) bool { return cp[i] < cp[j] })
+	return cp[int(p*float64(len(cp)-1))]
+}

@@ -1,0 +1,108 @@
+package loadgen
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// A programmed handler answering a fixed status cycle pins the
+// classification logic without any simulation underneath.
+func TestClassification(t *testing.T) {
+	cycle := []int{200, 200, 429, 503, 200, 429, 500, 200}
+	var n atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.Method != http.MethodPost || r.URL.Path != "/v1/quote" {
+			t.Errorf("unexpected request %s %s", r.Method, r.URL.Path)
+		}
+		code := cycle[int(n.Add(1)-1)%len(cycle)]
+		w.WriteHeader(code)
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+
+	// One client keeps the cycle order deterministic.
+	results, err := Run(context.Background(), ts.Client(), ts.URL, []Phase{
+		{Name: "cycle", Clients: 1, Requests: len(cycle), Trials: 10, Contracts: 3},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := results[0]
+	if r.Sent != len(cycle) {
+		t.Fatalf("sent = %d, want %d", r.Sent, len(cycle))
+	}
+	if r.OK != 4 || r.Rejected != 2 || r.Unavail != 1 || r.Errors != 1 {
+		t.Fatalf("classified %d/%d/%d/%d, want 4/2/1/1", r.OK, r.Rejected, r.Unavail, r.Errors)
+	}
+	if r.P50 <= 0 || r.P99 < r.P50 {
+		t.Fatalf("quantiles p50=%v p99=%v", r.P50, r.P99)
+	}
+	if r.QPS <= 0 {
+		t.Fatalf("qps = %v", r.QPS)
+	}
+}
+
+func TestMultiPhaseAndConcurrency(t *testing.T) {
+	var inflight, peak atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		cur := inflight.Add(1)
+		for {
+			p := peak.Load()
+			if cur <= p || peak.CompareAndSwap(p, cur) {
+				break
+			}
+		}
+		time.Sleep(2 * time.Millisecond)
+		inflight.Add(-1)
+		w.Write([]byte("{}"))
+	}))
+	defer ts.Close()
+
+	results, err := Run(context.Background(), ts.Client(), ts.URL, []Phase{
+		{Name: "calm", Clients: 2, Requests: 10, Trials: 10, Contracts: 2},
+		{Name: "burst", Clients: 8, Requests: 40, Trials: 10, Contracts: 2},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 2 {
+		t.Fatalf("results = %d, want 2", len(results))
+	}
+	for _, r := range results {
+		if r.OK != r.Sent {
+			t.Fatalf("%s: %d OK of %d sent", r.Phase, r.OK, r.Sent)
+		}
+	}
+	if results[0].Sent != 10 || results[1].Sent != 40 {
+		t.Fatalf("sent = %d, %d", results[0].Sent, results[1].Sent)
+	}
+	if p := peak.Load(); p > 8 {
+		t.Fatalf("peak concurrency %d exceeds burst clients", p)
+	}
+}
+
+func TestPhaseValidation(t *testing.T) {
+	_, err := Run(context.Background(), nil, "http://127.0.0.1:0", []Phase{{Name: "bad"}})
+	if err == nil {
+		t.Fatal("zero-valued phase should error")
+	}
+}
+
+func TestRunStopsOnCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		t.Error("canceled run should not send requests")
+	}))
+	defer ts.Close()
+	_, err := Run(ctx, ts.Client(), ts.URL, []Phase{
+		{Name: "calm", Clients: 1, Requests: 5, Trials: 1, Contracts: 1},
+	})
+	if err == nil {
+		t.Fatal("canceled run should report ctx error")
+	}
+}

@@ -1,0 +1,173 @@
+package serve
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/risk"
+)
+
+func smallStudyConfig(seed uint64) risk.Config {
+	return risk.Config{
+		Seed:                 seed,
+		Events:               600,
+		Contracts:            3,
+		LocationsPerContract: 80,
+		Trials:               1200,
+		MeanEventsPerYear:    10,
+		Rho:                  0.2,
+		// Quotes single-threaded: the pool provides the parallelism.
+		Workers: 1,
+	}
+}
+
+// End to end over a real study: warmed server quotes must match
+// quotes from a direct, identically-configured study.
+func TestStudyServerEndToEnd(t *testing.T) {
+	study := risk.NewStudy(smallStudyConfig(31))
+	s := New(study, Config{Workers: 2, DefaultTrials: 800})
+	if err := s.Warm(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+
+	ref := risk.NewStudy(smallStudyConfig(31))
+	for c := 0; c < study.NumContracts(); c++ {
+		want, err := ref.PriceContract(context.Background(), c, 800)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, out := postQuote(t, ts, fmt.Sprintf(`{"contract": %d, "trials": 800}`, c))
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("contract %d: status %d (%v)", c, resp.StatusCode, out)
+		}
+		if got := out["aal"].(float64); got != want.AAL {
+			t.Fatalf("contract %d: served AAL %v != direct %v", c, got, want.AAL)
+		}
+		if got := out["premium"].(float64); got != want.Premium {
+			t.Fatalf("contract %d: served premium %v != direct %v", c, got, want.Premium)
+		}
+	}
+
+	// The portfolio endpoint runs the full study once; a second hit
+	// serves the cached report.
+	for i := 0; i < 2; i++ {
+		resp, err := http.Get(ts.URL + "/v1/portfolio")
+		if err != nil {
+			t.Fatal(err)
+		}
+		var port portfolioResponse
+		if err := json.NewDecoder(resp.Body).Decode(&port); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("portfolio status = %d", resp.StatusCode)
+		}
+		if port.Catastrophe.AAL <= 0 || port.Enterprise.Trials <= 0 {
+			t.Fatalf("portfolio summary = %+v", port)
+		}
+		if len(port.Stages) != 4 {
+			t.Fatalf("portfolio stages = %d, want 4 (no duplicate lines)", len(port.Stages))
+		}
+	}
+}
+
+// Hammer concurrent quotes across contracts against the shared study
+// while the portfolio report is computed mid-flight — the serving
+// tier's whole concurrency story, pinned under -race in CI.
+func TestConcurrentQuotesAcrossContracts(t *testing.T) {
+	study := risk.NewStudy(smallStudyConfig(32))
+	s := New(study, Config{Workers: 4, QueueDepth: 64, DefaultTrials: 500})
+	if err := s.Warm(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+
+	want := make([]float64, study.NumContracts())
+	for c := range want {
+		q, err := risk.NewStudy(smallStudyConfig(32)).PriceContract(context.Background(), c, 500)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[c] = q.AAL
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan error, 64)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		resp, err := http.Get(ts.URL + "/v1/portfolio")
+		if err != nil {
+			errc <- err
+			return
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			errc <- fmt.Errorf("portfolio during quote storm: %d", resp.StatusCode)
+		}
+	}()
+	for g := 0; g < 6; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				c := (g + i) % study.NumContracts()
+				body := fmt.Sprintf(`{"contract": %d, "trials": 500}`, c)
+				resp, err := http.Post(ts.URL+"/v1/quote", "application/json", bytes.NewBufferString(body))
+				if err != nil {
+					errc <- err
+					return
+				}
+				var out map[string]any
+				if err := json.NewDecoder(resp.Body).Decode(&out); err != nil {
+					resp.Body.Close()
+					errc <- err
+					return
+				}
+				resp.Body.Close()
+				switch resp.StatusCode {
+				case http.StatusOK:
+					if got := out["aal"].(float64); got != want[c] {
+						errc <- fmt.Errorf("contract %d: concurrent AAL %v != %v", c, got, want[c])
+						return
+					}
+				case http.StatusTooManyRequests:
+					// Admission control under the storm is legitimate.
+				default:
+					errc <- fmt.Errorf("contract %d: status %d (%v)", c, resp.StatusCode, out)
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for err := range errc {
+		t.Fatal(err)
+	}
+}

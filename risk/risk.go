@@ -199,8 +199,15 @@ type Report struct {
 	Enterprise  Summary
 }
 
-// Study is a configured pipeline instance. Create with NewStudy; a
-// Study is not safe for concurrent method calls.
+// Study is a configured pipeline instance. Create with NewStudy.
+//
+// Concurrency: PriceContract and WarmQuotes are safe to call
+// concurrently with each other. Once stage 1 has completed (after
+// RunModelling, WarmQuotes, or a full Run), a single Run may also
+// proceed concurrently with quote calls — quotes only read the
+// immutable stage-1 artifacts, which an idempotent Run no longer
+// regenerates. All other method combinations require external
+// serialization.
 type Study struct {
 	cfg       Config
 	p         *core.Pipeline
@@ -321,26 +328,109 @@ type Quote struct {
 	Elapsed time.Duration
 }
 
-// PriceContract runs a dedicated aggregate simulation for one contract
-// (by index) over the given trial count, generating a fresh YELT of
-// that length and simulating with secondary uncertainty. Stage 1 must
-// have run (a full Run, or RunModelling).
-func (s *Study) PriceContract(ctx context.Context, contract int, trials int) (*Quote, error) {
+// NumContracts reports how many contracts the study's book holds (the
+// configured count, or the default when unset). It is cheap, never
+// triggers stage 1, and is safe to call concurrently.
+func (s *Study) NumContracts() int {
+	if s.cfg.Contracts > 0 {
+		return s.cfg.Contracts
+	}
+	return core.DefaultConfig().NumContracts
+}
+
+// ensureModelled initializes the pipeline and lazily runs stage 1 if
+// it has not run yet, under quoteMu so concurrent quote paths
+// initialize exactly once.
+func (s *Study) ensureModelled(ctx context.Context) (*core.Pipeline, error) {
 	s.quoteMu.Lock()
+	defer s.quoteMu.Unlock()
 	p, err := s.pipeline()
 	if err != nil {
-		s.quoteMu.Unlock()
 		return nil, err
 	}
 	if p.Catalog == nil {
 		if err := p.RunStage1(ctx); err != nil {
-			s.quoteMu.Unlock()
 			return nil, err
 		}
 	}
-	s.quoteMu.Unlock()
-	if contract < 0 || contract >= len(p.ELTs) {
-		return nil, fmt.Errorf("risk: contract %d of %d", contract, len(p.ELTs))
+	return p, nil
+}
+
+// quoteLayout returns the single-contract portfolio view plus the
+// cached per-contract loss index and flat kernel layout, building and
+// caching them under quoteMu on first use.
+func (s *Study) quoteLayout(p *core.Pipeline, contract int) (*lossindex.Index, *lossindex.Flat, *layers.Portfolio, error) {
+	single := &layers.Portfolio{Contracts: []layers.Contract{{
+		ID:       p.Portfolio.Contracts[contract].ID,
+		ELTIndex: 0,
+		Layers:   p.Portfolio.Contracts[contract].Layers,
+	}}}
+	s.quoteMu.Lock()
+	defer s.quoteMu.Unlock()
+	if s.quoteIdx == nil {
+		s.quoteIdx = make(map[int]*lossindex.Index)
+		s.quoteFlat = make(map[int]*lossindex.Flat)
+	}
+	idx := s.quoteIdx[contract]
+	if idx == nil {
+		var err error
+		idx, err = lossindex.Build(p.ELTs[contract:contract+1], single)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		s.quoteIdx[contract] = idx
+	}
+	flat := s.quoteFlat[contract]
+	if flat == nil {
+		var err error
+		flat, err = lossindex.Flatten(idx, single)
+		if err != nil {
+			return nil, nil, nil, err
+		}
+		s.quoteFlat[contract] = flat
+	}
+	return idx, flat, single, nil
+}
+
+// WarmQuotes lazily runs stage 1 if needed and pre-builds every
+// contract's quote layout (single-contract loss index + flat kernel
+// layout), so the first real-time quote on any contract pays no
+// initialization cost. A serving tier calls this once at startup.
+// Safe to call concurrently with PriceContract.
+func (s *Study) WarmQuotes(ctx context.Context) error {
+	p, err := s.ensureModelled(ctx)
+	if err != nil {
+		return err
+	}
+	for c := range p.ELTs {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if _, _, _, err := s.quoteLayout(p, c); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// PriceContract runs a dedicated aggregate simulation for one contract
+// (by index) over the given trial count, generating a fresh YELT of
+// that length and simulating with secondary uncertainty. Stage 1 must
+// have run (a full Run, or RunModelling); if it has not, the first
+// quote runs it lazily. The contract index and the configured kernel
+// are validated before any lazy initialization, so an invalid request
+// fails in microseconds instead of after seconds of simulation.
+func (s *Study) PriceContract(ctx context.Context, contract int, trials int) (*Quote, error) {
+	kern, err := s.cfg.Kernel.kernel()
+	if err != nil {
+		return nil, err
+	}
+	if n := s.NumContracts(); contract < 0 || contract >= n {
+		return nil, fmt.Errorf("risk: contract %d of %d", contract, n)
+	}
+	p, err := s.ensureModelled(ctx)
+	if err != nil {
+		return nil, err
 	}
 	if trials <= 0 {
 		trials = 1_000_000
@@ -365,43 +455,14 @@ func (s *Study) PriceContract(ctx context.Context, contract int, trials int) (*Q
 		}
 		qin.YELT = y
 	}
-	single := &layers.Portfolio{Contracts: []layers.Contract{{
-		ID:       p.Portfolio.Contracts[contract].ID,
-		ELTIndex: 0,
-		Layers:   p.Portfolio.Contracts[contract].Layers,
-	}}}
-	s.quoteMu.Lock()
-	if s.quoteIdx == nil {
-		s.quoteIdx = make(map[int]*lossindex.Index)
-		s.quoteFlat = make(map[int]*lossindex.Flat)
+	idx, flat, single, err := s.quoteLayout(p, contract)
+	if err != nil {
+		return nil, err
 	}
-	idx := s.quoteIdx[contract]
-	if idx == nil {
-		idx, err = lossindex.Build(p.ELTs[contract:contract+1], single)
-		if err != nil {
-			s.quoteMu.Unlock()
-			return nil, err
-		}
-		s.quoteIdx[contract] = idx
-	}
-	flat := s.quoteFlat[contract]
-	if flat == nil {
-		flat, err = lossindex.Flatten(idx, single)
-		if err != nil {
-			s.quoteMu.Unlock()
-			return nil, err
-		}
-		s.quoteFlat[contract] = flat
-	}
-	s.quoteMu.Unlock()
 	qin.ELTs = p.ELTs[contract : contract+1]
 	qin.Portfolio = single
 	qin.Index = idx
 	qin.Flat = flat
-	kern, err := s.cfg.Kernel.kernel()
-	if err != nil {
-		return nil, err
-	}
 	res, err := (aggregate.Parallel{}).Run(ctx, qin, aggregate.Config{
 		Seed: s.cfg.Seed + 103, Sampling: true,
 		Workers: s.cfg.Workers, BatchTrials: s.cfg.BatchTrials,
@@ -435,14 +496,8 @@ func (s *Study) PriceContract(ctx context.Context, contract int, trials int) (*Q
 // RunModelling executes only stage 1 (catalogue + exposure + ELTs),
 // enough to start pricing contracts without a full portfolio study.
 func (s *Study) RunModelling(ctx context.Context) error {
-	p, err := s.pipeline()
-	if err != nil {
-		return err
-	}
-	if p.Catalog != nil {
-		return nil
-	}
-	return p.RunStage1(ctx)
+	_, err := s.ensureModelled(ctx)
+	return err
 }
 
 // IntegrateEnterprise reruns stage 3 over the study's catastrophe YLT
