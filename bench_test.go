@@ -1,5 +1,5 @@
 // Root benchmark harness: one benchmark (family) per experiment
-// E1–E15 from EXPERIMENTS.md. Absolute numbers are machine-dependent; the
+// E1–E16 from EXPERIMENTS.md. Absolute numbers are machine-dependent; the
 // *shapes* asserted in EXPERIMENTS.md (who wins, by roughly what
 // factor) are what reproduce the paper. cmd/benchtables prints the
 // richer tables; these benches give `go test -bench` one-line
@@ -683,6 +683,49 @@ func BenchmarkE11MapReduceMaterialized(b *testing.B) {
 	b.ReportMetric(float64(streamEnvelopeTrials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
 	b.ReportMetric(float64(res.PeakResidentBytes)/1e6, "peakMB")
 }
+
+// --- E16: mapper placement over spilled shards ---
+
+// benchPlacement spills once (outside the timer), then times MapReduce
+// passes under the given mapper placement, reporting how many shard
+// bytes each pass scanned node-locally vs pulled from a remote node.
+// Results are bit-identical across placements; locality is the metric.
+func benchPlacement(b *testing.B, place aggregate.Placement) {
+	s, _ := scenarios(b)
+	g, err := yelt.NewGenerator(s.Catalog, yelt.Config{NumTrials: streamEnvelopeTrials}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts := aggregate.DefaultSpillParts(streamEnvelopeTrials)
+	if parts < 32 {
+		parts = 32
+	}
+	ds, err := yelt.SpillToDir(context.Background(), g, b.TempDir(), 0, parts, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := aggregate.Config{Seed: 2, Sampling: true, Workers: 8, BatchTrials: 4096}
+	eng := aggregate.MapReduce{Placement: place}
+	b.ResetTimer()
+	var res *aggregate.Result
+	for i := 0; i < b.N; i++ {
+		in := &aggregate.Input{Source: ds, ELTs: s.ELTs, Portfolio: s.Portfolio}
+		res, err = eng.Run(context.Background(), in, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(streamEnvelopeTrials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+	b.ReportMetric(float64(res.LocalBytes)/1e6, "localMB")
+	b.ReportMetric(float64(res.RemoteBytes)/1e6, "remoteMB")
+	if total := res.LocalBytes + res.RemoteBytes; total > 0 {
+		b.ReportMetric(100*float64(res.LocalBytes)/float64(total), "local%")
+	}
+}
+
+func BenchmarkE16AffinePlacement(b *testing.B) { benchPlacement(b, aggregate.PlaceAffine) }
+
+func BenchmarkE16BlindPlacement(b *testing.B) { benchPlacement(b, aggregate.PlaceBlind) }
 
 // --- E7: provisioning policies over the bursty demand profile ---
 

@@ -1,11 +1,13 @@
 // Command benchtables regenerates the tables for every experiment
-// E1–E15 in EXPERIMENTS.md — the quantitative claims of Varghese &
+// E1–E16 in EXPERIMENTS.md — the quantitative claims of Varghese &
 // Rau-Chaplin (SC 2012) reproduced on this machine, plus the
 // streaming-stage-2 memory envelope (E10), the partitioned
 // (spill + MapReduce) stage 2 (E11), the flat SoA trial kernel (E12),
 // the flat SoA year-state kernel for reinstatements (E13), the
-// blocked trial kernel with the two-lifetime device arena (E14), and
-// the real-time quote serving tier under calm/active/burst load (E15).
+// blocked trial kernel with the two-lifetime device arena (E14), the
+// real-time quote serving tier under calm/active/burst load (E15),
+// and the locality-aware distributed stage 2 — shard-affine mapper
+// placement × process topology plus elastic provisioning (E16).
 //
 // Usage:
 //
@@ -13,7 +15,7 @@
 //
 // -json additionally writes the run's measurements as a
 // machine-readable document (ns/op, bytes, speedups per experiment
-// row) — the format CI tracks as the BENCH_E10.json … BENCH_E15.json
+// row) — the format CI tracks as the BENCH_E10.json … BENCH_E16.json
 // artifacts.
 package main
 
@@ -33,6 +35,7 @@ import (
 
 	"repro/internal/aggregate"
 	"repro/internal/cluster"
+	"repro/internal/core"
 	"repro/internal/dfa"
 	"repro/internal/diskstore"
 	"repro/internal/gpusim"
@@ -113,13 +116,13 @@ func main() {
 
 	want := map[int]bool{}
 	if *flagExperiments == "all" {
-		for i := 1; i <= 15; i++ {
+		for i := 1; i <= 16; i++ {
 			want[i] = true
 		}
 	} else {
 		for _, tok := range strings.Split(*flagExperiments, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(tok))
-			if err != nil || n < 1 || n > 15 {
+			if err != nil || n < 1 || n > 16 {
 				fmt.Fprintf(os.Stderr, "benchtables: bad experiment %q\n", tok)
 				os.Exit(2)
 			}
@@ -140,6 +143,7 @@ func main() {
 		13: e13ReinstatementsKernel,
 		14: e14BlockedKernel,
 		15: e15QuoteService,
+		16: e16LocalityPlacement,
 	}
 	keys := make([]int, 0, len(want))
 	for k := range want {
@@ -1349,5 +1353,208 @@ func e15QuoteService(ctx context.Context) error {
 	drainDur := time.Since(t0)
 	fmt.Printf("%-10s %12v\n", "drain", drainDur.Round(time.Millisecond))
 	record("E15", "drain", drainDur, 0, 0)
+	return nil
+}
+
+// e16LocalityPlacement measures the locality-aware distributed stage 2.
+// One spill commits the trial shards across a multi-node diskstore;
+// then the MapReduce engine sweeps mapper placement (location-blind vs
+// shard-affine) against process topology (fused — the spilling
+// process's own source handle — vs two-process — a fresh
+// diskstore.Open + manifest re-attach, exactly what `riskpipeline
+// -mode aggregate` sees). Every cell must be bit-identical to the
+// sequential engine over the materialized table; the columns that may
+// differ are time and where the bytes came from: shard-affine
+// placement schedules each mapper on the storage node holding its
+// split, so the scan is node-local, while blind placement pulls
+// ~1/nodes of the bytes locally by accident. A second table runs the
+// real pipeline under parsed provisioning policies and reports each
+// stage's allocated-vs-busy processor time — the §II elasticity story
+// measured, not simulated.
+func e16LocalityPlacement(ctx context.Context) error {
+	trials := 1_000_000
+	if *flagQuick {
+		trials = 100_000
+	}
+	nodes := yelt.DefaultSpillNodes
+	parts := aggregate.DefaultSpillParts(trials)
+	if parts < 8*nodes {
+		// Keep every node's lane deep enough that placement, not shard
+		// scarcity, decides locality.
+		parts = 8 * nodes
+	}
+	// A locality measurement needs mappers homed on every storage node:
+	// a fleet smaller than the node count leaves unmanned lanes whose
+	// every byte is a steal, measuring host size rather than placement.
+	// Workers are goroutines, so oversubscribing small hosts is fine.
+	workers := *flagWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 2*nodes {
+		workers = 2 * nodes
+	}
+	fmt.Printf("## E16 — locality-aware stage 2: placement × topology (%d trials, %d shards on %d storage nodes, %d mappers)\n",
+		trials, parts, nodes, workers)
+	s, err := scenario(ctx, 1000, false)
+	if err != nil {
+		return err
+	}
+	idx, err := lossindex.Build(s.ELTs, s.Portfolio)
+	if err != nil {
+		return err
+	}
+	acfg := aggregate.Config{Seed: *flagSeed + 13, Sampling: true, Workers: workers}
+	ycfg := yelt.Config{NumTrials: trials, Workers: *flagWorkers}
+
+	// Spill once; every cell scans the same committed shards.
+	dir, err := os.MkdirTemp("", "e16-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	gen, err := yelt.NewGenerator(s.Catalog, ycfg, *flagSeed+7)
+	if err != nil {
+		return err
+	}
+	t0 := time.Now()
+	fused, err := yelt.SpillToDir(ctx, gen, dir, nodes, parts, *flagWorkers)
+	if err != nil {
+		return err
+	}
+	spillDur := time.Since(t0)
+	spillBytes, err := fused.SizeBytes()
+	if err != nil {
+		return err
+	}
+	fmt.Printf("spill: %d shards on %d nodes, %s written in %v\n",
+		fused.Shards(), fused.Nodes(), yelt.HumanBytes(float64(spillBytes)), spillDur.Round(time.Millisecond))
+
+	// Reference for per-cell bit-equivalence: the sequential engine
+	// over the materialized table.
+	y, err := yelt.Generate(ctx, s.Catalog, ycfg, *flagSeed+7)
+	if err != nil {
+		return err
+	}
+	want, err := aggregate.Sequential{}.Run(ctx,
+		&aggregate.Input{YELT: y, ELTs: s.ELTs, Portfolio: s.Portfolio, Index: idx}, acfg)
+	if err != nil {
+		return err
+	}
+
+	// The two-process handoff: a fresh store handle re-attached through
+	// the spill manifest, as a separate aggregate process would open it.
+	store, err := diskstore.Open(dir)
+	if err != nil {
+		return err
+	}
+	attached, err := yelt.OpenDiskSource(store, "yelt")
+	if err != nil {
+		return err
+	}
+
+	cells := []struct {
+		topo  string
+		src   *yelt.DiskSource
+		place aggregate.Placement
+	}{
+		{"fused", fused, aggregate.PlaceBlind},
+		{"fused", fused, aggregate.PlaceAffine},
+		{"two-process", attached, aggregate.PlaceBlind},
+		{"two-process", attached, aggregate.PlaceAffine},
+	}
+	fmt.Printf("%-12s %-10s %10s %12s %12s %12s %8s\n",
+		"topology", "placement", "time", "trials/s", "local", "remote", "local%")
+	affineWorst := 1.0
+	for _, c := range cells {
+		eng := aggregate.MapReduce{Placement: c.place}
+		t0 = time.Now()
+		res, err := eng.Run(ctx,
+			&aggregate.Input{Source: c.src, ELTs: s.ELTs, Portfolio: s.Portfolio, Index: idx}, acfg)
+		if err != nil {
+			return fmt.Errorf("%s/%s: %w", c.topo, c.place, err)
+		}
+		dur := time.Since(t0)
+		for t := 0; t < trials; t++ {
+			if res.Portfolio.Agg[t] != want.Portfolio.Agg[t] || res.Portfolio.OccMax[t] != want.Portfolio.OccMax[t] {
+				return fmt.Errorf("E16: %s/%s diverged from sequential at trial %d", c.topo, c.place, t)
+			}
+		}
+		total := res.LocalBytes + res.RemoteBytes
+		frac := 0.0
+		if total > 0 {
+			frac = float64(res.LocalBytes) / float64(total)
+		}
+		if c.place == aggregate.PlaceAffine && frac < affineWorst {
+			affineWorst = frac
+		}
+		name := fmt.Sprintf("%s/%s", c.topo, c.place)
+		fmt.Printf("%-12s %-10s %10v %12.0f %12s %12s %7.1f%%\n",
+			c.topo, c.place, dur.Round(time.Millisecond), float64(trials)/dur.Seconds(),
+			yelt.HumanBytes(float64(res.LocalBytes)), yelt.HumanBytes(float64(res.RemoteBytes)), 100*frac)
+		record("E16", name, dur, total, frac)
+		record("E16", name+"/local-bytes", dur, res.LocalBytes, 0)
+		record("E16", name+"/remote-bytes", dur, res.RemoteBytes, 0)
+	}
+	fmt.Printf("equivalence: all 4 cells bit-identical to the sequential engine (%d trials)\n", trials)
+	if affineWorst < 0.9 {
+		return fmt.Errorf("E16: shard-affine placement scanned only %.1f%% node-local, want >= 90%%", 100*affineWorst)
+	}
+	fmt.Printf("locality: shard-affine placement >= %.1f%% node-local in every topology\n", 100*affineWorst)
+
+	// Elastic provisioning in the real pipeline: each stage asks for
+	// its exploitable parallelism, the policy decides the allocation,
+	// and the stage report carries the resulting bill.
+	pipeTrials := 100_000
+	if *flagQuick {
+		pipeTrials = 20_000
+	}
+	fmt.Printf("\nprovisioned pipeline (%d trials, spilled stage 2, shard-affine mapreduce):\n", pipeTrials)
+	for _, ps := range []string{"static:8", "elastic:8"} {
+		policy, err := cluster.ParsePolicy(ps)
+		if err != nil {
+			return err
+		}
+		cfg := core.Config{
+			Seed:                 *flagSeed,
+			NumEvents:            2_000,
+			NumContracts:         8,
+			LocationsPerContract: 100,
+			MeanEventsPerYear:    10,
+			NumTrials:            pipeTrials,
+			Engine:               aggregate.MapReduce{Placement: aggregate.PlaceAffine},
+			Sampling:             true,
+			Spill:                true,
+			SpillNodes:           nodes,
+			Rho:                  0.25,
+			Workers:              *flagWorkers,
+			TwoLayers:            true,
+			Provision:            policy,
+		}
+		rep, err := core.New(cfg).Run(ctx)
+		if err != nil {
+			return fmt.Errorf("provision %s: %w", ps, err)
+		}
+		var alloc, busy float64
+		fmt.Printf("%-11s %-16s %10s %8s %12s %12s %6s\n",
+			"policy", "stage", "time", "workers", "alloc-psec", "busy-psec", "util")
+		for _, st := range rep.Stages {
+			if st.Workers == 0 {
+				continue // sub-stage lines carry no worker accounting
+			}
+			util := 0.0
+			if st.AllocatedProcSecs > 0 {
+				util = st.BusyProcSecs / st.AllocatedProcSecs
+			}
+			alloc += st.AllocatedProcSecs
+			busy += st.BusyProcSecs
+			fmt.Printf("%-11s %-16s %10v %8d %12.3f %12.3f %6.2f\n",
+				ps, st.Name, st.Duration.Round(time.Millisecond), st.Workers,
+				st.AllocatedProcSecs, st.BusyProcSecs, util)
+			record("E16", fmt.Sprintf("provision/%s/%s", ps, st.Name), st.Duration, 0, util)
+		}
+		fmt.Printf("%-11s %-16s %10s %8s %12.3f %12.3f %6.2f\n",
+			ps, "total", "", "", alloc, busy, busy/alloc)
+	}
 	return nil
 }

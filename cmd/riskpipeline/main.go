@@ -2,6 +2,14 @@
 // pipeline — catastrophe modelling, portfolio aggregate analysis, and
 // dynamic financial analysis — and prints per-stage cost, the data
 // burst between stages, and the final risk reports.
+//
+// Besides the default fused run, -mode splits the pipeline across OS
+// processes at the spilled-YELT boundary: "-mode spill -dir D" runs
+// stage 1 and writes the trial shards + manifest under D, then a
+// separate "-mode aggregate -dir D" invocation re-attaches to the
+// shards and runs stages 2–3 over them — the paper's write-once/
+// scan-many file lifecycle across real process boundaries, with
+// bit-identical results to the fused run.
 package main
 
 import (
@@ -11,6 +19,7 @@ import (
 	"os"
 
 	"repro/internal/aggregate"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/metrics"
 	"repro/internal/yelt"
@@ -18,10 +27,12 @@ import (
 
 func main() {
 	var (
+		mode      = flag.String("mode", "run", "run = fused pipeline; spill = stage 1 + shard write into -dir, no aggregation; aggregate = re-attach to -dir shards and run stages 2-3")
+		dir       = flag.String("dir", "", "spill store directory (required for -mode spill/aggregate; optional shard-keeping dir for -spill)")
 		events    = flag.Int("events", 10_000, "stochastic catalogue size")
 		contracts = flag.Int("contracts", 16, "number of reinsurance contracts")
 		locations = flag.Int("locations", 300, "locations per contract")
-		trials    = flag.Int("trials", 100_000, "pre-simulated trial years")
+		trials    = flag.Int("trials", 100_000, "pre-simulated trial years (ignored by -mode aggregate: the shards decide)")
 		sampling  = flag.Bool("sampling", true, "secondary-uncertainty sampling in stage 2")
 		seed      = flag.Uint64("seed", 1, "master seed")
 		rho       = flag.Float64("rho", 0.25, "DFA copula equicorrelation")
@@ -33,9 +44,24 @@ func main() {
 		batch     = flag.Int("batch", 0, "streaming trial-batch size per worker (0 = engine default)")
 		spill     = flag.Bool("spill", false, "spill the generated trial stream into diskstore shards and run stage 2 over the shards (implies -stream)")
 		parts     = flag.Int("parts", 0, "spill shard count (0 = derived from the trial count)")
+		nodes     = flag.Int("nodes", 0, "spill store storage-node count (0 = default)")
+		placement = flag.String("placement", "affine", "mapreduce mapper placement over spilled shards: affine|blind|uniform (bit-identical results)")
+		provision = flag.String("provision", "", "per-stage worker provisioning policy: static:N or elastic:N (empty = static -workers bound)")
 	)
 	flag.Parse()
 
+	var place aggregate.Placement
+	switch *placement {
+	case "affine":
+		place = aggregate.PlaceAffine
+	case "blind":
+		place = aggregate.PlaceBlind
+	case "uniform":
+		place = aggregate.PlaceUniform
+	default:
+		fmt.Fprintf(os.Stderr, "riskpipeline: unknown placement %q\n", *placement)
+		os.Exit(2)
+	}
 	var eng aggregate.Engine
 	var reinst *aggregate.Reinstatements
 	switch *engine {
@@ -44,7 +70,7 @@ func main() {
 	case "parallel":
 		eng = aggregate.Parallel{}
 	case "mapreduce":
-		eng = aggregate.MapReduce{}
+		eng = aggregate.MapReduce{Placement: place}
 	case "reinstatements":
 		reinst = &aggregate.Reinstatements{}
 		eng = reinst
@@ -64,8 +90,13 @@ func main() {
 		fmt.Fprintf(os.Stderr, "riskpipeline: unknown kernel %q\n", *kernel)
 		os.Exit(2)
 	}
+	policy, err := cluster.ParsePolicy(*provision)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "riskpipeline: %v\n", err)
+		os.Exit(2)
+	}
 
-	p := core.New(core.Config{
+	cfg := core.Config{
 		Seed:                 *seed,
 		NumEvents:            *events,
 		NumContracts:         *contracts,
@@ -78,23 +109,53 @@ func main() {
 		Streaming:            *streaming,
 		BatchTrials:          *batch,
 		Spill:                *spill,
+		SpillDir:             *dir,
 		SpillParts:           *parts,
+		SpillNodes:           *nodes,
+		Provision:            policy,
 		Rho:                  *rho,
 		Workers:              *workers,
 		TwoLayers:            true,
-	})
-	rep, err := p.Run(context.Background())
+	}
+
+	ctx := context.Background()
+	switch *mode {
+	case "run":
+	case "spill":
+		if *dir == "" {
+			fmt.Fprintln(os.Stderr, "riskpipeline: -mode spill requires -dir")
+			os.Exit(2)
+		}
+		p := core.New(cfg)
+		if err := p.SpillStage2(ctx); err != nil {
+			fmt.Fprintf(os.Stderr, "riskpipeline: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Println("=== spill stages ===")
+		printStages(p.Stages, policy != nil)
+		fmt.Printf("shards + manifest committed under %s; aggregate with: riskpipeline -mode aggregate -dir %s\n", *dir, *dir)
+		return
+	case "aggregate":
+		if *dir == "" {
+			fmt.Fprintln(os.Stderr, "riskpipeline: -mode aggregate requires -dir")
+			os.Exit(2)
+		}
+		cfg.SpillAttach = true
+		cfg.Spill = false
+	default:
+		fmt.Fprintf(os.Stderr, "riskpipeline: unknown mode %q\n", *mode)
+		os.Exit(2)
+	}
+
+	p := core.New(cfg)
+	rep, err := p.Run(ctx)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "riskpipeline: %v\n", err)
 		os.Exit(1)
 	}
 
 	fmt.Println("=== pipeline stages ===")
-	fmt.Printf("%-18s %14s %16s %14s\n", "stage", "duration", "output data", "items")
-	for _, s := range rep.Stages {
-		fmt.Printf("%-18s %14v %16s %14d\n", s.Name, s.Duration.Round(1e6),
-			yelt.HumanBytes(float64(s.OutputBytes)), s.Items)
-	}
+	printStages(rep.Stages, policy != nil)
 	var stage1, stage2 float64
 	for _, s := range rep.Stages {
 		switch s.Name {
@@ -105,11 +166,19 @@ func main() {
 		}
 	}
 	fmt.Printf("stage-1 → stage-2 data burst: %.1fx\n", stage2/stage1)
-	if *streaming || *spill {
+	if *streaming || *spill || *mode == "aggregate" {
 		fmt.Printf("(streaming stage 2: the portfolio-risk line accounts peak-resident trial bytes, not a materialized YELT)\n")
 	}
 	if *spill {
 		fmt.Printf("(spilled stage 2: the yelt-spill line is the shard write; the engine re-scanned those shards from disk)\n")
+	}
+	if *mode == "aggregate" {
+		fmt.Printf("(two-process stage 2: shards spilled by an earlier process, re-attached via the manifest)\n")
+	}
+	if res := p.AggResult; res != nil && res.LocalBytes+res.RemoteBytes > 0 {
+		total := res.LocalBytes + res.RemoteBytes
+		fmt.Printf("shard data motion (%s placement): %.1f%% of %s scanned node-local\n",
+			*placement, 100*float64(res.LocalBytes)/float64(total), yelt.HumanBytes(float64(total)))
 	}
 	if reinst != nil {
 		var total float64
@@ -125,6 +194,32 @@ func main() {
 	printSummary(rep.Catastrophe)
 	fmt.Println("=== enterprise (after DFA) ===")
 	printSummary(rep.Enterprise)
+}
+
+// printStages prints the stage table; under a provisioning policy it
+// adds the allocated-vs-busy processor-time columns the elasticity
+// story is about.
+func printStages(stages []core.StageReport, elastic bool) {
+	if elastic {
+		fmt.Printf("%-18s %14s %16s %14s %8s %12s %12s %6s\n",
+			"stage", "duration", "output data", "items", "workers", "alloc-psec", "busy-psec", "util")
+	} else {
+		fmt.Printf("%-18s %14s %16s %14s\n", "stage", "duration", "output data", "items")
+	}
+	for _, s := range stages {
+		if elastic {
+			util := 0.0
+			if s.AllocatedProcSecs > 0 {
+				util = s.BusyProcSecs / s.AllocatedProcSecs
+			}
+			fmt.Printf("%-18s %14v %16s %14d %8d %12.3f %12.3f %6.2f\n", s.Name, s.Duration.Round(1e6),
+				yelt.HumanBytes(float64(s.OutputBytes)), s.Items, s.Workers,
+				s.AllocatedProcSecs, s.BusyProcSecs, util)
+		} else {
+			fmt.Printf("%-18s %14v %16s %14d\n", s.Name, s.Duration.Round(1e6),
+				yelt.HumanBytes(float64(s.OutputBytes)), s.Items)
+		}
+	}
 }
 
 func printSummary(s *metrics.Summary) {

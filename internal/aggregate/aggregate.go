@@ -269,6 +269,18 @@ type Result struct {
 	// for materialized inputs, the concurrent-batch high-water mark for
 	// streaming sources. It is the stage-2 memory-envelope measurement.
 	PeakResidentBytes int64
+	// LocalBytes/RemoteBytes split the spilled-shard bytes scanned by a
+	// MapReduce run by placement: a split scanned by a mapper homed on
+	// the shard's owning node counts local, anything else — a steal for
+	// load balance, or blind placement — counts remote. Zero for
+	// engines and sources without shard placement. This is the
+	// data-motion measurement E16 reports.
+	LocalBytes  int64
+	RemoteBytes int64
+	// BusySeconds is the summed wall-clock time of the run's map tasks
+	// (MapReduce only) — the "busy" side of the allocated-vs-busy
+	// processor-time elasticity report.
+	BusySeconds float64
 }
 
 // Engine runs aggregate analysis over an input.

@@ -1,0 +1,122 @@
+package aggregate
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/lossindex"
+	"repro/internal/stream"
+	"repro/internal/synth"
+)
+
+// Placement is a scheduling and accounting lever only: every policy
+// must produce results bit-identical to Sequential, and over a spilled
+// source the local/remote byte split must account for exactly the
+// spilled dataset (each shard's bytes attributed once, to one side).
+func TestPlacementEquivalenceAndByteAccounting(t *testing.T) {
+	s := buildScenario(t, synth.Small(67))
+	ix, err := lossindex.Build(s.ELTs, s.Portfolio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := spilledSource(t, s)
+	spilled, err := disk.SizeBytes()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := Config{Seed: 41, Sampling: true, PerContract: true, Workers: 3, BatchTrials: 311}
+	want, err := Sequential{}.Run(context.Background(),
+		&Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio, Index: ix}, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []Placement{PlaceAffine, PlaceBlind, PlaceUniform} {
+		in := &Input{Source: disk, ELTs: s.ELTs, Portfolio: s.Portfolio, Index: ix}
+		// SplitTrials larger than any shard: one split per shard, so the
+		// pro-rata byte attribution is exact.
+		got, err := MapReduce{SplitTrials: 4096, Placement: p}.Run(context.Background(), in, cfg)
+		if err != nil {
+			t.Fatalf("placement %v: %v", p, err)
+		}
+		resultsBitIdentical(t, "placement/"+p.String(), want, got)
+		if got.BusySeconds <= 0 {
+			t.Fatalf("placement %v: no busy time measured", p)
+		}
+		switch p {
+		case PlaceUniform:
+			if got.LocalBytes != 0 || got.RemoteBytes != 0 {
+				t.Fatalf("uniform placement accounted bytes: local=%d remote=%d", got.LocalBytes, got.RemoteBytes)
+			}
+		default:
+			if got.LocalBytes+got.RemoteBytes != spilled {
+				t.Fatalf("placement %v: local=%d + remote=%d != spilled %d",
+					p, got.LocalBytes, got.RemoteBytes, spilled)
+			}
+		}
+	}
+}
+
+// With a single mapper lane per node and one worker, every home-lane
+// shard scans local — only the end-of-run steals of other nodes'
+// shards pay remote. The deterministic single-worker schedule makes
+// the exact split checkable: worker 0 is homed on node 0, so shards
+// 0 and 3 (of 5 shards on 3 nodes) are local.
+func TestAffineSingleWorkerAccountsStealsRemote(t *testing.T) {
+	s := buildScenario(t, synth.Small(69))
+	ix, err := lossindex.Build(s.ELTs, s.Portfolio)
+	if err != nil {
+		t.Fatal(err)
+	}
+	disk := spilledSource(t, s)
+	in := &Input{Source: disk, ELTs: s.ELTs, Portfolio: s.Portfolio, Index: ix}
+	res, err := MapReduce{SplitTrials: 4096, Placement: PlaceAffine}.Run(context.Background(), in,
+		Config{Workers: 1, BatchTrials: 311})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wantLocal, wantRemote int64
+	for sh := 0; sh < disk.Shards(); sh++ {
+		b, err := disk.ShardSizeBytes(sh)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if disk.ShardNode(sh) == 0 {
+			wantLocal += b
+		} else {
+			wantRemote += b
+		}
+	}
+	if res.LocalBytes != wantLocal || res.RemoteBytes != wantRemote {
+		t.Fatalf("local=%d remote=%d, want local=%d remote=%d",
+			res.LocalBytes, res.RemoteBytes, wantLocal, wantRemote)
+	}
+}
+
+// Satellite regression: under default sizing, mapper splits must align
+// with DefaultSpillParts shard boundaries — no split straddles two
+// shards, and the splits exactly tile the trial range — even when the
+// trial count divides into neither shards nor splits evenly.
+func TestDefaultSpillShardsAlignWithMapperSplits(t *testing.T) {
+	for _, n := range []int{1_000_000 + 1, 1_000_000, 32768, 32769, 99991, 12345677} {
+		shards := stream.Partition(n, DefaultSpillParts(n))
+		ranges, shardOf := shardSplits(shards, DefaultSplitTrials)
+		next := 0
+		for i, r := range ranges {
+			if r.Lo != next {
+				t.Fatalf("n=%d: split %d starts at %d, want %d (gap or overlap)", n, i, r.Lo, next)
+			}
+			if r.Len() <= 0 || r.Len() > DefaultSplitTrials {
+				t.Fatalf("n=%d: split %d has %d trials", n, i, r.Len())
+			}
+			sh := shards[shardOf[i]]
+			if r.Lo < sh.Lo || r.Hi > sh.Hi {
+				t.Fatalf("n=%d: split %d [%d,%d) straddles shard %d [%d,%d)",
+					n, i, r.Lo, r.Hi, shardOf[i], sh.Lo, sh.Hi)
+			}
+			next = r.Hi
+		}
+		if next != n {
+			t.Fatalf("n=%d: splits cover [0,%d), want [0,%d)", n, next, n)
+		}
+	}
+}

@@ -11,6 +11,8 @@ package cluster
 import (
 	"errors"
 	"fmt"
+	"strconv"
+	"strings"
 )
 
 // Phase is one pipeline stage's resource demand: an amount of work and
@@ -67,6 +69,33 @@ func (e Elastic) Provision(demand int) int {
 		return e.Max
 	}
 	return demand
+}
+
+// ParsePolicy parses the CLI form of a provisioning policy:
+// "static:N" (fixed fleet of N) or "elastic:N" (scale to demand,
+// capped at N). "" returns (nil, nil) — no policy, static Workers
+// bound. This is how the pipeline CLIs select the elasticity model
+// the engines run under.
+func ParsePolicy(s string) (Policy, error) {
+	if s == "" {
+		return nil, nil
+	}
+	kind, arg, ok := strings.Cut(s, ":")
+	if !ok {
+		return nil, fmt.Errorf("cluster: policy %q: want kind:N (static:8, elastic:64)", s)
+	}
+	n, err := strconv.Atoi(arg)
+	if err != nil || n <= 0 {
+		return nil, fmt.Errorf("cluster: policy %q: processor count %q must be a positive integer", s, arg)
+	}
+	switch kind {
+	case "static":
+		return Static{N: n}, nil
+	case "elastic":
+		return Elastic{Max: n}, nil
+	default:
+		return nil, fmt.Errorf("cluster: unknown policy kind %q (want static or elastic)", kind)
+	}
 }
 
 // Sample is one timeline point of the simulation.

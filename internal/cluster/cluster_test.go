@@ -139,3 +139,28 @@ func TestPipelinePhasesShape(t *testing.T) {
 		t.Fatal("stage 2 dominates work")
 	}
 }
+
+func TestParsePolicy(t *testing.T) {
+	cases := []struct {
+		in   string
+		want Policy
+	}{
+		{"", nil},
+		{"static:8", Static{N: 8}},
+		{"elastic:64", Elastic{Max: 64}},
+	}
+	for _, c := range cases {
+		got, err := ParsePolicy(c.in)
+		if err != nil {
+			t.Fatalf("ParsePolicy(%q): %v", c.in, err)
+		}
+		if got != c.want {
+			t.Fatalf("ParsePolicy(%q) = %#v, want %#v", c.in, got, c.want)
+		}
+	}
+	for _, bad := range []string{"static", "static:", "static:0", "static:-3", "elastic:x", "spot:4", "8"} {
+		if _, err := ParsePolicy(bad); err == nil {
+			t.Fatalf("ParsePolicy(%q) should error", bad)
+		}
+	}
+}

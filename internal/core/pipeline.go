@@ -13,12 +13,15 @@ import (
 	"errors"
 	"fmt"
 	"os"
+	"runtime"
 	"time"
 
 	"repro/internal/aggregate"
 	"repro/internal/catalog"
 	"repro/internal/catmodel"
+	"repro/internal/cluster"
 	"repro/internal/dfa"
+	"repro/internal/diskstore"
 	"repro/internal/elt"
 	"repro/internal/exposure"
 	"repro/internal/layers"
@@ -72,6 +75,24 @@ type Config struct {
 	// SpillParts is the shard count; <= 0 derives one shard per
 	// 4*aggregate.DefaultBatchTrials trials (at least one).
 	SpillParts int
+	// SpillNodes is the spill store's simulated storage-node count;
+	// <= 0 means yelt.DefaultSpillNodes. Shard-affine engines place
+	// mappers against these nodes.
+	SpillNodes int
+	// SpillAttach runs stage 2 over shards an *earlier process* spilled
+	// into SpillDir (required non-empty), re-attached through the spill
+	// manifest instead of generated — the aggregate half of the
+	// two-process handoff. The trial count comes from the shards; the
+	// book is re-derived from Seed, so results are bit-identical to a
+	// fused run with the same configuration.
+	SpillAttach bool
+	// Provision, when non-nil, drives each stage's worker bound from an
+	// elasticity policy (internal/cluster) instead of the static
+	// Workers value: each stage asks for its exploitable parallelism
+	// and runs on what the policy allocates. Stage reports then carry
+	// allocated-vs-busy processor-time — the paper's §II elasticity
+	// story measured in the real pipeline, not just the E7 simulation.
+	Provision cluster.Policy
 	// Stage 3.
 	Sources []dfa.Source // nil = StandardSources scaled to the cat AAL
 	Rho     float64      // copula equicorrelation
@@ -105,6 +126,16 @@ type StageReport struct {
 	// Items counts the stage's principal outputs (ELT records, YLT
 	// trials, ...).
 	Items int64
+	// Workers is the processor count the stage ran under — provisioned
+	// by Config.Provision when set, the static Workers bound otherwise.
+	Workers int
+	// AllocatedProcSecs is workers × duration: the processor-time
+	// billed for the stage. BusyProcSecs is the processor-time actually
+	// spent working — measured task time where the engine reports it
+	// (MapReduce map tasks), min(demand, workers) × duration otherwise.
+	// The gap between the two is what elastic provisioning reclaims.
+	AllocatedProcSecs float64
+	BusyProcSecs      float64
 }
 
 // Report is the output of a full pipeline run.
@@ -189,6 +220,44 @@ func (p *Pipeline) dropStage(name string) {
 	}
 }
 
+// provisioned resolves a stage's worker bound: the elasticity policy
+// when set (asked with the stage's exploitable parallelism), else the
+// static Workers bound, else GOMAXPROCS. Always >= 1.
+func (p *Pipeline) provisioned(demand int) int {
+	if p.Cfg.Provision != nil {
+		if w := p.Cfg.Provision.Provision(demand); w >= 1 {
+			return w
+		}
+		return 1
+	}
+	if p.Cfg.Workers > 0 {
+		return p.Cfg.Workers
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// account fills a stage report's processor-time columns. busySecs <= 0
+// falls back to min(workers, demand) × duration — a stage that doesn't
+// measure per-task time is assumed busy up to its demand ceiling.
+func account(rep *StageReport, workers, demand int, busySecs float64) {
+	rep.Workers = workers
+	rep.AllocatedProcSecs = float64(workers) * rep.Duration.Seconds()
+	if busySecs <= 0 {
+		busySecs = float64(min(workers, demand)) * rep.Duration.Seconds()
+	}
+	rep.BusyProcSecs = busySecs
+}
+
+// stage2Demand is stage 2's exploitable parallelism: one task per
+// mapper split under default sizing (at least one).
+func stage2Demand(numTrials int) int {
+	d := (numTrials + aggregate.DefaultSplitTrials - 1) / aggregate.DefaultSplitTrials
+	if d < 1 {
+		d = 1
+	}
+	return d
+}
+
 // RunStage1 executes risk modelling: catalogue generation, synthetic
 // exposure, and the catastrophe-model engine producing one ELT per
 // contract. It is idempotent: the artifacts are pure functions of Cfg,
@@ -210,7 +279,8 @@ func (p *Pipeline) RunStage1(ctx context.Context) error {
 	p.Catalog = cat
 
 	eng := catmodel.New()
-	eng.Workers = p.Cfg.Workers
+	workers := p.provisioned(p.Cfg.NumContracts)
+	eng.Workers = workers
 	p.Exposures = p.Exposures[:0]
 	p.ELTs = p.ELTs[:0]
 	var bytes, items int64
@@ -231,10 +301,12 @@ func (p *Pipeline) RunStage1(ctx context.Context) error {
 		items += int64(tbl.Len())
 	}
 	p.Portfolio = synth.BuildPortfolio(p.ELTs, false, p.Cfg.TwoLayers)
-	p.setStage(StageReport{
+	rep := StageReport{
 		Name: "risk-modelling", Duration: time.Since(start),
 		OutputBytes: bytes, Items: items,
-	})
+	}
+	account(&rep, workers, p.Cfg.NumContracts, 0)
+	p.setStage(rep)
 
 	// Pre-join the book's ELTs into the event-major loss index here, at
 	// the stage boundary: the index is stage-1 output (a function of the
@@ -280,11 +352,31 @@ func (p *Pipeline) RunStage2(ctx context.Context) error {
 		p.dropStage("yelt-spill")
 	}
 	start := time.Now()
-	ycfg := yelt.Config{NumTrials: p.Cfg.NumTrials, Workers: p.Cfg.Workers}
 	in := &aggregate.Input{ELTs: p.ELTs, Portfolio: p.Portfolio, Index: p.Index, Flat: p.Flat}
 	var gen *yelt.Generator
 	var ds *yelt.DiskSource
-	if p.Cfg.Streaming || p.Cfg.Spill {
+	switch {
+	case p.Cfg.SpillAttach:
+		d, err := p.AttachSpill()
+		if err != nil {
+			return err
+		}
+		// The shards fix the trial count: the spilling process decided
+		// it, this process just scans.
+		p.Cfg.NumTrials = d.TrialCount()
+		ds = d
+		in.Source = ds
+		attachBytes, err := ds.SizeBytes()
+		if err != nil {
+			return fmt.Errorf("core: stage 2 attach size: %w", err)
+		}
+		p.setStage(StageReport{
+			Name: "yelt-attach", Duration: time.Since(start),
+			OutputBytes: attachBytes, Items: int64(ds.Shards()),
+		})
+		start = time.Now()
+	case p.Cfg.Streaming || p.Cfg.Spill:
+		ycfg := yelt.Config{NumTrials: p.Cfg.NumTrials, Workers: p.Cfg.Workers}
 		g, err := yelt.NewGenerator(p.Catalog, ycfg, p.Cfg.Seed+7)
 		if err != nil {
 			return fmt.Errorf("core: stage 2 yelt: %w", err)
@@ -292,40 +384,20 @@ func (p *Pipeline) RunStage2(ctx context.Context) error {
 		gen = g
 		in.Source = gen
 		if p.Cfg.Spill {
-			spillStart := time.Now()
-			dir := p.Cfg.SpillDir
-			if dir == "" {
-				tmp, err := os.MkdirTemp("", "riskspill-*")
-				if err != nil {
-					return fmt.Errorf("core: stage 2 spill dir: %w", err)
-				}
-				defer os.RemoveAll(tmp) // shards are only needed during the engine run
-				dir = tmp
-			}
-			parts := p.Cfg.SpillParts
-			if parts <= 0 {
-				parts = aggregate.DefaultSpillParts(p.Cfg.NumTrials)
-			}
-			d, err := yelt.SpillToDir(ctx, gen, dir, 0, parts, p.Cfg.Workers)
+			d, cleanup, err := p.spillYELT(ctx, gen)
 			if err != nil {
-				return fmt.Errorf("core: stage 2 spill: %w", err)
+				return err
 			}
+			defer cleanup()
 			ds = d
 			in.Source = ds
-			spillBytes, err := ds.SizeBytes()
-			if err != nil {
-				return fmt.Errorf("core: stage 2 spill size: %w", err)
-			}
-			p.setStage(StageReport{
-				Name: "yelt-spill", Duration: time.Since(spillStart),
-				OutputBytes: spillBytes, Items: int64(ds.Shards()),
-			})
 			// The spill interval is its own stage line; restart the
 			// portfolio-risk clock so the two lines sum to wall time
 			// instead of double-counting the write.
 			start = time.Now()
 		}
-	} else {
+	default:
+		ycfg := yelt.Config{NumTrials: p.Cfg.NumTrials, Workers: p.Cfg.Workers}
 		y, err := yelt.Generate(ctx, p.Catalog, ycfg, p.Cfg.Seed+7)
 		if err != nil {
 			return fmt.Errorf("core: stage 2 yelt: %w", err)
@@ -334,10 +406,12 @@ func (p *Pipeline) RunStage2(ctx context.Context) error {
 		in.YELT = y
 	}
 
+	demand := stage2Demand(p.Cfg.NumTrials)
+	workers := p.provisioned(demand)
 	res, err := p.Cfg.Engine.Run(ctx, in, aggregate.Config{
 		Seed:        p.Cfg.Seed + 13,
 		Sampling:    p.Cfg.Sampling,
-		Workers:     p.Cfg.Workers,
+		Workers:     workers,
 		BatchTrials: p.Cfg.BatchTrials,
 		Kernel:      p.Cfg.Kernel,
 		TrialBlock:  p.Cfg.TrialBlock,
@@ -365,8 +439,86 @@ func (p *Pipeline) RunStage2(ctx context.Context) error {
 		rep.OutputBytes = p.YELT.SizeBytes() + res.Portfolio.SizeBytes()
 		rep.Items = int64(p.YELT.Len())
 	}
+	account(&rep, workers, demand, res.BusySeconds)
 	p.setStage(rep)
 	return nil
+}
+
+// spillYELT generates the trial stream once and writes it as shards
+// under Cfg.SpillDir (a fresh temp dir when empty; cleanup removes it
+// — a no-op for caller-supplied dirs, whose shards outlive the run).
+// The write is recorded as the yelt-spill stage line.
+func (p *Pipeline) spillYELT(ctx context.Context, gen *yelt.Generator) (ds *yelt.DiskSource, cleanup func(), err error) {
+	spillStart := time.Now()
+	dir := p.Cfg.SpillDir
+	cleanup = func() {}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "riskspill-*")
+		if err != nil {
+			return nil, nil, fmt.Errorf("core: stage 2 spill dir: %w", err)
+		}
+		cleanup = func() { os.RemoveAll(tmp) } // shards only needed during the engine run
+		dir = tmp
+	}
+	parts := p.Cfg.SpillParts
+	if parts <= 0 {
+		parts = aggregate.DefaultSpillParts(p.Cfg.NumTrials)
+	}
+	d, err := yelt.SpillToDir(ctx, gen, dir, p.Cfg.SpillNodes, parts, p.Cfg.Workers)
+	if err != nil {
+		cleanup()
+		return nil, nil, fmt.Errorf("core: stage 2 spill: %w", err)
+	}
+	spillBytes, err := d.SizeBytes()
+	if err != nil {
+		cleanup()
+		return nil, nil, fmt.Errorf("core: stage 2 spill size: %w", err)
+	}
+	p.setStage(StageReport{
+		Name: "yelt-spill", Duration: time.Since(spillStart),
+		OutputBytes: spillBytes, Items: int64(d.Shards()),
+	})
+	return d, cleanup, nil
+}
+
+// SpillStage2 is the spill half of the two-process handoff: stage 1
+// re-derives the book, the trial stream is generated once and spilled
+// as shards + manifest into Cfg.SpillDir, and the process stops there
+// — no aggregation. A separate process with Cfg.SpillAttach set picks
+// the shards up via the manifest and runs stage 2 over them. Requires
+// SpillDir (the shards must outlive this process).
+func (p *Pipeline) SpillStage2(ctx context.Context) error {
+	if p.Cfg.SpillDir == "" {
+		return errors.New("core: SpillStage2 requires SpillDir — shards must outlive the process")
+	}
+	if err := p.RunStage1(ctx); err != nil {
+		return err
+	}
+	ycfg := yelt.Config{NumTrials: p.Cfg.NumTrials, Workers: p.Cfg.Workers}
+	gen, err := yelt.NewGenerator(p.Catalog, ycfg, p.Cfg.Seed+7)
+	if err != nil {
+		return fmt.Errorf("core: stage 2 yelt: %w", err)
+	}
+	_, _, err = p.spillYELT(ctx, gen)
+	return err
+}
+
+// AttachSpill re-attaches to the shards an earlier process spilled
+// into Cfg.SpillDir, through the spill manifest (yelt.OpenDiskSource
+// verifies every shard against it, naming any culprit).
+func (p *Pipeline) AttachSpill() (*yelt.DiskSource, error) {
+	if p.Cfg.SpillDir == "" {
+		return nil, errors.New("core: SpillAttach requires SpillDir")
+	}
+	store, err := diskstore.Open(p.Cfg.SpillDir)
+	if err != nil {
+		return nil, fmt.Errorf("core: attaching spill store: %w", err)
+	}
+	ds, err := yelt.OpenDiskSource(store, "yelt")
+	if err != nil {
+		return nil, fmt.Errorf("core: attaching spilled yelt: %w", err)
+	}
+	return ds, nil
 }
 
 // RunStage3 executes dynamic financial analysis over the catastrophe
@@ -380,21 +532,26 @@ func (p *Pipeline) RunStage3(ctx context.Context) error {
 	if sources == nil {
 		sources = dfa.StandardSources(p.CatYLT.Mean())
 	}
+	// One integration task per enterprise source plus the combine pass.
+	demand := len(sources) + 1
+	workers := p.provisioned(demand)
 	ig := &dfa.Integrator{Sources: sources}
 	res, err := ig.Run(ctx, p.CatYLT, dfa.Config{
 		Seed:    p.Cfg.Seed + 29,
-		Workers: p.Cfg.Workers,
+		Workers: workers,
 		Rho:     p.Cfg.Rho,
 	})
 	if err != nil {
 		return fmt.Errorf("core: stage 3: %w", err)
 	}
 	p.DFAResult = res
-	p.setStage(StageReport{
+	rep := StageReport{
 		Name: "dfa", Duration: time.Since(start),
 		OutputBytes: res.TotalBytes,
 		Items:       int64(res.Enterprise.NumTrials()) * int64(len(res.PerSource)+2),
-	})
+	}
+	account(&rep, workers, demand, 0)
+	p.setStage(rep)
 	return nil
 }
 

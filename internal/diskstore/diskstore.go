@@ -16,6 +16,7 @@ import (
 	"sort"
 	"strconv"
 	"strings"
+	"syscall"
 )
 
 // ErrNotFound is returned for missing datasets or partitions.
@@ -76,11 +77,16 @@ func (s *Store) partPath(dataset string, part int) string {
 
 // WritePartition creates partition part of dataset, streaming content
 // through fn. The content is written to a temporary file on the
-// partition's node and renamed into place only after fn and Close
-// succeed, so a crash or error mid-write can never leave a torn
+// partition's node and renamed into place only after fn, Sync and
+// Close succeed, so a crash or error mid-write can never leave a torn
 // partition that Open/Partitions would treat as valid: the partition
-// either exists complete or not at all. Stray temp files (a leading
-// dot, no ".part-" infix) are invisible to Partitions and ReadPartition.
+// either exists complete or not at all. The commit is durable, not
+// just atomic: the content is fsynced before the rename and the node
+// directory is fsynced after it, so a power loss between the rename
+// and an unmount cannot roll a committed shard back to absent (the
+// rename itself lives in the directory, which is its own file). Stray
+// temp files (a leading dot, no ".part-" infix) are invisible to
+// Partitions and ReadPartition.
 func (s *Store) WritePartition(dataset string, part int, fn func(io.Writer) error) error {
 	path := s.partPath(dataset, part)
 	dir := filepath.Dir(path)
@@ -101,6 +107,11 @@ func (s *Store) WritePartition(dataset string, part int, fn func(io.Writer) erro
 		os.Remove(tmp)
 		return fmt.Errorf("diskstore: write %s: %w", path, err)
 	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return fmt.Errorf("diskstore: sync %s: %w", path, err)
+	}
 	if err := f.Close(); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("diskstore: close %s: %w", path, err)
@@ -108,6 +119,26 @@ func (s *Store) WritePartition(dataset string, part int, fn func(io.Writer) erro
 	if err := os.Rename(tmp, path); err != nil {
 		os.Remove(tmp)
 		return fmt.Errorf("diskstore: commit %s: %w", path, err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("diskstore: sync node dir for %s: %w", path, err)
+	}
+	return nil
+}
+
+// syncDir fsyncs a directory so a rename recorded in it survives a
+// crash. Filesystems that refuse fsync on directories (some network
+// mounts) report EINVAL or ENOTSUP; durability is best-effort there,
+// matching what the platform can promise.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	if err := d.Sync(); err != nil &&
+		!errors.Is(err, syscall.EINVAL) && !errors.Is(err, syscall.ENOTSUP) {
+		return err
 	}
 	return nil
 }
@@ -180,6 +211,31 @@ func (s *Store) Delete(dataset string) error {
 		if err := os.Remove(s.partPath(dataset, p)); err != nil {
 			return fmt.Errorf("diskstore: delete part %d: %w", p, err)
 		}
+	}
+	return nil
+}
+
+// PartitionSizeBytes returns the on-disk size of one partition —
+// the unit of data-motion accounting for shard-affine mappers.
+func (s *Store) PartitionSizeBytes(dataset string, part int) (int64, error) {
+	info, err := os.Stat(s.partPath(dataset, part))
+	if err != nil {
+		if os.IsNotExist(err) {
+			return 0, fmt.Errorf("%w: %s part %d", ErrNotFound, dataset, part)
+		}
+		return 0, fmt.Errorf("diskstore: stat part %d: %w", part, err)
+	}
+	return info.Size(), nil
+}
+
+// Remove deletes a single partition — a failure-injection hook for
+// re-attach tests (a shard lost between spill and aggregate).
+func (s *Store) Remove(dataset string, part int) error {
+	if err := os.Remove(s.partPath(dataset, part)); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("%w: %s part %d", ErrNotFound, dataset, part)
+		}
+		return fmt.Errorf("diskstore: remove part %d: %w", part, err)
 	}
 	return nil
 }

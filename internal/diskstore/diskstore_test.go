@@ -6,6 +6,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"strings"
 	"testing"
 )
 
@@ -283,5 +284,90 @@ func TestNodeDirectoriesOnDisk(t *testing.T) {
 		if _, err := os.Stat(filepath.Join(dir, fmt.Sprintf("node-%03d", i))); err != nil {
 			t.Fatalf("node dir %d missing: %v", i, err)
 		}
+	}
+}
+
+// The durable-commit path (content fsync, rename, node-dir fsync) must
+// still present exactly the committed file: no temp residue survives,
+// and the commit is readable immediately after WritePartition returns.
+func TestWriteDurableCommitLeavesOnlyFinalFile(t *testing.T) {
+	s := newStore(t, 2)
+	for p := 0; p < 4; p++ {
+		payload := fmt.Sprintf("shard-%d", p)
+		if err := s.WritePartition("dur", p, func(w io.Writer) error {
+			_, err := w.Write([]byte(payload))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for n := 0; n < 2; n++ {
+		for _, f := range nodeFiles(t, s, n) {
+			if strings.Contains(f, ".tmp-") {
+				t.Fatalf("node %d holds temp residue %q after durable commit", n, f)
+			}
+		}
+	}
+	for p := 0; p < 4; p++ {
+		var got string
+		if err := s.ReadPartition("dur", p, func(r io.Reader) error {
+			b, err := io.ReadAll(r)
+			got = string(b)
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if want := fmt.Sprintf("shard-%d", p); got != want {
+			t.Fatalf("part %d content = %q, want %q", p, got, want)
+		}
+	}
+}
+
+func TestPartitionSizeBytes(t *testing.T) {
+	s := newStore(t, 2)
+	for p, n := range []int{100, 250, 7} {
+		if err := s.WritePartition("sz", p, func(w io.Writer) error {
+			_, err := w.Write(make([]byte, n))
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for p, want := range []int64{100, 250, 7} {
+		got, err := s.PartitionSizeBytes("sz", p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got != want {
+			t.Fatalf("part %d size = %d, want %d", p, got, want)
+		}
+	}
+	if _, err := s.PartitionSizeBytes("sz", 9); !errors.Is(err, ErrNotFound) {
+		t.Fatal("missing partition size should report not found")
+	}
+}
+
+func TestRemoveSinglePartition(t *testing.T) {
+	s := newStore(t, 3)
+	for p := 0; p < 3; p++ {
+		if err := s.WritePartition("rm", p, func(w io.Writer) error {
+			_, err := w.Write([]byte{1})
+			return err
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Remove("rm", 1); err != nil {
+		t.Fatal(err)
+	}
+	parts, err := s.Partitions("rm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(parts) != 2 || parts[0] != 0 || parts[1] != 2 {
+		t.Fatalf("Partitions = %v, want [0 2]", parts)
+	}
+	if err := s.Remove("rm", 1); !errors.Is(err, ErrNotFound) {
+		t.Fatal("removing a missing partition should report not found")
 	}
 }

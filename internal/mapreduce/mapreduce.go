@@ -5,6 +5,16 @@
 // shuffle by key hash into reducer buckets, and reduce in parallel.
 // Mapper failures are retried with bounded attempts, mirroring
 // speculative re-execution in the systems it stands in for.
+//
+// When the splits live on distinct storage nodes (internal/diskstore),
+// the scheduler can be made locality-aware: Config.Nodes/NodeOf carve
+// the mapper pool into per-node lanes, each split is queued on the lane
+// of the node that owns it, and a lane's workers drain their own queue
+// before stealing from the most-loaded other lane. Moving the mapper to
+// the data instead of the data to the mapper is the central lever of
+// the companion Hadoop work (arXiv 1311.5686); Config.OnTask reports
+// each task's placement so callers can account local versus remote data
+// motion.
 package mapreduce
 
 import (
@@ -14,6 +24,8 @@ import (
 	"hash/maphash"
 	"runtime"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/stream"
 )
@@ -27,6 +39,27 @@ type Config struct {
 	// MaxAttempts per map task (>= 1). Transient map failures are
 	// retried up to this bound.
 	MaxAttempts int
+	// Nodes, with NodeOf, turns on locality-aware lane scheduling:
+	// mapper w belongs to node w mod Nodes, and split i is queued on
+	// the lane of node NodeOf(i). A worker drains its own lane first
+	// and steals from the most-loaded other lane only when its own is
+	// empty (load balance on skewed splits costs remote motion, never
+	// idle workers). <= 0 leaves scheduling placement-free.
+	Nodes int
+	// NodeOf returns the storage node owning split i. Required when
+	// Nodes > 0.
+	NodeOf func(split int) int
+	// Blind, with Nodes > 0, keeps the per-node mapper homes but serves
+	// splits from one global queue in index order regardless of
+	// ownership — the placement-blind baseline locality is measured
+	// against. Placement accounting (OnTask's local flag) still applies.
+	Blind bool
+	// OnTask, if non-nil, is called once per successful map task with
+	// the split index, whether the task ran on the lane of the node
+	// owning the split (always true when locality is off), and the
+	// task's wall-clock duration. Called concurrently from worker
+	// goroutines; implementations must be safe for concurrent use.
+	OnTask func(split int, local bool, d time.Duration)
 }
 
 func (c Config) normalized() Config {
@@ -55,6 +88,68 @@ type ReduceFunc[K comparable, V any] func(key K, values []V) (V, error)
 // ErrTooManyFailures is returned when a map task exhausts its attempts.
 var ErrTooManyFailures = errors.New("mapreduce: map task exhausted attempts")
 
+// laneScheduler hands out split indices to workers keyed by the
+// worker's home node. In affine mode each node has its own FIFO lane
+// and a worker steals from the most-loaded foreign lane only when its
+// own is dry; in blind mode one global FIFO serves every worker. The
+// caller decides locality (owner node == home node) itself — the
+// scheduler only orders the work.
+type laneScheduler struct {
+	mu    sync.Mutex
+	lanes [][]int // per-lane FIFO of split indices; one lane when blind
+	heads []int   // consumed prefix per lane
+}
+
+func newLaneScheduler(n, nodes int, nodeOf func(int) int, blind bool) *laneScheduler {
+	s := &laneScheduler{}
+	if blind {
+		all := make([]int, n)
+		for i := range all {
+			all[i] = i
+		}
+		s.lanes = [][]int{all}
+		s.heads = []int{0}
+		return s
+	}
+	s.lanes = make([][]int, nodes)
+	s.heads = make([]int, nodes)
+	for i := 0; i < n; i++ {
+		lane := nodeOf(i) % nodes
+		if lane < 0 {
+			lane += nodes
+		}
+		s.lanes[lane] = append(s.lanes[lane], i)
+	}
+	return s
+}
+
+// next returns the next split for a worker homed on the given node,
+// preferring the home lane and stealing from the longest foreign lane
+// otherwise. ok is false when no work remains.
+func (s *laneScheduler) next(home int) (split int, ok bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	lane := home % len(s.lanes)
+	if s.heads[lane] < len(s.lanes[lane]) {
+		split = s.lanes[lane][s.heads[lane]]
+		s.heads[lane]++
+		return split, true
+	}
+	// Steal from the lane with the most unconsumed work.
+	best, bestLeft := -1, 0
+	for l := range s.lanes {
+		if left := len(s.lanes[l]) - s.heads[l]; left > bestLeft {
+			best, bestLeft = l, left
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	split = s.lanes[best][s.heads[best]]
+	s.heads[best]++
+	return split, true
+}
+
 // Run executes a MapReduce job over splits and returns the reduced
 // key/value map. combine, if non-nil, is applied map-side per split to
 // shrink shuffle volume (classic combiner; usually the same function
@@ -71,6 +166,9 @@ func Run[S any, K comparable, V any](
 		return nil, errors.New("mapreduce: nil map or reduce function")
 	}
 	cfg = cfg.normalized()
+	if cfg.Nodes > 0 && cfg.NodeOf == nil {
+		return nil, errors.New("mapreduce: Nodes set without NodeOf")
+	}
 	if len(splits) == 0 {
 		return map[K]V{}, nil
 	}
@@ -85,7 +183,10 @@ func Run[S any, K comparable, V any](
 	}
 	taskBuckets := make([]*bucketSet, len(splits))
 
-	mapErr := stream.ForEach(ctx, len(splits), cfg.Mappers, func(ctx context.Context, i int) error {
+	// runTask executes split i with the retry loop; local records how
+	// the scheduler placed it, for the OnTask accounting callback.
+	runTask := func(ctx context.Context, i int, local bool) error {
+		start := time.Now()
 		var lastErr error
 		for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
 			bs := &bucketSet{buckets: make([]map[K][]V, nRed)}
@@ -124,10 +225,22 @@ func Run[S any, K comparable, V any](
 				}
 			}
 			taskBuckets[i] = bs
+			if cfg.OnTask != nil {
+				cfg.OnTask(i, local, time.Since(start))
+			}
 			return nil
 		}
 		return fmt.Errorf("%w: split %d after %d attempts: %v", ErrTooManyFailures, i, cfg.MaxAttempts, lastErr)
-	})
+	}
+
+	var mapErr error
+	if cfg.Nodes > 0 {
+		mapErr = runLanes(ctx, len(splits), cfg, runTask)
+	} else {
+		mapErr = stream.ForEach(ctx, len(splits), cfg.Mappers, func(ctx context.Context, i int) error {
+			return runTask(ctx, i, true)
+		})
+	}
 	if mapErr != nil {
 		return nil, mapErr
 	}
@@ -182,6 +295,54 @@ func Run[S any, K comparable, V any](
 		}
 	}
 	return final, nil
+}
+
+// runLanes is the locality-aware map-phase dispatcher: cfg.Mappers
+// workers, worker w homed on node w mod cfg.Nodes, pulling splits from
+// a laneScheduler (per-node lanes in affine mode, one global queue in
+// blind mode). A task is local when the split's owning node equals the
+// worker's home — true by construction for a home-lane pop, false for
+// a steal, and ~1/Nodes of the time under the blind baseline. The
+// first error cancels outstanding work, like stream.ForEach.
+func runLanes(ctx context.Context, n int, cfg Config, runTask func(ctx context.Context, i int, local bool) error) error {
+	workers := cfg.Mappers
+	if workers > n {
+		workers = n
+	}
+	sched := newLaneScheduler(n, cfg.Nodes, cfg.NodeOf, cfg.Blind)
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func(home int) {
+			defer wg.Done()
+			for {
+				i, ok := sched.next(home)
+				if !ok {
+					return
+				}
+				select {
+				case <-ctx.Done():
+					return
+				default:
+				}
+				local := cfg.NodeOf(i)%cfg.Nodes == home
+				if err := runTask(ctx, i, local); err != nil {
+					firstErr.CompareAndSwap(nil, err)
+					cancel()
+					return
+				}
+			}
+		}(w % cfg.Nodes)
+	}
+	wg.Wait()
+	if e := firstErr.Load(); e != nil {
+		return e.(error)
+	}
+	return ctx.Err()
 }
 
 // writeKey hashes a comparable key. Common key kinds get fast paths;

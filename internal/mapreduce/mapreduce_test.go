@@ -6,6 +6,7 @@ import (
 	"sync/atomic"
 	"testing"
 	"testing/quick"
+	"time"
 )
 
 func sumReduce(_ uint64, vs []float64) (float64, error) {
@@ -272,5 +273,202 @@ func TestCancellation(t *testing.T) {
 	}
 	if _, err := Run(ctx, make([]int, 10000), mapf, nil, sumReduce, Config{}); err == nil {
 		t.Fatal("cancelled job should error")
+	}
+}
+
+// Deterministic unit coverage of the lane scheduler itself: affine
+// pops drain the home lane in FIFO order, steals come from the
+// most-loaded foreign lane, and blind mode is one global FIFO.
+func TestLaneSchedulerAffineOrder(t *testing.T) {
+	// 7 splits on 3 nodes, nodeOf = i % 3: lanes {0,3,6}, {1,4}, {2,5}.
+	s := newLaneScheduler(7, 3, func(i int) int { return i % 3 }, false)
+	for _, want := range []int{0, 3, 6} {
+		got, ok := s.next(0)
+		if !ok || got != want {
+			t.Fatalf("home-lane pop = %d,%v; want %d", got, ok, want)
+		}
+	}
+	// Lane 0 dry: the next pop for home 0 steals from lane 1 or 2 (both
+	// hold 2) — the scheduler picks the first longest, lane 1's head.
+	got, ok := s.next(0)
+	if !ok || got != 1 {
+		t.Fatalf("steal = %d,%v; want 1 (head of most-loaded lane)", got, ok)
+	}
+	// Now lane 2 (2 left) is strictly longer than lane 1 (1 left).
+	if got, _ := s.next(0); got != 2 {
+		t.Fatalf("second steal = %d, want 2", got)
+	}
+	// Home-lane preference still applies for other homes.
+	if got, _ := s.next(1); got != 4 {
+		t.Fatalf("home-1 pop = %d, want 4", got)
+	}
+	if got, _ := s.next(2); got != 5 {
+		t.Fatalf("home-2 pop = %d, want 5", got)
+	}
+	if _, ok := s.next(0); ok {
+		t.Fatal("drained scheduler handed out work")
+	}
+}
+
+func TestLaneSchedulerBlindGlobalFIFO(t *testing.T) {
+	s := newLaneScheduler(5, 3, func(i int) int { return i % 3 }, true)
+	for want := 0; want < 5; want++ {
+		got, ok := s.next(want % 3) // home is irrelevant in blind mode
+		if !ok || got != want {
+			t.Fatalf("blind pop = %d,%v; want %d", got, ok, want)
+		}
+	}
+	if _, ok := s.next(0); ok {
+		t.Fatal("drained blind scheduler handed out work")
+	}
+}
+
+// Locality-aware runs must stay bit-equivalent to placement-free runs
+// (placement only reorders scheduling, never values), every split must
+// be mapped exactly once, and local+remote accounting must cover every
+// task, in both affine and blind modes.
+func TestLocalityEquivalenceAndAccounting(t *testing.T) {
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		for i := 0; i < 200; i++ {
+			emit(uint64((split*11+i)%17), float64(split*1000+i))
+		}
+		return nil
+	}
+	splits := make([]int, 24)
+	for i := range splits {
+		splits[i] = i
+	}
+	base, err := Run(context.Background(), splits, mapf, nil, sumReduce, Config{Mappers: 1, Reducers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, blind := range []bool{false, true} {
+		var local, remote, tasks atomic.Int64
+		cfg := Config{
+			Mappers: 6, Reducers: 3,
+			Nodes:  4,
+			NodeOf: func(i int) int { return i % 4 },
+			Blind:  blind,
+			OnTask: func(split int, isLocal bool, _ time.Duration) {
+				tasks.Add(1)
+				if isLocal {
+					local.Add(1)
+				} else {
+					remote.Add(1)
+				}
+			},
+		}
+		got, err := Run(context.Background(), splits, mapf, sumReduce, sumReduce, cfg)
+		if err != nil {
+			t.Fatalf("blind=%v: %v", blind, err)
+		}
+		if len(got) != len(base) {
+			t.Fatalf("blind=%v: key count %d vs %d", blind, len(got), len(base))
+		}
+		for k, v := range base {
+			if d := got[k] - v; d > 1e-9 || d < -1e-9 {
+				t.Fatalf("blind=%v key %d: %v vs %v", blind, k, got[k], v)
+			}
+		}
+		if tasks.Load() != int64(len(splits)) {
+			t.Fatalf("blind=%v: OnTask fired %d times for %d splits", blind, tasks.Load(), len(splits))
+		}
+		if local.Load()+remote.Load() != int64(len(splits)) {
+			t.Fatalf("blind=%v: local %d + remote %d != %d", blind, local.Load(), remote.Load(), len(splits))
+		}
+	}
+}
+
+// A single worker homed on node 0 drains its own lane before touching
+// any other: the first lane-0-sized prefix of its tasks must all be
+// local, the rest remote — deterministic because there is no second
+// worker to race.
+func TestSingleWorkerDrainsHomeLaneFirst(t *testing.T) {
+	type placed struct {
+		split int
+		local bool
+	}
+	var order []placed
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		emit(0, 1)
+		return nil
+	}
+	cfg := Config{
+		Mappers: 1, Reducers: 1,
+		Nodes:  3,
+		NodeOf: func(i int) int { return i % 3 },
+		OnTask: func(split int, local bool, _ time.Duration) {
+			order = append(order, placed{split, local}) // Mappers=1: no races
+		},
+	}
+	if _, err := Run(context.Background(), make([]int, 9), mapf, nil, sumReduce, cfg); err != nil {
+		t.Fatal(err)
+	}
+	if len(order) != 9 {
+		t.Fatalf("tasks = %d", len(order))
+	}
+	for i, p := range order {
+		wantLocal := i < 3 // lane 0 holds splits 0,3,6
+		if p.local != wantLocal {
+			t.Fatalf("task %d (split %d): local=%v, want %v", i, p.split, p.local, wantLocal)
+		}
+		if wantLocal && p.split%3 != 0 {
+			t.Fatalf("task %d drew split %d before lane 0 drained", i, p.split)
+		}
+	}
+}
+
+func TestNodesWithoutNodeOfRejected(t *testing.T) {
+	mapf := func(_ context.Context, _ int, emit func(uint64, float64)) error {
+		emit(0, 1)
+		return nil
+	}
+	if _, err := Run(context.Background(), []int{0}, mapf, nil, sumReduce, Config{Nodes: 2}); err == nil {
+		t.Fatal("Nodes without NodeOf should error")
+	}
+}
+
+// Retries must survive lane scheduling: a transiently failing split on
+// a foreign lane still completes, and placement accounting fires once.
+func TestLaneRetryStillBounded(t *testing.T) {
+	var attempts atomic.Int32
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		if split == 2 && attempts.Add(1) < 2 {
+			return errors.New("transient")
+		}
+		emit(uint64(split), 1)
+		return nil
+	}
+	var tasks atomic.Int32
+	cfg := Config{
+		Mappers: 2, MaxAttempts: 3,
+		Nodes:  2,
+		NodeOf: func(i int) int { return i % 2 },
+		OnTask: func(int, bool, time.Duration) { tasks.Add(1) },
+	}
+	got, err := Run(context.Background(), []int{0, 1, 2, 3}, mapf, nil, sumReduce, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[2] != 1 {
+		t.Fatalf("retried split result = %v", got[2])
+	}
+	if tasks.Load() != 4 {
+		t.Fatalf("OnTask fired %d times, want 4 (once per split, not per attempt)", tasks.Load())
+	}
+}
+
+// Cancellation propagates through the lane pool exactly as through the
+// placement-free path.
+func TestLaneCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	mapf := func(_ context.Context, _ int, emit func(uint64, float64)) error {
+		emit(1, 1)
+		return nil
+	}
+	cfg := Config{Nodes: 3, NodeOf: func(i int) int { return i % 3 }}
+	if _, err := Run(ctx, make([]int, 1000), mapf, nil, sumReduce, cfg); err == nil {
+		t.Fatal("cancelled lane job should error")
 	}
 }

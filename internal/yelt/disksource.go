@@ -63,43 +63,75 @@ func Spill(ctx context.Context, src Source, store *diskstore.Store, dataset stri
 	// landed, so a crash mid-spill leaves a dataset OpenDiskSource
 	// refuses — individually valid trailing shards cannot masquerade as
 	// a complete (but truncated) spill.
-	if err := writeManifest(store, dataset, len(ranges), n); err != nil {
+	if err := writeManifest(store, dataset, shardCounts(ranges)); err != nil {
 		return nil, err
 	}
 	return &DiskSource{store: store, dataset: dataset, ranges: ranges, n: n}, nil
 }
 
 // The manifest is a sibling single-partition dataset recording what a
-// complete spill contains: magic, shard count, trial count.
-var manifestMagic = [4]byte{'Y', 'S', 'P', 'L'}
+// complete spill contains: magic, shard count, total trial count, and
+// the per-shard trial counts. Recording every shard's expected count —
+// not just the total — lets OpenDiskSource name the exact shard whose
+// header disagrees with the spill instead of reporting only that the
+// totals drifted.
+var manifestMagic = [4]byte{'Y', 'S', 'P', '2'}
 
 func manifestDataset(dataset string) string { return dataset + ".manifest" }
 
-func writeManifest(store *diskstore.Store, dataset string, parts, trials int) error {
+func shardCounts(ranges []stream.Range) []int {
+	counts := make([]int, len(ranges))
+	for i, r := range ranges {
+		counts[i] = r.Hi - r.Lo
+	}
+	return counts
+}
+
+func writeManifest(store *diskstore.Store, dataset string, counts []int) error {
 	return store.WritePartition(manifestDataset(dataset), 0, func(w io.Writer) error {
-		var buf [12]byte
+		trials := 0
+		for _, c := range counts {
+			trials += c
+		}
+		buf := make([]byte, 12+4*len(counts))
 		copy(buf[:4], manifestMagic[:])
-		binary.LittleEndian.PutUint32(buf[4:8], uint32(parts))
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(len(counts)))
 		binary.LittleEndian.PutUint32(buf[8:12], uint32(trials))
-		_, err := w.Write(buf[:])
+		for i, c := range counts {
+			binary.LittleEndian.PutUint32(buf[12+4*i:], uint32(c))
+		}
+		_, err := w.Write(buf)
 		return err
 	})
 }
 
-func readManifest(store *diskstore.Store, dataset string) (parts, trials int, err error) {
+func readManifest(store *diskstore.Store, dataset string) (counts []int, err error) {
 	err = store.ReadPartition(manifestDataset(dataset), 0, func(r io.Reader) error {
-		var buf [12]byte
-		if _, err := io.ReadFull(r, buf[:]); err != nil {
+		var hdr [12]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
 			return fmt.Errorf("yelt: spill manifest: %w", err)
 		}
-		if [4]byte(buf[:4]) != manifestMagic {
-			return fmt.Errorf("%w: spill manifest magic %q", ErrBadFormat, buf[:4])
+		if [4]byte(hdr[:4]) != manifestMagic {
+			return fmt.Errorf("%w: spill manifest magic %q", ErrBadFormat, hdr[:4])
 		}
-		parts = int(binary.LittleEndian.Uint32(buf[4:8]))
-		trials = int(binary.LittleEndian.Uint32(buf[8:12]))
+		parts := int(binary.LittleEndian.Uint32(hdr[4:8]))
+		trials := int(binary.LittleEndian.Uint32(hdr[8:12]))
+		body := make([]byte, 4*parts)
+		if _, err := io.ReadFull(r, body); err != nil {
+			return fmt.Errorf("yelt: spill manifest shard table: %w", err)
+		}
+		counts = make([]int, parts)
+		sum := 0
+		for i := range counts {
+			counts[i] = int(binary.LittleEndian.Uint32(body[4*i:]))
+			sum += counts[i]
+		}
+		if sum != trials {
+			return fmt.Errorf("%w: spill manifest shard counts sum to %d, header says %d", ErrBadFormat, sum, trials)
+		}
 		return nil
 	})
-	return parts, trials, err
+	return counts, err
 }
 
 // DefaultSpillNodes is the simulated storage-node count spills default
@@ -144,25 +176,32 @@ type DiskSource struct {
 // (missing trailing shards, or no manifest at all) is refused instead
 // of silently opening truncated.
 func OpenDiskSource(store *diskstore.Store, dataset string) (*DiskSource, error) {
-	wantParts, wantTrials, err := readManifest(store, dataset)
+	wantCounts, err := readManifest(store, dataset)
 	if err != nil {
 		return nil, fmt.Errorf("yelt: open %q (incomplete or pre-manifest spill?): %w", dataset, err)
 	}
 	parts, err := store.Partitions(dataset)
-	if err != nil {
+	if err != nil && !errors.Is(err, diskstore.ErrNotFound) {
 		return nil, err
 	}
-	if len(parts) != wantParts {
-		return nil, fmt.Errorf("%w: dataset %s has %d shards, manifest expects %d", ErrBadFormat, dataset, len(parts), wantParts)
+	// Diff the shard set against the manifest naming the first culprit:
+	// a shard file lost between spill and re-attach is reported by
+	// number, not as a bare count mismatch.
+	present := make(map[int]bool, len(parts))
+	for _, p := range parts {
+		if p >= len(wantCounts) {
+			return nil, fmt.Errorf("%w: dataset %s has stray shard %d, manifest expects %d shards", ErrBadFormat, dataset, p, len(wantCounts))
+		}
+		present[p] = true
 	}
-	for i, p := range parts {
-		if p != i {
-			return nil, fmt.Errorf("%w: dataset %s missing shard %d", ErrBadFormat, dataset, i)
+	for i := range wantCounts {
+		if !present[i] {
+			return nil, fmt.Errorf("%w: dataset %s missing shard %d (manifest expects %d shards)", ErrBadFormat, dataset, i, len(wantCounts))
 		}
 	}
 	ds := &DiskSource{store: store, dataset: dataset}
 	lo := 0
-	for i := range parts {
+	for i, want := range wantCounts {
 		var trials int
 		err := store.ReadPartition(dataset, i, func(r io.Reader) error {
 			var hdr [8]byte
@@ -178,13 +217,13 @@ func OpenDiskSource(store *diskstore.Store, dataset string) (*DiskSource, error)
 		if err != nil {
 			return nil, err
 		}
+		if trials != want {
+			return nil, fmt.Errorf("%w: shard %d holds %d trials, manifest expects %d", ErrBadFormat, i, trials, want)
+		}
 		ds.ranges = append(ds.ranges, stream.Range{Lo: lo, Hi: lo + trials})
 		lo += trials
 	}
 	ds.n = lo
-	if ds.n != wantTrials {
-		return nil, fmt.Errorf("%w: dataset %s holds %d trials, manifest expects %d", ErrBadFormat, dataset, ds.n, wantTrials)
-	}
 	return ds, nil
 }
 
@@ -196,6 +235,20 @@ func (ds *DiskSource) Shards() int { return len(ds.ranges) }
 
 // Nodes returns the storage-node count of the underlying store.
 func (ds *DiskSource) Nodes() int { return ds.store.Nodes() }
+
+// ShardRange returns the global trial range shard i holds — the
+// boundaries shard-affine mappers align their splits to.
+func (ds *DiskSource) ShardRange(i int) stream.Range { return ds.ranges[i] }
+
+// ShardNode returns the storage node shard i lives on — where a
+// shard-affine mapper should run to scan it locally.
+func (ds *DiskSource) ShardNode(i int) int { return ds.store.NodeOf(i) }
+
+// ShardSizeBytes returns the on-disk size of shard i — the data-motion
+// cost of scanning it from another node.
+func (ds *DiskSource) ShardSizeBytes(i int) (int64, error) {
+	return ds.store.PartitionSizeBytes(ds.dataset, i)
+}
 
 // SizeBytes returns the on-disk footprint of the spilled dataset.
 func (ds *DiskSource) SizeBytes() (int64, error) {

@@ -3,6 +3,7 @@ package yelt
 import (
 	"context"
 	"io"
+	"strings"
 	"testing"
 
 	"repro/internal/diskstore"
@@ -208,27 +209,114 @@ func TestOpenDiskSourceRefusesIncompleteSpill(t *testing.T) {
 		t.Fatal("spill without manifest should be refused")
 	}
 	// Manifest present but trailing shards missing (each remaining
-	// shard individually valid).
-	if err := writeManifest(store, "ds", 6, 200); err != nil {
+	// shard individually valid) — the refusal must name the first
+	// shard that isn't there.
+	if err := writeManifest(store, "ds", []int{30, 30, 30, 30, 40, 40}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenDiskSource(store, "ds"); err == nil {
-		t.Fatal("manifest/shard-count mismatch should be refused")
-	}
-	// Shard count right, trial count wrong.
-	if err := writeManifest(store, "ds", 4, 200); err != nil {
+	wantOpenError(t, store, "ds", "missing shard 4")
+	// Shard count right, per-shard trial counts wrong.
+	if err := writeManifest(store, "ds", []int{50, 50, 10, 10}); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := OpenDiskSource(store, "ds"); err == nil {
-		t.Fatal("manifest/trial-count mismatch should be refused")
-	}
+	wantOpenError(t, store, "ds", "shard 0")
 	// Restoring the true manifest opens cleanly again.
-	if err := writeManifest(store, "ds", 4, 120); err != nil {
+	if err := writeManifest(store, "ds", []int{30, 30, 30, 30}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := OpenDiskSource(store, "ds"); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// wantOpenError asserts OpenDiskSource refuses the dataset with an
+// error mentioning substr (the culprit shard), without panicking.
+func wantOpenError(t *testing.T, store *diskstore.Store, dataset, substr string) {
+	t.Helper()
+	ds, err := OpenDiskSource(store, dataset)
+	if err == nil {
+		t.Fatalf("open succeeded (%d trials), want error naming %q", ds.TrialCount(), substr)
+	}
+	if !strings.Contains(err.Error(), substr) {
+		t.Fatalf("error %q does not name %q", err, substr)
+	}
+}
+
+// Re-attach failure modes: a shard file lost, truncated, or swapped
+// between spill and aggregate must surface as an error naming the
+// shard — never a panic or a silent short read.
+func TestOpenDiskSourceReattachFailureModes(t *testing.T) {
+	ctx := context.Background()
+	cat := testCatalog(t, 500)
+	tbl, err := Generate(ctx, cat, Config{NumTrials: 120}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spill := func(t *testing.T) *diskstore.Store {
+		t.Helper()
+		store := testStore(t, 3)
+		if _, err := Spill(ctx, tbl, store, "ds", 4, 1); err != nil {
+			t.Fatal(err)
+		}
+		return store
+	}
+	t.Run("missing shard file", func(t *testing.T) {
+		store := spill(t)
+		if err := store.Remove("ds", 1); err != nil {
+			t.Fatal(err)
+		}
+		wantOpenError(t, store, "ds", "missing shard 1")
+	})
+	t.Run("truncated header", func(t *testing.T) {
+		store := spill(t)
+		err := store.WritePartition("ds", 2, func(w io.Writer) error {
+			_, err := w.Write([]byte{'Y', 'E'})
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOpenError(t, store, "ds", "shard 2 header")
+	})
+	t.Run("bad shard magic", func(t *testing.T) {
+		store := spill(t)
+		err := store.WritePartition("ds", 2, func(w io.Writer) error {
+			_, err := w.Write(make([]byte, 16))
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOpenError(t, store, "ds", "shard 2 magic")
+	})
+	t.Run("manifest trial-range mismatch", func(t *testing.T) {
+		store := spill(t)
+		// Swap in an individually valid shard holding the wrong trial
+		// range — only the per-shard manifest counts can catch it.
+		short, err := tbl.Slice(0, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		err = store.WritePartition("ds", 3, func(w io.Writer) error {
+			_, err := short.WriteTo(w)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOpenError(t, store, "ds", "shard 3 holds 7 trials")
+	})
+	t.Run("stray extra shard", func(t *testing.T) {
+		store := spill(t)
+		err := store.WritePartition("ds", 9, func(w io.Writer) error {
+			_, err := tbl.WriteTo(w)
+			return err
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		wantOpenError(t, store, "ds", "stray shard 9")
+	})
 }
 
 func TestSpillValidation(t *testing.T) {

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"repro/internal/aggregate"
+	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dfa"
 	"repro/internal/layers"
@@ -134,6 +135,20 @@ type Config struct {
 	// SpillParts is the spill shard count; 0 picks a default from the
 	// trial count.
 	SpillParts int
+	// SpillNodes is the spill store's simulated storage-node count; 0
+	// means the engine default. Shard-affine engines (EngineMapReduce
+	// over a spilled source) place mappers against these nodes.
+	SpillNodes int
+	// SpillAttach runs stage 2 over shards an earlier process spilled
+	// into SpillDir (required), re-attached via the spill manifest
+	// instead of generated — the aggregate half of a two-process
+	// spill/aggregate handoff. The trial count comes from the shards.
+	SpillAttach bool
+	// Provision drives per-stage worker counts from an elasticity
+	// policy instead of the static Workers bound: "static:N" (fixed
+	// fleet) or "elastic:N" (scale to each stage's demand, capped at
+	// N). "" keeps static Workers.
+	Provision string
 	// Rho correlates the DFA risk sources with the catastrophe book.
 	Rho float64
 	// Workers bounds parallelism everywhere; 0 means all cores.
@@ -242,6 +257,10 @@ func (s *Study) pipeline() (*core.Pipeline, error) {
 	if err != nil {
 		return nil, err
 	}
+	policy, err := cluster.ParsePolicy(s.cfg.Provision)
+	if err != nil {
+		return nil, fmt.Errorf("risk: %w", err)
+	}
 	s.p = core.New(core.Config{
 		Seed:                 s.cfg.Seed,
 		NumEvents:            s.cfg.Events,
@@ -258,6 +277,9 @@ func (s *Study) pipeline() (*core.Pipeline, error) {
 		Spill:                s.cfg.Spill,
 		SpillDir:             s.cfg.SpillDir,
 		SpillParts:           s.cfg.SpillParts,
+		SpillNodes:           s.cfg.SpillNodes,
+		SpillAttach:          s.cfg.SpillAttach,
+		Provision:            policy,
 		Rho:                  s.cfg.Rho,
 		Workers:              s.cfg.Workers,
 		TwoLayers:            true,
