@@ -1,5 +1,5 @@
 // Root benchmark harness: one benchmark (family) per experiment
-// E1–E16 from EXPERIMENTS.md. Absolute numbers are machine-dependent; the
+// E1–E17 from EXPERIMENTS.md. Absolute numbers are machine-dependent; the
 // *shapes* asserted in EXPERIMENTS.md (who wins, by roughly what
 // factor) are what reproduce the paper. cmd/benchtables prints the
 // richer tables; these benches give `go test -bench` one-line
@@ -22,6 +22,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/dfa"
 	"repro/internal/diskstore"
+	"repro/internal/faultinject"
 	"repro/internal/gpusim"
 	"repro/internal/layers"
 	"repro/internal/mapreduce"
@@ -637,7 +638,7 @@ func BenchmarkE11MapReduceRescan(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	ds, err := yelt.SpillToDir(context.Background(), g, b.TempDir(), 0, aggregate.DefaultSpillParts(streamEnvelopeTrials), 8)
+	ds, err := yelt.SpillToDir(context.Background(), g, b.TempDir(), 0, aggregate.DefaultSpillParts(streamEnvelopeTrials), 1, 8)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -700,7 +701,7 @@ func benchPlacement(b *testing.B, place aggregate.Placement) {
 	if parts < 32 {
 		parts = 32
 	}
-	ds, err := yelt.SpillToDir(context.Background(), g, b.TempDir(), 0, parts, 8)
+	ds, err := yelt.SpillToDir(context.Background(), g, b.TempDir(), 0, parts, 1, 8)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -726,6 +727,68 @@ func benchPlacement(b *testing.B, place aggregate.Placement) {
 func BenchmarkE16AffinePlacement(b *testing.B) { benchPlacement(b, aggregate.PlaceAffine) }
 
 func BenchmarkE16BlindPlacement(b *testing.B) { benchPlacement(b, aggregate.PlaceBlind) }
+
+// --- E17: fault-tolerant stage 2 over replicated shards ---
+
+// benchFault spills once at replication r=2 (outside the timer), then
+// times MapReduce passes under the given deterministic fault spec.
+// Every pass's result is bit-checked against a fault-free pass, so the
+// timer covers completion *with* recovery — the fault-tolerance
+// overhead is the metric, correctness is the invariant.
+func benchFault(b *testing.B, spec string, speculate bool) {
+	s, _ := scenarios(b)
+	g, err := yelt.NewGenerator(s.Catalog, yelt.Config{NumTrials: streamEnvelopeTrials}, 7)
+	if err != nil {
+		b.Fatal(err)
+	}
+	parts := aggregate.DefaultSpillParts(streamEnvelopeTrials)
+	if parts < 32 {
+		parts = 32
+	}
+	ds, err := yelt.SpillToDir(context.Background(), g, b.TempDir(), 0, parts, 2, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := aggregate.Config{Seed: 2, Sampling: true, Workers: 8, BatchTrials: 4096}
+	want, err := aggregate.MapReduce{}.Run(context.Background(),
+		&aggregate.Input{Source: ds, ELTs: s.ELTs, Portfolio: s.Portfolio}, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	plan, err := faultinject.Parse(spec, 42)
+	if err != nil {
+		b.Fatal(err)
+	}
+	eng := aggregate.MapReduce{MaxAttempts: 5, Speculate: speculate, Faults: plan}
+	b.ResetTimer()
+	var res *aggregate.Result
+	for i := 0; i < b.N; i++ {
+		in := &aggregate.Input{Source: ds, ELTs: s.ELTs, Portfolio: s.Portfolio}
+		res, err = eng.Run(context.Background(), in, cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	for t := range want.Portfolio.Agg {
+		if res.Portfolio.Agg[t] != want.Portfolio.Agg[t] {
+			b.Fatalf("diverged from fault-free run at trial %d", t)
+		}
+	}
+	b.ReportMetric(float64(streamEnvelopeTrials)*float64(b.N)/b.Elapsed().Seconds(), "trials/s")
+	b.ReportMetric(float64(res.MapRetries), "retries")
+	b.ReportMetric(float64(res.ShardFailovers), "failovers")
+	b.ReportMetric(float64(res.WorkersLost), "workersLost")
+	b.ReportMetric(float64(res.SpecWins), "specWins")
+}
+
+func BenchmarkE17FaultFree(b *testing.B) { benchFault(b, "", false) }
+
+func BenchmarkE17Rate10(b *testing.B) { benchFault(b, "rate=0.10", false) }
+
+func BenchmarkE17RateAndKill(b *testing.B) { benchFault(b, "rate=0.10,kill=1@1", false) }
+
+func BenchmarkE17Speculation(b *testing.B) { benchFault(b, "delay=0@40ms", true) }
 
 // --- E7: provisioning policies over the bursty demand profile ---
 

@@ -129,7 +129,7 @@ func main() {
 			nParts = aggregate.DefaultSpillParts(*trials)
 		}
 		spillStart := time.Now()
-		ds, err = yelt.SpillToDir(ctx, gen, dir, 0, nParts, *workers)
+		ds, err = yelt.SpillToDir(ctx, gen, dir, 0, nParts, 1, *workers)
 		if err != nil {
 			fail(err)
 		}

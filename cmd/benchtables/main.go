@@ -1,13 +1,15 @@
 // Command benchtables regenerates the tables for every experiment
-// E1–E16 in EXPERIMENTS.md — the quantitative claims of Varghese &
+// E1–E17 in EXPERIMENTS.md — the quantitative claims of Varghese &
 // Rau-Chaplin (SC 2012) reproduced on this machine, plus the
 // streaming-stage-2 memory envelope (E10), the partitioned
 // (spill + MapReduce) stage 2 (E11), the flat SoA trial kernel (E12),
 // the flat SoA year-state kernel for reinstatements (E13), the
 // blocked trial kernel with the two-lifetime device arena (E14), the
 // real-time quote serving tier under calm/active/burst load (E15),
-// and the locality-aware distributed stage 2 — shard-affine mapper
-// placement × process topology plus elastic provisioning (E16).
+// the locality-aware distributed stage 2 — shard-affine mapper
+// placement × process topology plus elastic provisioning (E16) — and
+// the fault-tolerant stage 2: deterministic chaos over replicated
+// shards with retries, replica failover, and speculation (E17).
 //
 // Usage:
 //
@@ -15,7 +17,7 @@
 //
 // -json additionally writes the run's measurements as a
 // machine-readable document (ns/op, bytes, speedups per experiment
-// row) — the format CI tracks as the BENCH_E10.json … BENCH_E16.json
+// row) — the format CI tracks as the BENCH_E10.json … BENCH_E17.json
 // artifacts.
 package main
 
@@ -38,6 +40,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/dfa"
 	"repro/internal/diskstore"
+	"repro/internal/faultinject"
 	"repro/internal/gpusim"
 	"repro/internal/layers"
 	"repro/internal/lossindex"
@@ -116,13 +119,13 @@ func main() {
 
 	want := map[int]bool{}
 	if *flagExperiments == "all" {
-		for i := 1; i <= 16; i++ {
+		for i := 1; i <= 17; i++ {
 			want[i] = true
 		}
 	} else {
 		for _, tok := range strings.Split(*flagExperiments, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(tok))
-			if err != nil || n < 1 || n > 16 {
+			if err != nil || n < 1 || n > 17 {
 				fmt.Fprintf(os.Stderr, "benchtables: bad experiment %q\n", tok)
 				os.Exit(2)
 			}
@@ -144,6 +147,7 @@ func main() {
 		14: e14BlockedKernel,
 		15: e15QuoteService,
 		16: e16LocalityPlacement,
+		17: e17FaultTolerance,
 	}
 	keys := make([]int, 0, len(want))
 	for k := range want {
@@ -845,7 +849,7 @@ func e11PartitionedStage2(ctx context.Context) error {
 		return err
 	}
 	t0 = time.Now()
-	ds, err := yelt.SpillToDir(ctx, genSpill, dir, 0, aggregate.DefaultSpillParts(trials), *flagWorkers)
+	ds, err := yelt.SpillToDir(ctx, genSpill, dir, 0, aggregate.DefaultSpillParts(trials), 1, *flagWorkers)
 	if err != nil {
 		return err
 	}
@@ -1418,7 +1422,7 @@ func e16LocalityPlacement(ctx context.Context) error {
 		return err
 	}
 	t0 := time.Now()
-	fused, err := yelt.SpillToDir(ctx, gen, dir, nodes, parts, *flagWorkers)
+	fused, err := yelt.SpillToDir(ctx, gen, dir, nodes, parts, 1, *flagWorkers)
 	if err != nil {
 		return err
 	}
@@ -1556,5 +1560,136 @@ func e16LocalityPlacement(ctx context.Context) error {
 		fmt.Printf("%-11s %-16s %10s %8s %12.3f %12.3f %6.2f\n",
 			ps, "total", "", "", alloc, busy, busy/alloc)
 	}
+	return nil
+}
+
+// e17FaultTolerance measures the fault-tolerant distributed stage 2.
+// One scenario spills its trial stream twice — unreplicated and r=2
+// chained-declustering replicas — and the MapReduce engine re-runs the
+// same aggregation under escalating deterministic chaos: injected
+// shard-read failure rates, a dead-on-arrival storage node, and an
+// injected straggler with speculative re-execution. Every surviving
+// cell must be bit-identical to the fault-free sequential run — faults
+// may only move time and the recovery counters, never values. The
+// table reports the absorbed chaos (map retries, replica failovers,
+// speculative backups, lost workers) and the completion-time overhead
+// against the clean cell at the same replication factor.
+func e17FaultTolerance(ctx context.Context) error {
+	trials := 400_000
+	if *flagQuick {
+		trials = 50_000
+	}
+	nodes := yelt.DefaultSpillNodes
+	parts := aggregate.DefaultSpillParts(trials)
+	if parts < 4*nodes {
+		parts = 4 * nodes
+	}
+	// Node kills need survivors with spare lanes, and speculation needs
+	// idle workers to run backups; oversubscription is cheap.
+	workers := *flagWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers < 2*nodes {
+		workers = 2 * nodes
+	}
+	fmt.Printf("## E17 — fault-tolerant stage 2: chaos × replication (%d trials, %d shards on %d storage nodes, %d mappers)\n",
+		trials, parts, nodes, workers)
+	s, err := scenario(ctx, trials, false)
+	if err != nil {
+		return err
+	}
+	idx, err := lossindex.Build(s.ELTs, s.Portfolio)
+	if err != nil {
+		return err
+	}
+	acfg := aggregate.Config{Seed: *flagSeed + 13, Sampling: true, Workers: workers}
+	want, err := aggregate.Sequential{}.Run(ctx,
+		&aggregate.Input{YELT: s.YELT, ELTs: s.ELTs, Portfolio: s.Portfolio, Index: idx}, acfg)
+	if err != nil {
+		return err
+	}
+
+	// Spill once per replication factor; cells at the same r scan the
+	// same committed shards.
+	ycfg := yelt.Config{NumTrials: trials, Workers: *flagWorkers}
+	sources := map[int]*yelt.DiskSource{}
+	for _, r := range []int{1, 2} {
+		dir, err := os.MkdirTemp("", fmt.Sprintf("e17-r%d-*", r))
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+		gen, err := yelt.NewGenerator(s.Catalog, ycfg, *flagSeed+7)
+		if err != nil {
+			return err
+		}
+		ds, err := yelt.SpillToDir(ctx, gen, dir, nodes, parts, r, *flagWorkers)
+		if err != nil {
+			return err
+		}
+		bytes, err := ds.SizeBytes()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("spill r=%d: %d shards on %d nodes, %s committed\n",
+			r, ds.Shards(), ds.Nodes(), yelt.HumanBytes(float64(bytes)))
+		sources[r] = ds
+	}
+
+	cells := []struct {
+		name      string
+		replicas  int
+		spec      string
+		speculate bool
+	}{
+		{"clean", 1, "", false},
+		{"clean", 2, "", false},
+		{"first-read-fails", 1, "shard=*@1", false},
+		{"rate=0.05", 2, "rate=0.05", false},
+		{"rate=0.10", 2, "rate=0.10", false},
+		{"rate+kill", 2, "rate=0.10,kill=1@1", false},
+		{"straggler+spec", 2, "delay=0@40ms", true},
+	}
+	fmt.Printf("%-18s %2s %10s %12s %8s %9s %9s %10s %6s %9s\n",
+		"chaos", "r", "time", "trials/s", "retries", "failover", "spec/won", "lost", "ovhd", "verified")
+	clean := map[int]time.Duration{}
+	for _, c := range cells {
+		plan, err := faultinject.Parse(c.spec, *flagSeed)
+		if err != nil {
+			return err
+		}
+		eng := aggregate.MapReduce{MaxAttempts: 5, Speculate: c.speculate, Faults: plan}
+		t0 := time.Now()
+		res, err := eng.Run(ctx,
+			&aggregate.Input{Source: sources[c.replicas], ELTs: s.ELTs, Portfolio: s.Portfolio, Index: idx}, acfg)
+		if err != nil {
+			return fmt.Errorf("%s/r%d: %w", c.name, c.replicas, err)
+		}
+		dur := time.Since(t0)
+		for t := 0; t < trials; t++ {
+			if res.Portfolio.Agg[t] != want.Portfolio.Agg[t] || res.Portfolio.OccMax[t] != want.Portfolio.OccMax[t] {
+				return fmt.Errorf("E17: %s/r%d diverged from fault-free sequential at trial %d", c.name, c.replicas, t)
+			}
+		}
+		if c.spec == "" {
+			clean[c.replicas] = dur
+		}
+		ovhd := 0.0
+		if base := clean[c.replicas]; base > 0 {
+			ovhd = dur.Seconds() / base.Seconds()
+		}
+		fmt.Printf("%-18s %2d %10v %12.0f %8d %9d %5d/%-3d %10d %5.2fx %9s\n",
+			c.name, c.replicas, dur.Round(time.Millisecond), float64(trials)/dur.Seconds(),
+			res.MapRetries, res.ShardFailovers, res.SpecLaunched, res.SpecWins,
+			res.WorkersLost, ovhd, "bit-eq")
+		name := fmt.Sprintf("%s/r%d", c.name, c.replicas)
+		record("E17", name, dur, 0, ovhd)
+		record("E17", name+"/retries", dur, res.MapRetries, 0)
+		record("E17", name+"/failovers", dur, res.ShardFailovers, 0)
+		record("E17", name+"/workers-lost", dur, res.WorkersLost, 0)
+	}
+	fmt.Printf("equivalence: all %d cells bit-identical to the fault-free sequential engine (%d trials)\n",
+		len(cells), trials)
 	return nil
 }

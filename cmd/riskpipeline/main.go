@@ -21,6 +21,7 @@ import (
 	"repro/internal/aggregate"
 	"repro/internal/cluster"
 	"repro/internal/core"
+	"repro/internal/faultinject"
 	"repro/internal/metrics"
 	"repro/internal/yelt"
 )
@@ -46,7 +47,11 @@ func main() {
 		parts     = flag.Int("parts", 0, "spill shard count (0 = derived from the trial count)")
 		nodes     = flag.Int("nodes", 0, "spill store storage-node count (0 = default)")
 		placement = flag.String("placement", "affine", "mapreduce mapper placement over spilled shards: affine|blind|uniform (bit-identical results)")
-		provision = flag.String("provision", "", "per-stage worker provisioning policy: static:N or elastic:N (empty = static -workers bound)")
+		provision = flag.String("provision", "", "per-stage worker provisioning policy: static:N, elastic:N, or degraded:K:POLICY (empty = static -workers bound)")
+		replicas  = flag.Int("replicas", 0, "spill replication factor: each shard written to this many storage nodes (<=1 = none)")
+		chaos     = flag.String("chaos", "", "deterministic fault injection into stage 2, e.g. rate=0.1,shard=3@2,kill=1@4,delay=2@50ms (bit-identical results)")
+		faultSeed = flag.Uint64("fault-seed", 0, "fault-plan seed (0 = -seed)")
+		speculate = flag.Bool("speculate", false, "speculative re-execution of straggling map tasks (mapreduce engine)")
 	)
 	flag.Parse()
 
@@ -95,6 +100,15 @@ func main() {
 		fmt.Fprintf(os.Stderr, "riskpipeline: %v\n", err)
 		os.Exit(2)
 	}
+	fseed := *faultSeed
+	if fseed == 0 {
+		fseed = *seed
+	}
+	plan, err := faultinject.Parse(*chaos, fseed)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "riskpipeline: %v\n", err)
+		os.Exit(2)
+	}
 
 	cfg := core.Config{
 		Seed:                 *seed,
@@ -112,6 +126,9 @@ func main() {
 		SpillDir:             *dir,
 		SpillParts:           *parts,
 		SpillNodes:           *nodes,
+		SpillReplicas:        *replicas,
+		Faults:               plan,
+		Speculate:            *speculate,
 		Provision:            policy,
 		Rho:                  *rho,
 		Workers:              *workers,
@@ -174,6 +191,12 @@ func main() {
 	}
 	if *mode == "aggregate" {
 		fmt.Printf("(two-process stage 2: shards spilled by an earlier process, re-attached via the manifest)\n")
+	}
+	for _, s := range rep.Stages {
+		if f := s.Faults; f.Any() {
+			fmt.Printf("fault tolerance (%s): %d map failures recovered by %d retries, %d replica failovers, %d speculative (%d won), %d workers lost\n",
+				s.Name, f.MapFailures, f.MapRetries, f.ShardFailovers, f.SpecLaunched, f.SpecWins, f.WorkersLost)
+		}
 	}
 	if res := p.AggResult; res != nil && res.LocalBytes+res.RemoteBytes > 0 {
 		total := res.LocalBytes + res.RemoteBytes

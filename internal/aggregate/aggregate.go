@@ -281,6 +281,18 @@ type Result struct {
 	// (MapReduce only) — the "busy" side of the allocated-vs-busy
 	// processor-time elasticity report.
 	BusySeconds float64
+	// MapFailures..WorkersLost count the failure-model events of a
+	// MapReduce run (zero elsewhere): failed map attempts, retries
+	// after them, speculative backups launched and won, shard reads
+	// that failed over to another replica, and lane workers retired by
+	// a node fault. They are observability only — any run that returns
+	// a Result at all is bit-identical to the fault-free one.
+	MapFailures    int64
+	MapRetries     int64
+	SpecLaunched   int64
+	SpecWins       int64
+	ShardFailovers int64
+	WorkersLost    int64
 }
 
 // Engine runs aggregate analysis over an input.

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/faultinject"
 	"repro/internal/mapreduce"
 	"repro/internal/stream"
 	"repro/internal/yelt"
@@ -53,6 +54,16 @@ type MapReduce struct {
 	// Placement constants. The zero value (PlaceAffine) is shard-affine
 	// whenever the source is a yelt.DiskSource and uniform otherwise.
 	Placement Placement
+	// Speculate launches backup attempts for straggling map tasks
+	// (first finisher wins; duplicates are discarded, so results are
+	// unchanged — see mapreduce.Config.Speculate).
+	Speculate bool
+	// Faults, when non-nil, injects the plan's deterministic failures
+	// into the run: shard-read faults into the spilled store (installed
+	// for the duration of the run when the source is a DiskSource),
+	// node kills into the mapper lanes, and split delays into task
+	// execution. Nil injects nothing.
+	Faults *faultinject.Plan
 }
 
 // Placement is MapReduce's mapper-placement policy over a spilled
@@ -230,10 +241,14 @@ func (m MapReduce) Run(ctx context.Context, in *Input, cfg Config) (*Result, err
 	// where a split's cost is its pro-rata share of its shard's file.
 	var busyNanos, localBytes, remoteBytes atomic.Int64
 	var splitBytes []int64
+	stats := &mapreduce.Stats{}
 	mrCfg := mapreduce.Config{
 		Mappers:     cfg.Workers,
 		Reducers:    nGroups,
 		MaxAttempts: maxAttempts,
+		RetrySeed:   cfg.Seed,
+		Speculate:   m.Speculate,
+		Stats:       stats,
 		OnTask: func(split int, local bool, d time.Duration) {
 			busyNanos.Add(int64(d))
 			if splitBytes == nil {
@@ -245,6 +260,16 @@ func (m MapReduce) Run(ctx context.Context, in *Input, cfg Config) (*Result, err
 				remoteBytes.Add(splitBytes[split])
 			}
 		},
+	}
+	if m.Faults != nil {
+		mrCfg.NodeFault = m.Faults.NodeTask
+		mrCfg.TaskDelay = m.Faults.SplitDelay
+		// Shard-read faults reach the scan through the spilled store.
+		if d, ok := src.(*yelt.DiskSource); ok {
+			st := d.Store()
+			st.SetReadFault(m.Faults.DiskRead)
+			defer st.SetReadFault(nil)
+		}
 	}
 	if sharded {
 		splitBytes = make([]int64, len(splits))
@@ -263,8 +288,24 @@ func (m MapReduce) Run(ctx context.Context, in *Input, cfg Config) (*Result, err
 		mrCfg.Nodes = ds.Nodes()
 		mrCfg.NodeOf = func(split int) int { return ds.ShardNode(shardOf[split]) }
 		mrCfg.Blind = m.Placement == PlaceBlind
+		// Under replication any replica holder reads the shard off its
+		// own disk, so placement accounting treats all of them as local.
+		if ds.Replicas() > 1 {
+			mrCfg.LocalOf = func(split, home int) bool {
+				for _, n := range ds.ShardNodes(shardOf[split]) {
+					if n == home {
+						return true
+					}
+				}
+				return false
+			}
+		}
 	}
 
+	var failovers0 int64
+	if ds != nil {
+		failovers0 = ds.Failovers()
+	}
 	stitched, err := mapreduce.Run(ctx, splits, mapf, nil, reduce, mrCfg)
 	if err != nil {
 		return nil, err
@@ -277,6 +318,14 @@ func (m MapReduce) Run(ctx context.Context, in *Input, cfg Config) (*Result, err
 	res.LocalBytes = localBytes.Load()
 	res.RemoteBytes = remoteBytes.Load()
 	res.BusySeconds = time.Duration(busyNanos.Load()).Seconds()
+	res.MapFailures = stats.Failures.Load()
+	res.MapRetries = stats.Retries.Load()
+	res.SpecLaunched = stats.SpecLaunched.Load()
+	res.SpecWins = stats.SpecWins.Load()
+	res.WorkersLost = stats.WorkersLost.Load()
+	if ds != nil {
+		res.ShardFailovers = ds.Failovers() - failovers0
+	}
 	finishResident(in, res, rt)
 	return res, nil
 }

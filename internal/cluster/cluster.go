@@ -71,18 +71,60 @@ func (e Elastic) Provision(demand int) int {
 	return demand
 }
 
+// Degraded wraps another policy and models a cluster running with
+// failed nodes: whatever the inner policy allocates, Lost processors
+// are gone (never dropping below one). This is the capacity picture of
+// the fault-tolerance experiment — a node kill shrinks the fleet and
+// stretches the stage, it does not stop the job.
+type Degraded struct {
+	Inner Policy
+	Lost  int
+}
+
+// Name implements Policy.
+func (d Degraded) Name() string {
+	return fmt.Sprintf("degraded-%d(%s)", d.Lost, d.Inner.Name())
+}
+
+// Provision implements Policy.
+func (d Degraded) Provision(demand int) int {
+	n := d.Inner.Provision(demand) - d.Lost
+	if n < 1 {
+		n = 1
+	}
+	return n
+}
+
 // ParsePolicy parses the CLI form of a provisioning policy:
-// "static:N" (fixed fleet of N) or "elastic:N" (scale to demand,
-// capped at N). "" returns (nil, nil) — no policy, static Workers
-// bound. This is how the pipeline CLIs select the elasticity model
-// the engines run under.
+// "static:N" (fixed fleet of N), "elastic:N" (scale to demand, capped
+// at N), or "degraded:K:POLICY" (POLICY minus K lost processors). ""
+// returns (nil, nil) — no policy, static Workers bound. This is how
+// the pipeline CLIs select the elasticity model the engines run under.
 func ParsePolicy(s string) (Policy, error) {
 	if s == "" {
 		return nil, nil
 	}
 	kind, arg, ok := strings.Cut(s, ":")
 	if !ok {
-		return nil, fmt.Errorf("cluster: policy %q: want kind:N (static:8, elastic:64)", s)
+		return nil, fmt.Errorf("cluster: policy %q: want kind:N (static:8, elastic:64) or degraded:K:POLICY", s)
+	}
+	if kind == "degraded" {
+		ks, rest, ok := strings.Cut(arg, ":")
+		if !ok {
+			return nil, fmt.Errorf("cluster: policy %q: want degraded:K:POLICY (degraded:2:elastic:64)", s)
+		}
+		k, err := strconv.Atoi(ks)
+		if err != nil || k < 0 {
+			return nil, fmt.Errorf("cluster: policy %q: lost count %q must be a non-negative integer", s, ks)
+		}
+		inner, err := ParsePolicy(rest)
+		if err != nil {
+			return nil, err
+		}
+		if inner == nil {
+			return nil, fmt.Errorf("cluster: policy %q: degraded needs an inner policy", s)
+		}
+		return Degraded{Inner: inner, Lost: k}, nil
 	}
 	n, err := strconv.Atoi(arg)
 	if err != nil || n <= 0 {
@@ -94,7 +136,7 @@ func ParsePolicy(s string) (Policy, error) {
 	case "elastic":
 		return Elastic{Max: n}, nil
 	default:
-		return nil, fmt.Errorf("cluster: unknown policy kind %q (want static or elastic)", kind)
+		return nil, fmt.Errorf("cluster: unknown policy kind %q (want static, elastic, or degraded)", kind)
 	}
 }
 

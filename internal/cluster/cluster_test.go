@@ -148,6 +148,8 @@ func TestParsePolicy(t *testing.T) {
 		{"", nil},
 		{"static:8", Static{N: 8}},
 		{"elastic:64", Elastic{Max: 64}},
+		{"degraded:2:elastic:64", Degraded{Inner: Elastic{Max: 64}, Lost: 2}},
+		{"degraded:0:static:8", Degraded{Inner: Static{N: 8}, Lost: 0}},
 	}
 	for _, c := range cases {
 		got, err := ParsePolicy(c.in)
@@ -158,9 +160,39 @@ func TestParsePolicy(t *testing.T) {
 			t.Fatalf("ParsePolicy(%q) = %#v, want %#v", c.in, got, c.want)
 		}
 	}
-	for _, bad := range []string{"static", "static:", "static:0", "static:-3", "elastic:x", "spot:4", "8"} {
+	for _, bad := range []string{"static", "static:", "static:0", "static:-3", "elastic:x",
+		"spot:4", "8", "degraded:2", "degraded:x:static:8", "degraded:-1:static:8", "degraded:2:"} {
 		if _, err := ParsePolicy(bad); err == nil {
 			t.Fatalf("ParsePolicy(%q) should error", bad)
 		}
+	}
+}
+
+// A degraded fleet never provisions below one processor, stretches the
+// stage proportionally, and names both the loss and the inner policy.
+func TestDegradedPolicy(t *testing.T) {
+	d := Degraded{Inner: Static{N: 8}, Lost: 2}
+	if got := d.Provision(100); got != 6 {
+		t.Fatalf("Provision = %d, want 6", got)
+	}
+	if got := (Degraded{Inner: Static{N: 2}, Lost: 5}).Provision(100); got != 1 {
+		t.Fatalf("floor Provision = %d, want 1", got)
+	}
+	if d.Name() != "degraded-2(static-8)" {
+		t.Fatalf("Name = %q", d.Name())
+	}
+	phases := []Phase{{Name: "x", Work: 60, MaxParallelism: 100}}
+	healthy, err := Simulate(phases, Static{N: 6}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	degraded, err := Simulate(phases, d, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same surviving capacity, same makespan: losing 2 of 8 equals a
+	// healthy fleet of 6.
+	if math.Abs(degraded.Makespan-healthy.Makespan) > 1e-9 {
+		t.Fatalf("degraded makespan %v != healthy-6 %v", degraded.Makespan, healthy.Makespan)
 	}
 }

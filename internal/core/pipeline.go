@@ -24,6 +24,7 @@ import (
 	"repro/internal/diskstore"
 	"repro/internal/elt"
 	"repro/internal/exposure"
+	"repro/internal/faultinject"
 	"repro/internal/layers"
 	"repro/internal/lossindex"
 	"repro/internal/metrics"
@@ -79,6 +80,21 @@ type Config struct {
 	// <= 0 means yelt.DefaultSpillNodes. Shard-affine engines place
 	// mappers against these nodes.
 	SpillNodes int
+	// SpillReplicas writes each spilled shard to this many distinct
+	// storage nodes (clamped to SpillNodes; <= 1 means no replication).
+	// With r >= 2, stage 2 survives the loss or corruption of any
+	// single replica by failing over to a survivor.
+	SpillReplicas int
+	// Faults is the deterministic fault-injection plan (nil injects
+	// nothing): shard-read failures are wired into the spill store,
+	// node kills and split delays into the MapReduce engine's lanes.
+	// Results must remain bit-identical to a fault-free run; only the
+	// recovery counters on the stage report change.
+	Faults *faultinject.Plan
+	// Speculate turns on speculative re-execution of straggling map
+	// tasks when the engine is aggregate.MapReduce (first finisher
+	// wins, duplicates discarded; results unchanged).
+	Speculate bool
 	// SpillAttach runs stage 2 over shards an *earlier process* spilled
 	// into SpillDir (required non-empty), re-attached through the spill
 	// manifest instead of generated — the aggregate half of the
@@ -136,6 +152,29 @@ type StageReport struct {
 	// The gap between the two is what elastic provisioning reclaims.
 	AllocatedProcSecs float64
 	BusyProcSecs      float64
+	// Faults carries the stage's fault-recovery counters (populated by
+	// the MapReduce engine; zero for fault-free runs and other
+	// engines).
+	Faults FaultCounters
+}
+
+// FaultCounters accounts how much chaos a stage absorbed: failed map
+// attempts and the retries that recovered them, speculative backups
+// launched and won, shard reads failed over to another replica, and
+// lane workers lost to node kills. Counters are observability only —
+// a stage that completes is bit-identical to its fault-free run.
+type FaultCounters struct {
+	MapFailures    int64
+	MapRetries     int64
+	SpecLaunched   int64
+	SpecWins       int64
+	ShardFailovers int64
+	WorkersLost    int64
+}
+
+// Any reports whether any fault-model event occurred.
+func (f FaultCounters) Any() bool {
+	return f.MapFailures+f.MapRetries+f.SpecLaunched+f.SpecWins+f.ShardFailovers+f.WorkersLost > 0
 }
 
 // Report is the output of a full pipeline run.
@@ -408,7 +447,18 @@ func (p *Pipeline) RunStage2(ctx context.Context) error {
 
 	demand := stage2Demand(p.Cfg.NumTrials)
 	workers := p.provisioned(demand)
-	res, err := p.Cfg.Engine.Run(ctx, in, aggregate.Config{
+	// The fault plan and speculation flag ride into the one engine with
+	// a failure model; other engines run fault-free (their store-level
+	// read faults would surface as plain errors, not recoveries).
+	engine := p.Cfg.Engine
+	if mr, ok := engine.(aggregate.MapReduce); ok && (p.Cfg.Faults != nil || p.Cfg.Speculate) {
+		if mr.Faults == nil {
+			mr.Faults = p.Cfg.Faults
+		}
+		mr.Speculate = mr.Speculate || p.Cfg.Speculate
+		engine = mr
+	}
+	res, err := engine.Run(ctx, in, aggregate.Config{
 		Seed:        p.Cfg.Seed + 13,
 		Sampling:    p.Cfg.Sampling,
 		Workers:     workers,
@@ -439,6 +489,14 @@ func (p *Pipeline) RunStage2(ctx context.Context) error {
 		rep.OutputBytes = p.YELT.SizeBytes() + res.Portfolio.SizeBytes()
 		rep.Items = int64(p.YELT.Len())
 	}
+	rep.Faults = FaultCounters{
+		MapFailures:    res.MapFailures,
+		MapRetries:     res.MapRetries,
+		SpecLaunched:   res.SpecLaunched,
+		SpecWins:       res.SpecWins,
+		ShardFailovers: res.ShardFailovers,
+		WorkersLost:    res.WorkersLost,
+	}
 	account(&rep, workers, demand, res.BusySeconds)
 	p.setStage(rep)
 	return nil
@@ -464,10 +522,15 @@ func (p *Pipeline) spillYELT(ctx context.Context, gen *yelt.Generator) (ds *yelt
 	if parts <= 0 {
 		parts = aggregate.DefaultSpillParts(p.Cfg.NumTrials)
 	}
-	d, err := yelt.SpillToDir(ctx, gen, dir, p.Cfg.SpillNodes, parts, p.Cfg.Workers)
+	d, err := yelt.SpillToDir(ctx, gen, dir, p.Cfg.SpillNodes, parts, p.Cfg.SpillReplicas, p.Cfg.Workers)
 	if err != nil {
 		cleanup()
 		return nil, nil, fmt.Errorf("core: stage 2 spill: %w", err)
+	}
+	if p.Cfg.Faults != nil {
+		// Chaos starts after the spill commits: the plan injects into
+		// reads, and a torn spill is the crash case the manifest refuses.
+		d.Store().SetReadFault(p.Cfg.Faults.DiskRead)
 	}
 	spillBytes, err := d.SizeBytes()
 	if err != nil {
@@ -517,6 +580,9 @@ func (p *Pipeline) AttachSpill() (*yelt.DiskSource, error) {
 	ds, err := yelt.OpenDiskSource(store, "yelt")
 	if err != nil {
 		return nil, fmt.Errorf("core: attaching spilled yelt: %w", err)
+	}
+	if p.Cfg.Faults != nil {
+		store.SetReadFault(p.Cfg.Faults.DiskRead)
 	}
 	return ds, nil
 }

@@ -23,9 +23,24 @@ import (
 var ErrNotFound = errors.New("diskstore: not found")
 
 // Store is a dataset namespace partitioned across node directories.
+// A partition may be replicated: the same file written under several
+// node directories (see ReplicaNodesFor for the placement rule). All
+// replica-aware methods treat the file under any node directory as
+// the same logical partition.
 type Store struct {
 	root  string
 	nodes int
+	// readFault, when set, is consulted before every partition read
+	// attempt — the deterministic fault-injection hook. It must be set
+	// (SetReadFault) before concurrent readers start.
+	readFault func(dataset string, part, node int) error
+}
+
+// SetReadFault installs a fault-injection hook consulted before each
+// read attempt of (dataset, part) on a node; a non-nil error fails the
+// attempt as if the disk had. Install before readers start; nil clears.
+func (s *Store) SetReadFault(fn func(dataset string, part, node int) error) {
+	s.readFault = fn
 }
 
 // Create initializes a store rooted at dir with the given node count,
@@ -67,11 +82,35 @@ func nodeDir(root string, i int) string {
 // Nodes returns the number of storage nodes.
 func (s *Store) Nodes() int { return s.nodes }
 
-// NodeOf returns the node a partition lives on (round-robin placement).
+// NodeOf returns the node a partition primarily lives on (round-robin
+// placement). With replication this is the first replica's node.
 func (s *Store) NodeOf(part int) int { return part % s.nodes }
 
+// ReplicaNodesFor returns the placement rule for r replicas of a
+// partition: consecutive nodes starting at the primary, (NodeOf+k) mod
+// nodes — chained declustering, so losing one node leaves every
+// partition with a survivor on the next node. r is clamped to the node
+// count (more replicas than nodes would collide).
+func (s *Store) ReplicaNodesFor(part, replicas int) []int {
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > s.nodes {
+		replicas = s.nodes
+	}
+	nodes := make([]int, replicas)
+	for k := range nodes {
+		nodes[k] = (s.NodeOf(part) + k) % s.nodes
+	}
+	return nodes
+}
+
 func (s *Store) partPath(dataset string, part int) string {
-	return filepath.Join(nodeDir(s.root, s.NodeOf(part)),
+	return s.pathAt(dataset, part, s.NodeOf(part))
+}
+
+func (s *Store) pathAt(dataset string, part, node int) string {
+	return filepath.Join(nodeDir(s.root, node),
 		fmt.Sprintf("%s.part-%05d", dataset, part))
 }
 
@@ -88,7 +127,19 @@ func (s *Store) partPath(dataset string, part int) string {
 // temp files (a leading dot, no ".part-" infix) are invisible to
 // Partitions and ReadPartition.
 func (s *Store) WritePartition(dataset string, part int, fn func(io.Writer) error) error {
-	path := s.partPath(dataset, part)
+	return s.WritePartitionAt(dataset, part, s.NodeOf(part), fn)
+}
+
+// WritePartitionAt writes one replica of a partition under an explicit
+// node's directory, with the same temp+fsync+rename commit protocol as
+// WritePartition. Replicated spills call it once per replica node;
+// each replica commits (or fails) independently, and the dataset-level
+// commit record (e.g. a manifest) is what makes the set authoritative.
+func (s *Store) WritePartitionAt(dataset string, part, node int, fn func(io.Writer) error) error {
+	if node < 0 || node >= s.nodes {
+		return fmt.Errorf("diskstore: node %d out of range [0,%d)", node, s.nodes)
+	}
+	path := s.pathAt(dataset, part, node)
 	dir := filepath.Dir(path)
 	f, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-*")
 	if err != nil {
@@ -143,13 +194,28 @@ func syncDir(dir string) error {
 	return nil
 }
 
-// ReadPartition streams partition part of dataset through fn.
+// ReadPartition streams partition part of dataset through fn, from its
+// primary node. Replica-aware callers use ReadPartitionAt and supply
+// their own failover order.
 func (s *Store) ReadPartition(dataset string, part int, fn func(io.Reader) error) error {
-	path := s.partPath(dataset, part)
+	return s.ReadPartitionAt(dataset, part, s.NodeOf(part), fn)
+}
+
+// ReadPartitionAt streams one replica of a partition through fn. The
+// read-fault hook (SetReadFault) is consulted first, so an injected
+// fault fails the attempt even when the file on disk is healthy —
+// modelling a node whose disk errors, not a missing file.
+func (s *Store) ReadPartitionAt(dataset string, part, node int, fn func(io.Reader) error) error {
+	if s.readFault != nil {
+		if err := s.readFault(dataset, part, node); err != nil {
+			return err
+		}
+	}
+	path := s.pathAt(dataset, part, node)
 	f, err := os.Open(path)
 	if err != nil {
 		if os.IsNotExist(err) {
-			return fmt.Errorf("%w: %s part %d", ErrNotFound, dataset, part)
+			return fmt.Errorf("%w: %s part %d (node %d)", ErrNotFound, dataset, part, node)
 		}
 		return fmt.Errorf("diskstore: open %s: %w", path, err)
 	}
@@ -157,9 +223,29 @@ func (s *Store) ReadPartition(dataset string, part int, fn func(io.Reader) error
 	return fn(f)
 }
 
-// Partitions returns the sorted partition numbers of a dataset.
+// ReplicaNodes discovers which nodes hold a copy of a partition by
+// scanning node directories, in placement order (primary first, then
+// successive nodes). It reads the filesystem, not a manifest, so it
+// also sees replicas a manifest does not know about.
+func (s *Store) ReplicaNodes(dataset string, part int) ([]int, error) {
+	var nodes []int
+	for k := 0; k < s.nodes; k++ {
+		n := (s.NodeOf(part) + k) % s.nodes
+		if _, err := os.Stat(s.pathAt(dataset, part, n)); err == nil {
+			nodes = append(nodes, n)
+		}
+	}
+	if len(nodes) == 0 {
+		return nil, fmt.Errorf("%w: %s part %d", ErrNotFound, dataset, part)
+	}
+	return nodes, nil
+}
+
+// Partitions returns the sorted partition numbers of a dataset. A
+// partition replicated on several nodes is reported once: the logical
+// partition set, not the physical file set.
 func (s *Store) Partitions(dataset string) ([]int, error) {
-	var parts []int
+	seen := map[int]bool{}
 	prefix := dataset + ".part-"
 	for n := 0; n < s.nodes; n++ {
 		entries, err := os.ReadDir(nodeDir(s.root, n))
@@ -174,17 +260,23 @@ func (s *Store) Partitions(dataset string) ([]int, error) {
 			if err != nil {
 				continue
 			}
-			parts = append(parts, p)
+			seen[p] = true
 		}
 	}
-	if len(parts) == 0 {
+	if len(seen) == 0 {
 		return nil, fmt.Errorf("%w: dataset %s", ErrNotFound, dataset)
+	}
+	parts := make([]int, 0, len(seen))
+	for p := range seen {
+		parts = append(parts, p)
 	}
 	sort.Ints(parts)
 	return parts, nil
 }
 
-// SizeBytes returns the total on-disk size of a dataset.
+// SizeBytes returns the logical on-disk size of a dataset: each
+// partition counted once, from its first surviving replica. Compare
+// TotalSizeBytes for the physical footprint including replicas.
 func (s *Store) SizeBytes(dataset string) (int64, error) {
 	parts, err := s.Partitions(dataset)
 	if err != nil {
@@ -192,61 +284,110 @@ func (s *Store) SizeBytes(dataset string) (int64, error) {
 	}
 	var total int64
 	for _, p := range parts {
-		info, err := os.Stat(s.partPath(dataset, p))
+		n, err := s.PartitionSizeBytes(dataset, p)
 		if err != nil {
-			return 0, fmt.Errorf("diskstore: stat part %d: %w", p, err)
+			return 0, err
 		}
-		total += info.Size()
+		total += n
 	}
 	return total, nil
 }
 
-// Delete removes all partitions of a dataset.
+// TotalSizeBytes returns the physical on-disk size of a dataset —
+// every replica of every partition. The replication cost column.
+func (s *Store) TotalSizeBytes(dataset string) (int64, error) {
+	parts, err := s.Partitions(dataset)
+	if err != nil {
+		return 0, err
+	}
+	var total int64
+	for _, p := range parts {
+		nodes, err := s.ReplicaNodes(dataset, p)
+		if err != nil {
+			return 0, err
+		}
+		for _, n := range nodes {
+			info, err := os.Stat(s.pathAt(dataset, p, n))
+			if err != nil {
+				return 0, fmt.Errorf("diskstore: stat part %d node %d: %w", p, n, err)
+			}
+			total += info.Size()
+		}
+	}
+	return total, nil
+}
+
+// Delete removes all partitions of a dataset, every replica included.
 func (s *Store) Delete(dataset string) error {
 	parts, err := s.Partitions(dataset)
 	if err != nil {
 		return err
 	}
 	for _, p := range parts {
-		if err := os.Remove(s.partPath(dataset, p)); err != nil {
-			return fmt.Errorf("diskstore: delete part %d: %w", p, err)
+		nodes, err := s.ReplicaNodes(dataset, p)
+		if err != nil {
+			return err
+		}
+		for _, n := range nodes {
+			if err := os.Remove(s.pathAt(dataset, p, n)); err != nil {
+				return fmt.Errorf("diskstore: delete part %d node %d: %w", p, n, err)
+			}
 		}
 	}
 	return nil
 }
 
-// PartitionSizeBytes returns the on-disk size of one partition —
-// the unit of data-motion accounting for shard-affine mappers.
+// PartitionSizeBytes returns the on-disk size of one partition — the
+// unit of data-motion accounting for shard-affine mappers. When the
+// primary replica is gone it falls back to the first survivor, so
+// accounting keeps working through a node loss.
 func (s *Store) PartitionSizeBytes(dataset string, part int) (int64, error) {
 	info, err := os.Stat(s.partPath(dataset, part))
-	if err != nil {
-		if os.IsNotExist(err) {
+	if os.IsNotExist(err) {
+		nodes, nerr := s.ReplicaNodes(dataset, part)
+		if nerr != nil {
 			return 0, fmt.Errorf("%w: %s part %d", ErrNotFound, dataset, part)
 		}
+		info, err = os.Stat(s.pathAt(dataset, part, nodes[0]))
+	}
+	if err != nil {
 		return 0, fmt.Errorf("diskstore: stat part %d: %w", part, err)
 	}
 	return info.Size(), nil
 }
 
-// Remove deletes a single partition — a failure-injection hook for
-// re-attach tests (a shard lost between spill and aggregate).
+// Remove deletes a single partition's primary replica — a
+// failure-injection hook for re-attach tests (a shard lost between
+// spill and aggregate).
 func (s *Store) Remove(dataset string, part int) error {
-	if err := os.Remove(s.partPath(dataset, part)); err != nil {
+	return s.RemoveAt(dataset, part, s.NodeOf(part))
+}
+
+// RemoveAt deletes one replica of a partition from one node — the
+// replicated-store failure-injection hook.
+func (s *Store) RemoveAt(dataset string, part, node int) error {
+	if err := os.Remove(s.pathAt(dataset, part, node)); err != nil {
 		if os.IsNotExist(err) {
-			return fmt.Errorf("%w: %s part %d", ErrNotFound, dataset, part)
+			return fmt.Errorf("%w: %s part %d (node %d)", ErrNotFound, dataset, part, node)
 		}
-		return fmt.Errorf("diskstore: remove part %d: %w", part, err)
+		return fmt.Errorf("diskstore: remove part %d node %d: %w", part, node, err)
 	}
 	return nil
 }
 
-// Corrupt truncates a partition to half its size — a failure-injection
-// hook for recovery tests.
+// Corrupt truncates a partition's primary replica to half its size —
+// a failure-injection hook for recovery tests.
 func (s *Store) Corrupt(dataset string, part int) error {
-	path := s.partPath(dataset, part)
+	return s.CorruptAt(dataset, part, s.NodeOf(part))
+}
+
+// CorruptAt truncates one replica of a partition to half its size,
+// leaving the other replicas intact — the torn-replica injection hook.
+func (s *Store) CorruptAt(dataset string, part, node int) error {
+	path := s.pathAt(dataset, part, node)
 	info, err := os.Stat(path)
 	if err != nil {
-		return fmt.Errorf("%w: %s part %d", ErrNotFound, dataset, part)
+		return fmt.Errorf("%w: %s part %d (node %d)", ErrNotFound, dataset, part, node)
 	}
 	return os.Truncate(path, info.Size()/2)
 }

@@ -1,0 +1,363 @@
+package mapreduce
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// The backoff schedule is a pure function of (config, split, attempt):
+// capped exponential with jitter in [d/2, d), replayable run to run.
+func TestBackoffDelayDeterministicAndCapped(t *testing.T) {
+	cfg := Config{RetryBaseDelay: time.Millisecond, RetryMaxDelay: 64 * time.Millisecond, RetrySeed: 42}.normalized()
+	for attempt := 1; attempt <= 12; attempt++ {
+		for split := 0; split < 5; split++ {
+			d1 := backoffDelay(cfg, split, attempt)
+			d2 := backoffDelay(cfg, split, attempt)
+			if d1 != d2 {
+				t.Fatalf("attempt %d split %d: %v != %v (jitter not deterministic)", attempt, split, d1, d2)
+			}
+			nominal := cfg.RetryMaxDelay
+			if shift := attempt - 1; shift < 20 {
+				if b := cfg.RetryBaseDelay << shift; b < nominal {
+					nominal = b
+				}
+			}
+			if d1 < nominal/2 || d1 >= nominal {
+				t.Fatalf("attempt %d split %d: delay %v outside [%v, %v)", attempt, split, d1, nominal/2, nominal)
+			}
+		}
+	}
+	// Different seeds decorrelate.
+	other := cfg
+	other.RetrySeed = 43
+	same := 0
+	for split := 0; split < 16; split++ {
+		if backoffDelay(cfg, split, 3) == backoffDelay(other, split, 3) {
+			same++
+		}
+	}
+	if same == 16 {
+		t.Fatal("different seeds produced identical jitter everywhere")
+	}
+}
+
+// A pending retry backoff must not delay cancellation: the job returns
+// promptly even when the next retry is scheduled far in the future.
+func TestBackoffDoesNotDelayCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		return errors.New("always failing")
+	}
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	_, err := Run(ctx, []int{0}, mapf, nil, sumReduce,
+		Config{MaxAttempts: 10, RetryBaseDelay: 30 * time.Second, RetryMaxDelay: 30 * time.Second})
+	if err == nil {
+		t.Fatal("cancelled job should error")
+	}
+	if el := time.Since(start); el > 2*time.Second {
+		t.Fatalf("cancellation took %v; backoff sleep is not context-aware", el)
+	}
+}
+
+// A panicking map attempt burns an attempt instead of crashing the
+// process, and succeeds on retry.
+func TestMapPanicRecoveredAndRetried(t *testing.T) {
+	var first atomic.Bool
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		if first.CompareAndSwap(false, true) {
+			panic("poisoned split")
+		}
+		emit(uint64(split), 1)
+		return nil
+	}
+	var stats Stats
+	got, err := Run(context.Background(), []int{0}, mapf, nil, sumReduce,
+		Config{MaxAttempts: 2, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 {
+		t.Fatalf("result = %v", got[0])
+	}
+	if stats.Panics.Load() != 1 || stats.Retries.Load() != 1 {
+		t.Fatalf("panics=%d retries=%d, want 1/1", stats.Panics.Load(), stats.Retries.Load())
+	}
+}
+
+// A split that panics on every attempt exhausts its budget like any
+// other permanent failure, and the error names the panic.
+func TestMapPanicExhaustsAttempts(t *testing.T) {
+	mapf := func(_ context.Context, _ int, _ func(uint64, float64)) error {
+		panic("always")
+	}
+	_, err := Run(context.Background(), []int{0}, mapf, nil, sumReduce, Config{MaxAttempts: 3})
+	if !errors.Is(err, ErrTooManyFailures) {
+		t.Fatalf("err = %v, want ErrTooManyFailures", err)
+	}
+	if !strings.Contains(err.Error(), "panicked") {
+		t.Fatalf("error %q does not mention the panic", err)
+	}
+}
+
+// Combine runs inside the attempt, so a combine panic is retried too.
+func TestCombinePanicRecovered(t *testing.T) {
+	var first atomic.Bool
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		emit(1, 1)
+		emit(1, 2)
+		return nil
+	}
+	combine := func(k uint64, vs []float64) (float64, error) {
+		if first.CompareAndSwap(false, true) {
+			panic("combine poison")
+		}
+		return sumReduce(k, vs)
+	}
+	got, err := Run(context.Background(), []int{0}, mapf, combine, sumReduce, Config{MaxAttempts: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[1] != 3 {
+		t.Fatalf("result = %v, want 3", got[1])
+	}
+}
+
+// A reduce panic becomes a job error, not a process crash.
+func TestReducePanicRecovered(t *testing.T) {
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		emit(1, 1)
+		return nil
+	}
+	_, err := Run(context.Background(), []int{0}, mapf, nil,
+		func(uint64, []float64) (float64, error) { panic("reduce poison") }, Config{})
+	if err == nil || !strings.Contains(err.Error(), "reduce panicked") {
+		t.Fatalf("err = %v, want reduce panic error", err)
+	}
+}
+
+// Killing one node's workers mid-job strands nothing: the dead lane's
+// splits are stolen by survivors and the result is unchanged.
+func TestNodeFaultSurvivorsStealWork(t *testing.T) {
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		for i := 0; i < 100; i++ {
+			emit(uint64((split+i)%7), float64(split*100+i))
+		}
+		return nil
+	}
+	splits := make([]int, 16)
+	for i := range splits {
+		splits[i] = i
+	}
+	base, err := Run(context.Background(), splits, mapf, nil, sumReduce, Config{Mappers: 1, Reducers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	lost := errors.New("node 1 is gone")
+	var stats Stats
+	cfg := Config{
+		Mappers: 4, Reducers: 2,
+		Nodes:  2,
+		NodeOf: func(i int) int { return i % 2 },
+		NodeFault: func(node int) error {
+			if node == 1 {
+				return lost
+			}
+			return nil
+		},
+		Stats: &stats,
+	}
+	got, err := Run(context.Background(), splits, mapf, nil, sumReduce, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range base {
+		if d := got[k] - v; d > 1e-9 || d < -1e-9 {
+			t.Fatalf("key %d: %v vs %v (node loss changed the result)", k, got[k], v)
+		}
+	}
+	// Mappers=4 on 2 nodes homes workers 1 and 3 on node 1: both retire.
+	if stats.WorkersLost.Load() != 2 {
+		t.Fatalf("WorkersLost = %d, want 2", stats.WorkersLost.Load())
+	}
+}
+
+// Losing every worker with splits still queued is a job failure, not a
+// hang or a short result.
+func TestAllWorkersLost(t *testing.T) {
+	lost := errors.New("cluster gone")
+	var stats Stats
+	cfg := Config{
+		Mappers:   3,
+		NodeFault: func(int) error { return lost },
+		Stats:     &stats,
+	}
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		emit(uint64(split), 1)
+		return nil
+	}
+	_, err := Run(context.Background(), []int{0, 1, 2, 3}, mapf, nil, sumReduce, cfg)
+	if !errors.Is(err, ErrWorkersLost) {
+		t.Fatalf("err = %v, want ErrWorkersLost", err)
+	}
+	if stats.WorkersLost.Load() == 0 {
+		t.Fatal("no workers recorded lost")
+	}
+}
+
+// Injected task delays stretch the recorded duration but never the
+// values.
+func TestTaskDelayInjected(t *testing.T) {
+	const delay = 30 * time.Millisecond
+	var slowDur atomic.Int64
+	cfg := Config{
+		Mappers: 2,
+		TaskDelay: func(split int) time.Duration {
+			if split == 0 {
+				return delay
+			}
+			return 0
+		},
+		OnTask: func(split int, _ bool, d time.Duration) {
+			if split == 0 {
+				slowDur.Store(int64(d))
+			}
+		},
+	}
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		emit(uint64(split), 1)
+		return nil
+	}
+	got, err := Run(context.Background(), []int{0, 1, 2}, mapf, nil, sumReduce, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] != 1 || got[1] != 1 || got[2] != 1 {
+		t.Fatalf("got %v", got)
+	}
+	if time.Duration(slowDur.Load()) < delay {
+		t.Fatalf("delayed split ran in %v, want >= %v", time.Duration(slowDur.Load()), delay)
+	}
+}
+
+// A straggling first execution gets a speculative backup that wins;
+// the loser's emissions are discarded, so the result and the OnTask
+// count are exactly as if the split ran once.
+func TestSpeculativeBackupWins(t *testing.T) {
+	var firstRun atomic.Bool
+	release := make(chan struct{})
+	mapf := func(ctx context.Context, split int, emit func(uint64, float64)) error {
+		if split == 0 && firstRun.CompareAndSwap(false, true) {
+			// The original execution of split 0 hangs until the job is
+			// effectively over; only a backup can finish it promptly.
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
+		emit(uint64(split), 1)
+		return nil
+	}
+	var stats Stats
+	var tasks atomic.Int32
+	cfg := Config{
+		Mappers: 4, Reducers: 2,
+		Speculate:      true,
+		SpecMultiplier: 1.5,
+		Stats:          &stats,
+		OnTask:         func(int, bool, time.Duration) { tasks.Add(1) },
+	}
+	splits := make([]int, 12)
+	for i := range splits {
+		splits[i] = i
+	}
+	done := make(chan struct{})
+	var got map[uint64]float64
+	var err error
+	go func() {
+		defer close(done)
+		got, err = Run(context.Background(), splits, mapf, nil, sumReduce, cfg)
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		close(release)
+		t.Fatal("job hung: speculation never rescued the straggler")
+	}
+	close(release)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range splits {
+		if got[uint64(i)] != 1 {
+			t.Fatalf("split %d contributed %v, want 1 (duplicate or lost emission)", i, got[uint64(i)])
+		}
+	}
+	if tasks.Load() != int32(len(splits)) {
+		t.Fatalf("OnTask fired %d times for %d splits", tasks.Load(), len(splits))
+	}
+	if stats.SpecLaunched.Load() == 0 || stats.SpecWins.Load() == 0 {
+		t.Fatalf("launched=%d wins=%d, want both > 0", stats.SpecLaunched.Load(), stats.SpecWins.Load())
+	}
+}
+
+// Without stragglers, speculation stays quiet and results are
+// unchanged — backups are a tail-latency lever, not a correctness one.
+func TestSpeculationQuietOnHealthyJob(t *testing.T) {
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		emit(uint64(split%5), float64(split))
+		return nil
+	}
+	splits := make([]int, 32)
+	for i := range splits {
+		splits[i] = i
+	}
+	base, err := Run(context.Background(), splits, mapf, nil, sumReduce, Config{Mappers: 1, Reducers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var stats Stats
+	got, err := Run(context.Background(), splits, mapf, nil, sumReduce,
+		Config{Mappers: 4, Speculate: true, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for k, v := range base {
+		if got[k] != v {
+			t.Fatalf("key %d: %v vs %v", k, got[k], v)
+		}
+	}
+}
+
+// Failure counters add up: N transient failures cost N retries and the
+// job still accounts one success per split.
+func TestStatsAccounting(t *testing.T) {
+	var flaky atomic.Int32
+	mapf := func(_ context.Context, split int, emit func(uint64, float64)) error {
+		if split == 3 && flaky.Add(1) <= 2 {
+			return errors.New("transient")
+		}
+		emit(uint64(split), 1)
+		return nil
+	}
+	var stats Stats
+	_, err := Run(context.Background(), []int{0, 1, 2, 3, 4}, mapf, nil, sumReduce,
+		Config{MaxAttempts: 4, Stats: &stats})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Failures.Load() != 2 || stats.Retries.Load() != 2 {
+		t.Fatalf("failures=%d retries=%d, want 2/2", stats.Failures.Load(), stats.Retries.Load())
+	}
+	if stats.Attempts.Load() != 7 { // 5 splits + 2 re-attempts
+		t.Fatalf("attempts=%d, want 7", stats.Attempts.Load())
+	}
+}

@@ -3,8 +3,17 @@
 // on MapReduce or Hadoop style computations on the cloud" (§II). Jobs
 // map over dataset splits in parallel, optionally combine map-side,
 // shuffle by key hash into reducer buckets, and reduce in parallel.
-// Mapper failures are retried with bounded attempts, mirroring
-// speculative re-execution in the systems it stands in for.
+//
+// The failure model mirrors the frameworks it stands in for. Map
+// attempts that fail (errors or recovered panics) are retried with
+// capped exponential backoff and deterministic jitter, up to
+// Config.MaxAttempts. A worker whose node is reported lost
+// (Config.NodeFault) stops taking tasks; its queued splits are stolen
+// by survivors. With Config.Speculate, splits whose runtime exceeds a
+// robust percentile of completed tasks get a backup attempt on an idle
+// worker — first finisher wins, the loser's emissions are discarded.
+// All of this is safe because every attempt emits into a private
+// bucket set that is published exactly once, by the winning attempt.
 //
 // When the splits live on distinct storage nodes (internal/diskstore),
 // the scheduler can be made locality-aware: Config.Nodes/NodeOf carve
@@ -23,11 +32,10 @@ import (
 	"fmt"
 	"hash/maphash"
 	"runtime"
+	"sort"
 	"sync"
 	"sync/atomic"
 	"time"
-
-	"repro/internal/stream"
 )
 
 // Config tunes a job.
@@ -39,6 +47,17 @@ type Config struct {
 	// MaxAttempts per map task (>= 1). Transient map failures are
 	// retried up to this bound.
 	MaxAttempts int
+	// RetryBaseDelay is the backoff before the first retry; each later
+	// retry doubles it up to RetryMaxDelay. Defaults: 1ms base, 250ms
+	// cap. The actual sleep is jittered to 50–100% of the nominal
+	// delay, deterministically from (RetrySeed, split, attempt), so
+	// retry storms decorrelate without a global RNG making runs
+	// unreproducible. Backoff sleeps watch the context: cancellation
+	// is never delayed by a pending retry.
+	RetryBaseDelay time.Duration
+	RetryMaxDelay  time.Duration
+	// RetrySeed seeds the deterministic backoff jitter.
+	RetrySeed uint64
 	// Nodes, with NodeOf, turns on locality-aware lane scheduling:
 	// mapper w belongs to node w mod Nodes, and split i is queued on
 	// the lane of node NodeOf(i). A worker drains its own lane first
@@ -54,12 +73,62 @@ type Config struct {
 	// ownership — the placement-blind baseline locality is measured
 	// against. Placement accounting (OnTask's local flag) still applies.
 	Blind bool
+	// LocalOf, if non-nil, overrides the placement predicate used for
+	// accounting: whether a worker homed on node home scans split i
+	// locally. The default is NodeOf(i) mod Nodes == home; replicated
+	// stores pass "home holds any replica of the split's shard".
+	LocalOf func(split, home int) bool
+	// NodeFault, if non-nil, is consulted by each lane worker before it
+	// takes another task; a non-nil error retires the worker (its node
+	// left the cluster). Queued splits of a retired lane are stolen by
+	// surviving workers, so a node kill degrades throughput, never
+	// correctness. Tasks already started by the worker run to
+	// completion — the model is a node drained between tasks.
+	NodeFault func(node int) error
+	// TaskDelay, if non-nil, returns an injected extra runtime for one
+	// execution of split i — the deterministic straggler hook
+	// (faultinject.Plan.SplitDelay). The sleep watches the context.
+	TaskDelay func(split int) time.Duration
+	// Speculate launches a backup attempt for a split whose runtime
+	// exceeds SpecMultiplier × the SpecQuantile-quantile of completed
+	// task durations (once SpecMinDone tasks have completed), on a
+	// worker that would otherwise idle. First finisher wins; the
+	// loser's emissions are discarded. Defaults: quantile 0.75,
+	// multiplier 2, min done 3.
+	Speculate      bool
+	SpecQuantile   float64
+	SpecMultiplier float64
+	SpecMinDone    int
+	// Stats, if non-nil, accumulates failure/retry/speculation counters
+	// for the run (added to, not reset — callers aggregate across jobs).
+	Stats *Stats
 	// OnTask, if non-nil, is called once per successful map task with
 	// the split index, whether the task ran on the lane of the node
 	// owning the split (always true when locality is off), and the
-	// task's wall-clock duration. Called concurrently from worker
-	// goroutines; implementations must be safe for concurrent use.
+	// winning attempt's wall-clock duration. Called concurrently from
+	// worker goroutines; implementations must be safe for concurrent
+	// use.
 	OnTask func(split int, local bool, d time.Duration)
+}
+
+// Stats counts the failure-model events of one or more jobs. All
+// fields are updated atomically and may be read while a job runs.
+type Stats struct {
+	// Attempts counts map attempts started; Failures counts attempts
+	// that returned an error or panicked; Retries counts re-attempts
+	// after a failure (Failures minus permanently failed splits).
+	Attempts atomic.Int64
+	Failures atomic.Int64
+	Retries  atomic.Int64
+	// Panics counts attempts that failed by recovered panic
+	// (a subset of Failures).
+	Panics atomic.Int64
+	// SpecLaunched counts backup attempts launched; SpecWins counts
+	// backups that finished before the original attempt.
+	SpecLaunched atomic.Int64
+	SpecWins     atomic.Int64
+	// WorkersLost counts lane workers retired by NodeFault.
+	WorkersLost atomic.Int64
 }
 
 func (c Config) normalized() Config {
@@ -72,12 +141,28 @@ func (c Config) normalized() Config {
 	if c.MaxAttempts <= 0 {
 		c.MaxAttempts = 1
 	}
+	if c.RetryBaseDelay <= 0 {
+		c.RetryBaseDelay = time.Millisecond
+	}
+	if c.RetryMaxDelay <= 0 {
+		c.RetryMaxDelay = 250 * time.Millisecond
+	}
+	if c.SpecQuantile <= 0 || c.SpecQuantile > 1 {
+		c.SpecQuantile = 0.75
+	}
+	if c.SpecMultiplier <= 0 {
+		c.SpecMultiplier = 2
+	}
+	if c.SpecMinDone <= 0 {
+		c.SpecMinDone = 3
+	}
 	return c
 }
 
 // MapFunc processes one split, emitting key/value pairs. It may be
-// retried; it must be idempotent from the job's perspective (emissions
-// of failed attempts are discarded).
+// retried or run twice concurrently (speculation); it must be
+// idempotent from the job's perspective (emissions of losing attempts
+// are discarded).
 type MapFunc[S any, K comparable, V any] func(ctx context.Context, split S, emit func(K, V)) error
 
 // ReduceFunc folds the values of one key. Values arrive in unspecified
@@ -87,6 +172,10 @@ type ReduceFunc[K comparable, V any] func(key K, values []V) (V, error)
 
 // ErrTooManyFailures is returned when a map task exhausts its attempts.
 var ErrTooManyFailures = errors.New("mapreduce: map task exhausted attempts")
+
+// ErrWorkersLost is returned when every worker has been retired by
+// NodeFault while splits remain unprocessed — the whole cluster died.
+var ErrWorkersLost = errors.New("mapreduce: all workers lost")
 
 // laneScheduler hands out split indices to workers keyed by the
 // worker's home node. In affine mode each node has its own FIFO lane
@@ -150,6 +239,72 @@ func (s *laneScheduler) next(home int) (split int, ok bool) {
 	return split, true
 }
 
+// splitState tracks one split's attempt chains. done flips exactly
+// once (CAS by the winning attempt — the commit point that makes
+// duplicate speculative execution safe); chains counts attempt chains
+// that could still produce the split's result (the original, plus a
+// speculative backup), so a chain's permanent failure is fatal only
+// when it was the last hope; spec latches that a backup was launched.
+type splitState struct {
+	done   atomic.Bool
+	chains atomic.Int32
+	spec   atomic.Bool
+}
+
+// specCtl decides when a running split is a straggler worth backing
+// up: its elapsed time exceeds a robust percentile of completed task
+// durations by a configurable multiple.
+type specCtl struct {
+	mu      sync.Mutex
+	durs    []time.Duration
+	running map[int]time.Time // split -> original chain's start
+}
+
+func newSpecCtl() *specCtl { return &specCtl{running: map[int]time.Time{}} }
+
+func (c *specCtl) start(i int) {
+	c.mu.Lock()
+	c.running[i] = time.Now()
+	c.mu.Unlock()
+}
+
+func (c *specCtl) complete(i int, d time.Duration) {
+	c.mu.Lock()
+	delete(c.running, i)
+	c.durs = append(c.durs, d)
+	c.mu.Unlock()
+}
+
+// candidate returns the longest-running eligible split past the
+// straggler threshold, if any.
+func (c *specCtl) candidate(cfg Config, eligible func(int) bool) (int, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if len(c.durs) < cfg.SpecMinDone || len(c.running) == 0 {
+		return 0, false
+	}
+	sorted := append([]time.Duration(nil), c.durs...)
+	sort.Slice(sorted, func(a, b int) bool { return sorted[a] < sorted[b] })
+	q := sorted[int(cfg.SpecQuantile*float64(len(sorted)-1))]
+	thr := time.Duration(float64(q) * cfg.SpecMultiplier)
+	if thr < time.Millisecond {
+		// Floor: with microsecond tasks, an OS scheduling hiccup would
+		// otherwise look like a straggler.
+		thr = time.Millisecond
+	}
+	now := time.Now()
+	best, bestElapsed := -1, thr
+	for i, t0 := range c.running {
+		if !eligible(i) {
+			continue
+		}
+		if el := now.Sub(t0); el >= bestElapsed {
+			best, bestElapsed = i, el
+		}
+	}
+	return best, best >= 0
+}
+
 // Run executes a MapReduce job over splits and returns the reduced
 // key/value map. combine, if non-nil, is applied map-side per split to
 // shrink shuffle volume (classic combiner; usually the same function
@@ -165,84 +320,140 @@ func Run[S any, K comparable, V any](
 	if mapf == nil || reduce == nil {
 		return nil, errors.New("mapreduce: nil map or reduce function")
 	}
-	cfg = cfg.normalized()
 	if cfg.Nodes > 0 && cfg.NodeOf == nil {
 		return nil, errors.New("mapreduce: Nodes set without NodeOf")
 	}
+	cfg = cfg.normalized()
+	if cfg.Nodes <= 0 {
+		// Placement-free jobs run as a single-lane cluster: same FIFO
+		// order and worker bound, and the failure model (retry backoff,
+		// panic recovery, node faults against node 0, speculation)
+		// applies uniformly.
+		cfg.Nodes = 1
+		cfg.NodeOf = func(int) int { return 0 }
+		cfg.Blind = false
+	}
 	if len(splits) == 0 {
 		return map[K]V{}, nil
+	}
+	stats := cfg.Stats
+	if stats == nil {
+		stats = &Stats{}
 	}
 
 	seed := maphash.MakeSeed()
 	nRed := cfg.Reducers
 
-	// Each map task owns a private bucket set; buckets are merged into
-	// reducer inputs after the map phase (no locks on the hot path).
+	// Each map attempt owns a private bucket set; the winning attempt
+	// publishes its set exactly once (splitState.done CAS), and buckets
+	// are merged into reducer inputs after the map phase — no locks on
+	// the hot path, and no way for a retried or speculative duplicate
+	// to leak emissions.
 	type bucketSet struct {
 		buckets []map[K][]V
 	}
 	taskBuckets := make([]*bucketSet, len(splits))
+	states := make([]splitState, len(splits))
+	var remaining atomic.Int64
+	remaining.Store(int64(len(splits)))
+	ctl := newSpecCtl()
 
-	// runTask executes split i with the retry loop; local records how
-	// the scheduler placed it, for the OnTask accounting callback.
-	runTask := func(ctx context.Context, i int, local bool) error {
-		start := time.Now()
+	// runAttempt executes one map attempt of split i with panics
+	// recovered into errors, so a poisoned split burns its attempt
+	// budget instead of crashing the process.
+	runAttempt := func(ctx context.Context, i int, bs *bucketSet) (err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				stats.Panics.Add(1)
+				err = fmt.Errorf("mapreduce: map attempt panicked on split %d: %v", i, r)
+			}
+		}()
+		emit := func(k K, v V) {
+			var h maphash.Hash
+			h.SetSeed(seed)
+			writeKey(&h, k)
+			b := int(h.Sum64() % uint64(nRed))
+			if bs.buckets[b] == nil {
+				bs.buckets[b] = make(map[K][]V)
+			}
+			bs.buckets[b][k] = append(bs.buckets[b][k], v)
+		}
+		if err := mapf(ctx, splits[i], emit); err != nil {
+			return err
+		}
+		if combine != nil {
+			for _, bucket := range bs.buckets {
+				for k, vs := range bucket {
+					if len(vs) > 1 {
+						c, err := combine(k, vs)
+						if err != nil {
+							return fmt.Errorf("mapreduce: combine: %w", err)
+						}
+						bucket[k] = append(vs[:0], c)
+					}
+				}
+			}
+		}
+		return nil
+	}
+
+	// runChain drives one attempt chain of split i through the retry
+	// loop. Two chains may run concurrently for the same split (the
+	// original and a speculative backup); whichever commits the done
+	// CAS first wins and publishes its buckets, the other's work is
+	// dropped on the floor.
+	runChain := func(ctx context.Context, i int, local, backup bool) error {
 		var lastErr error
 		for attempt := 0; attempt < cfg.MaxAttempts; attempt++ {
-			bs := &bucketSet{buckets: make([]map[K][]V, nRed)}
-			emit := func(k K, v V) {
-				var h maphash.Hash
-				h.SetSeed(seed)
-				writeKey(&h, k)
-				b := int(h.Sum64() % uint64(nRed))
-				if bs.buckets[b] == nil {
-					bs.buckets[b] = make(map[K][]V)
-				}
-				bs.buckets[b][k] = append(bs.buckets[b][k], v)
+			if states[i].done.Load() {
+				return nil // the other chain already won
 			}
-			if err := mapf(ctx, splits[i], emit); err != nil {
+			if attempt > 0 {
+				stats.Retries.Add(1)
+				if err := sleepBackoff(ctx, cfg, i, attempt); err != nil {
+					return err
+				}
+			}
+			start := time.Now()
+			if cfg.TaskDelay != nil {
+				if d := cfg.TaskDelay(i); d > 0 {
+					if err := sleepCtx(ctx, d); err != nil {
+						return err
+					}
+				}
+			}
+			stats.Attempts.Add(1)
+			bs := &bucketSet{buckets: make([]map[K][]V, nRed)}
+			if err := runAttempt(ctx, i, bs); err != nil {
 				// Cancellation is not a task failure: retrying a
 				// cancelled mapper can only fail again, so surface it
 				// immediately instead of burning the attempt budget.
 				if ctx.Err() != nil {
 					return ctx.Err()
 				}
+				stats.Failures.Add(1)
 				lastErr = err
 				continue // retry with fresh buckets
 			}
-			// Map-side combine.
-			if combine != nil {
-				for _, bucket := range bs.buckets {
-					for k, vs := range bucket {
-						if len(vs) > 1 {
-							c, err := combine(k, vs)
-							if err != nil {
-								return fmt.Errorf("mapreduce: combine: %w", err)
-							}
-							bucket[k] = append(vs[:0], c)
-						}
-					}
+			if states[i].done.CompareAndSwap(false, true) {
+				taskBuckets[i] = bs
+				d := time.Since(start)
+				ctl.complete(i, d)
+				remaining.Add(-1)
+				if backup {
+					stats.SpecWins.Add(1)
 				}
-			}
-			taskBuckets[i] = bs
-			if cfg.OnTask != nil {
-				cfg.OnTask(i, local, time.Since(start))
+				if cfg.OnTask != nil {
+					cfg.OnTask(i, local, d)
+				}
 			}
 			return nil
 		}
-		return fmt.Errorf("%w: split %d after %d attempts: %v", ErrTooManyFailures, i, cfg.MaxAttempts, lastErr)
+		return fmt.Errorf("%w: split %d after %d attempts: %w", ErrTooManyFailures, i, cfg.MaxAttempts, lastErr)
 	}
 
-	var mapErr error
-	if cfg.Nodes > 0 {
-		mapErr = runLanes(ctx, len(splits), cfg, runTask)
-	} else {
-		mapErr = stream.ForEach(ctx, len(splits), cfg.Mappers, func(ctx context.Context, i int) error {
-			return runTask(ctx, i, true)
-		})
-	}
-	if mapErr != nil {
-		return nil, mapErr
+	if err := runLanes(ctx, len(splits), cfg, stats, states, ctl, &remaining, runChain); err != nil {
+		return nil, err
 	}
 
 	// Shuffle: merge per-task buckets into per-reducer inputs.
@@ -261,7 +472,8 @@ func Run[S any, K comparable, V any](
 		}
 	}
 
-	// Reduce phase: one goroutine per reducer partition.
+	// Reduce phase: one goroutine per reducer partition. Panics in the
+	// reduce function surface as job errors, not process crashes.
 	results := make([]map[K]V, nRed)
 	var wg sync.WaitGroup
 	errCh := make(chan error, nRed)
@@ -269,6 +481,12 @@ func Run[S any, K comparable, V any](
 	for r := 0; r < nRed; r++ {
 		go func(r int) {
 			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					stats.Panics.Add(1)
+					errCh <- fmt.Errorf("mapreduce: reduce panicked: %v", rec)
+				}
+			}()
 			out := make(map[K]V, len(reducerIn[r]))
 			for k, vs := range reducerIn[r] {
 				v, err := reduce(k, vs)
@@ -302,47 +520,189 @@ func Run[S any, K comparable, V any](
 // a laneScheduler (per-node lanes in affine mode, one global queue in
 // blind mode). A task is local when the split's owning node equals the
 // worker's home — true by construction for a home-lane pop, false for
-// a steal, and ~1/Nodes of the time under the blind baseline. The
-// first error cancels outstanding work, like stream.ForEach.
-func runLanes(ctx context.Context, n int, cfg Config, runTask func(ctx context.Context, i int, local bool) error) error {
+// a steal, and ~1/Nodes of the time under the blind baseline
+// (Config.LocalOf overrides the predicate for replicated stores). The
+// first fatal error cancels outstanding work, like stream.ForEach.
+//
+// A worker checks NodeFault before each pop, so a killed node strands
+// nothing: unpopped splits are stolen by surviving lanes. When the
+// scheduler runs dry but splits are still in flight, speculating
+// workers stay to run backups of stragglers instead of idling.
+func runLanes(ctx context.Context, n int, cfg Config, stats *Stats,
+	states []splitState, ctl *specCtl, remaining *atomic.Int64,
+	runChain func(ctx context.Context, i int, local, backup bool) error,
+) error {
 	workers := cfg.Mappers
 	if workers > n {
 		workers = n
 	}
 	sched := newLaneScheduler(n, cfg.Nodes, cfg.NodeOf, cfg.Blind)
+	parent := ctx
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 
-	var firstErr atomic.Value
+	// When the last split commits, the phase cancels its own context so
+	// attempts that lost a speculative race (possibly stuck on a
+	// straggling replica) abort instead of pinning the job open; the
+	// flag distinguishes that benign teardown from a real failure.
+	var mapComplete atomic.Bool
+	finishPhase := func() {
+		mapComplete.Store(true)
+		cancel()
+	}
+
+	isLocal := func(split, home int) bool {
+		if cfg.LocalOf != nil {
+			return cfg.LocalOf(split, home)
+		}
+		return cfg.NodeOf(split)%cfg.Nodes == home
+	}
+
+	var errMu sync.Mutex
+	var firstErr error
+	latchErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		cancel()
+	}
+	// finish consumes a chain's outcome; false retires the worker.
+	finish := func(i int, err error) bool {
+		if err == nil {
+			return true
+		}
+		if ctx.Err() != nil {
+			// Job-level cancellation, first fatal error elsewhere, or the
+			// phase completing while this chain was a speculative loser.
+			if !mapComplete.Load() {
+				latchErr(err)
+			}
+			cancel()
+			return false
+		}
+		if states[i].chains.Add(-1) > 0 || states[i].done.Load() {
+			// A concurrent chain can still (or already did) produce this
+			// split — the failure is absorbed, the worker moves on.
+			return true
+		}
+		latchErr(err)
+		return false
+	}
+
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
 		go func(home int) {
 			defer wg.Done()
 			for {
-				i, ok := sched.next(home)
-				if !ok {
-					return
+				// Fault check precedes the ctx check so a dead worker is
+				// counted exactly once even when the job finishes first.
+				if cfg.NodeFault != nil {
+					if cfg.NodeFault(home) != nil {
+						stats.WorkersLost.Add(1)
+						return
+					}
 				}
 				select {
 				case <-ctx.Done():
 					return
 				default:
 				}
-				local := cfg.NodeOf(i)%cfg.Nodes == home
-				if err := runTask(ctx, i, local); err != nil {
-					firstErr.CompareAndSwap(nil, err)
-					cancel()
+				if i, ok := sched.next(home); ok {
+					states[i].chains.Add(1)
+					ctl.start(i)
+					if !finish(i, runChain(ctx, i, isLocal(i, home), false)) {
+						return
+					}
+					continue
+				}
+				if remaining.Load() == 0 {
+					finishPhase()
+					return
+				}
+				if !cfg.Speculate {
+					// Splits still in flight belong to live chains on
+					// other workers; without speculation there is
+					// nothing useful left for this one.
+					return
+				}
+				i, ok := ctl.candidate(cfg, func(s int) bool {
+					return !states[s].spec.Load() && !states[s].done.Load()
+				})
+				if ok && states[i].spec.CompareAndSwap(false, true) {
+					states[i].chains.Add(1)
+					stats.SpecLaunched.Add(1)
+					if !finish(i, runChain(ctx, i, isLocal(i, home), true)) {
+						return
+					}
+					continue
+				}
+				if err := sleepCtx(ctx, 200*time.Microsecond); err != nil {
 					return
 				}
 			}
 		}(w % cfg.Nodes)
 	}
 	wg.Wait()
-	if e := firstErr.Load(); e != nil {
-		return e.(error)
+	if firstErr != nil {
+		return firstErr
 	}
-	return ctx.Err()
+	if remaining.Load() == 0 {
+		return nil
+	}
+	if err := parent.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("%w: %d splits unprocessed", ErrWorkersLost, remaining.Load())
+}
+
+// sleepBackoff sleeps the capped-exponential, deterministically
+// jittered delay before retry number attempt of split, returning early
+// with the context's error on cancellation.
+func sleepBackoff(ctx context.Context, cfg Config, split, attempt int) error {
+	return sleepCtx(ctx, backoffDelay(cfg, split, attempt))
+}
+
+// backoffDelay is the pure delay schedule: base·2^(attempt-1) capped at
+// RetryMaxDelay, jittered to 50–100% of nominal by a hash of
+// (RetrySeed, split, attempt) — the same run replays the same sleeps,
+// different splits decorrelate.
+func backoffDelay(cfg Config, split, attempt int) time.Duration {
+	d := cfg.RetryMaxDelay
+	if shift := attempt - 1; shift < 20 {
+		if base := cfg.RetryBaseDelay << shift; base < d {
+			d = base
+		}
+	}
+	h := mix64(cfg.RetrySeed ^ uint64(split)*0x9e3779b97f4a7c15 ^ uint64(attempt)*0xc2b2ae3d27d4eb4f)
+	frac := float64(h>>11) / (1 << 53)
+	return d/2 + time.Duration(frac*float64(d/2))
+}
+
+// sleepCtx sleeps d unless the context is cancelled first.
+func sleepCtx(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return ctx.Err()
+	case <-t.C:
+		return nil
+	}
+}
+
+// mix64 is the SplitMix64 finalizer — cheap, well-distributed bits for
+// the deterministic jitter.
+func mix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
 }
 
 // writeKey hashes a comparable key. Common key kinds get fast paths;

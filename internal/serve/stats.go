@@ -5,6 +5,8 @@ import (
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"repro/risk"
 )
 
 // stats holds the serving counters exposed by /v1/statz. Counters are
@@ -38,9 +40,21 @@ type statzResponse struct {
 	Failed      int64   `json:"failed"`
 	P50MS       float64 `json:"p50_ms"`
 	P99MS       float64 `json:"p99_ms"`
+	// Fault-recovery counters latched by the backing study's last
+	// full run (all zero for non-Study quoters or fault-free runs).
+	MapFailures    int64 `json:"map_failures"`
+	MapRetries     int64 `json:"map_retries"`
+	SpecLaunched   int64 `json:"spec_launched"`
+	SpecWins       int64 `json:"spec_wins"`
+	ShardFailovers int64 `json:"shard_failovers"`
+	WorkersLost    int64 `json:"workers_lost"`
 }
 
 func (st *stats) snapshot(s *Server) statzResponse {
+	var f risk.FaultStats
+	if s.study != nil {
+		f = s.study.FaultStats()
+	}
 	return statzResponse{
 		UptimeMS:    float64(time.Since(s.start)) / float64(time.Millisecond),
 		Contracts:   s.q.NumContracts(),
@@ -57,6 +71,13 @@ func (st *stats) snapshot(s *Server) statzResponse {
 		Failed:      st.failed.Load(),
 		P50MS:       float64(st.lat.quantile(0.50)) / float64(time.Millisecond),
 		P99MS:       float64(st.lat.quantile(0.99)) / float64(time.Millisecond),
+
+		MapFailures:    f.MapFailures,
+		MapRetries:     f.MapRetries,
+		SpecLaunched:   f.SpecLaunched,
+		SpecWins:       f.SpecWins,
+		ShardFailovers: f.ShardFailovers,
+		WorkersLost:    f.WorkersLost,
 	}
 }
 

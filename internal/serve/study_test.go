@@ -171,3 +171,58 @@ func TestConcurrentQuotesAcrossContracts(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// A chaos-configured study behind the server: the portfolio run
+// absorbs injected first-read failures over replicated shards, and
+// /v1/statz surfaces the recovery counters the run latched.
+func TestStatzSurfacesFaultCounters(t *testing.T) {
+	cfg := smallStudyConfig(33)
+	cfg.Engine = risk.EngineMapReduce
+	cfg.Spill = true
+	cfg.SpillNodes = 3
+	cfg.SpillReplicas = 2
+	cfg.FaultSpec = "shard=*@1" // every (shard, node) site's first read fails
+	s := New(risk.NewStudy(cfg), Config{Workers: 1})
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+
+	getStatz := func() statzResponse {
+		t.Helper()
+		resp, err := http.Get(ts.URL + "/v1/statz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		var stz statzResponse
+		if err := json.NewDecoder(resp.Body).Decode(&stz); err != nil {
+			t.Fatal(err)
+		}
+		return stz
+	}
+
+	if before := getStatz(); before.MapRetries != 0 || before.ShardFailovers != 0 {
+		t.Fatalf("fault counters nonzero before any run: %+v", before)
+	}
+	resp, err := http.Get(ts.URL + "/v1/portfolio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("portfolio under injected faults: status %d", resp.StatusCode)
+	}
+	after := getStatz()
+	if after.MapFailures == 0 {
+		t.Fatalf("no injected failures recorded: %+v", after)
+	}
+	if after.MapRetries+after.ShardFailovers == 0 {
+		t.Fatalf("no recovery recorded: %+v", after)
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/diskstore"
@@ -33,6 +34,20 @@ import (
 // fresh ones and corrupt size accounting and OpenDiskSource
 // re-attachment.
 func Spill(ctx context.Context, src Source, store *diskstore.Store, dataset string, parts, workers int) (*DiskSource, error) {
+	return SpillReplicated(ctx, src, store, dataset, parts, 1, workers)
+}
+
+// SpillReplicated is Spill with a replication factor: each shard is
+// written to replicas distinct storage nodes (clamped to the node
+// count; <= 1 means no replication), placed by the store's chained
+// declustering rule, and the manifest records every shard's replica
+// set so a re-attaching process knows where the survivors are. The
+// commit protocol is unchanged — every replica of every shard must
+// land before the manifest (itself replicated) is written — so a crash
+// mid-spill still leaves a dataset OpenDiskSource refuses, never a
+// partially replicated one that would silently lose its fault
+// tolerance.
+func SpillReplicated(ctx context.Context, src Source, store *diskstore.Store, dataset string, parts, replicas, workers int) (*DiskSource, error) {
 	n := src.TrialCount()
 	if n <= 0 {
 		return nil, fmt.Errorf("yelt: spill of empty source")
@@ -40,21 +55,37 @@ func Spill(ctx context.Context, src Source, store *diskstore.Store, dataset stri
 	if parts <= 0 {
 		return nil, fmt.Errorf("yelt: spill parts %d", parts)
 	}
+	if replicas < 1 {
+		replicas = 1
+	}
+	if replicas > store.Nodes() {
+		replicas = store.Nodes()
+	}
 	for _, stale := range []string{manifestDataset(dataset), dataset} {
 		if err := store.Delete(stale); err != nil && !errors.Is(err, diskstore.ErrNotFound) {
 			return nil, fmt.Errorf("yelt: clearing stale dataset %q: %w", stale, err)
 		}
 	}
 	ranges := stream.Partition(n, parts)
+	reps := make([][]int, len(ranges))
+	for i := range reps {
+		reps[i] = store.ReplicaNodesFor(i, replicas)
+	}
 	err := stream.ForEach(ctx, len(ranges), workers, func(ctx context.Context, i int) error {
 		shard, err := src.ReadTrials(ctx, ranges[i].Lo, ranges[i].Hi, &Table{})
 		if err != nil {
 			return fmt.Errorf("yelt: spill shard %d: %w", i, err)
 		}
-		return store.WritePartition(dataset, i, func(w io.Writer) error {
-			_, err := shard.WriteTo(w)
-			return err
-		})
+		for _, node := range reps[i] {
+			err := store.WritePartitionAt(dataset, i, node, func(w io.Writer) error {
+				_, err := shard.WriteTo(w)
+				return err
+			})
+			if err != nil {
+				return err
+			}
+		}
+		return nil
 	})
 	if err != nil {
 		return nil, err
@@ -63,19 +94,28 @@ func Spill(ctx context.Context, src Source, store *diskstore.Store, dataset stri
 	// landed, so a crash mid-spill leaves a dataset OpenDiskSource
 	// refuses — individually valid trailing shards cannot masquerade as
 	// a complete (but truncated) spill.
-	if err := writeManifest(store, dataset, shardCounts(ranges)); err != nil {
+	if err := writeManifest(store, dataset, shardCounts(ranges), reps, replicas); err != nil {
 		return nil, err
 	}
-	return &DiskSource{store: store, dataset: dataset, ranges: ranges, n: n}, nil
+	return &DiskSource{store: store, dataset: dataset, ranges: ranges, n: n,
+		reps: reps, replicas: replicas}, nil
 }
 
 // The manifest is a sibling single-partition dataset recording what a
-// complete spill contains: magic, shard count, total trial count, and
-// the per-shard trial counts. Recording every shard's expected count —
-// not just the total — lets OpenDiskSource name the exact shard whose
-// header disagrees with the spill instead of reporting only that the
-// totals drifted.
-var manifestMagic = [4]byte{'Y', 'S', 'P', '2'}
+// complete spill contains: magic, shard count, total trial count,
+// replication factor, the per-shard trial counts, and the per-shard
+// replica node sets. Recording every shard's expected count — not just
+// the total — lets OpenDiskSource name the exact shard whose header
+// disagrees with the spill instead of reporting only that the totals
+// drifted; recording the replica sets tells a re-attaching process
+// where the survivors of a node loss are without scanning every node
+// directory. The manifest partition is itself replicated (same
+// placement rule), and v2 manifests from pre-replication spills still
+// read (replica sets default to the primary placement).
+var (
+	manifestMagicV2 = [4]byte{'Y', 'S', 'P', '2'}
+	manifestMagic   = [4]byte{'Y', 'S', 'P', '3'}
+)
 
 func manifestDataset(dataset string) string { return dataset + ".manifest" }
 
@@ -87,35 +127,92 @@ func shardCounts(ranges []stream.Range) []int {
 	return counts
 }
 
-func writeManifest(store *diskstore.Store, dataset string, counts []int) error {
-	return store.WritePartition(manifestDataset(dataset), 0, func(w io.Writer) error {
-		trials := 0
-		for _, c := range counts {
-			trials += c
+// Manifest v3 layout, all little-endian u32 after the magic:
+//
+//	"YSP3" | parts | trials | replicas r | parts × count | parts × r × node
+func writeManifest(store *diskstore.Store, dataset string, counts []int, reps [][]int, replicas int) error {
+	trials := 0
+	for _, c := range counts {
+		trials += c
+	}
+	buf := make([]byte, 16+4*len(counts)+4*replicas*len(counts))
+	copy(buf[:4], manifestMagic[:])
+	binary.LittleEndian.PutUint32(buf[4:8], uint32(len(counts)))
+	binary.LittleEndian.PutUint32(buf[8:12], uint32(trials))
+	binary.LittleEndian.PutUint32(buf[12:16], uint32(replicas))
+	off := 16
+	for _, c := range counts {
+		binary.LittleEndian.PutUint32(buf[off:], uint32(c))
+		off += 4
+	}
+	for _, nodes := range reps {
+		for _, n := range nodes {
+			binary.LittleEndian.PutUint32(buf[off:], uint32(n))
+			off += 4
 		}
-		buf := make([]byte, 12+4*len(counts))
-		copy(buf[:4], manifestMagic[:])
-		binary.LittleEndian.PutUint32(buf[4:8], uint32(len(counts)))
-		binary.LittleEndian.PutUint32(buf[8:12], uint32(trials))
-		for i, c := range counts {
-			binary.LittleEndian.PutUint32(buf[12+4*i:], uint32(c))
+	}
+	for _, node := range store.ReplicaNodesFor(0, replicas) {
+		err := store.WritePartitionAt(manifestDataset(dataset), 0, node, func(w io.Writer) error {
+			_, err := w.Write(buf)
+			return err
+		})
+		if err != nil {
+			return err
 		}
-		_, err := w.Write(buf)
-		return err
-	})
+	}
+	return nil
 }
 
-func readManifest(store *diskstore.Store, dataset string) (counts []int, err error) {
-	err = store.ReadPartition(manifestDataset(dataset), 0, func(r io.Reader) error {
-		var hdr [12]byte
-		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+// readManifest reads the spill's commit record, failing over across
+// its replicas (the same node loss that takes out data shards can take
+// out the manifest's primary copy).
+func readManifest(store *diskstore.Store, dataset string) (counts []int, reps [][]int, replicas int, err error) {
+	mds := manifestDataset(dataset)
+	nodes, err := store.ReplicaNodes(mds, 0)
+	if err != nil {
+		return nil, nil, 0, fmt.Errorf("%w: %s part 0", diskstore.ErrNotFound, mds)
+	}
+	var errs []error
+	for _, node := range nodes {
+		counts, reps, replicas, err = parseManifestAt(store, mds, node)
+		if err == nil {
+			return counts, reps, replicas, nil
+		}
+		errs = append(errs, fmt.Errorf("node %d: %w", node, err))
+	}
+	if len(errs) == 1 {
+		return nil, nil, 0, errs[0]
+	}
+	return nil, nil, 0, fmt.Errorf("yelt: spill manifest unreadable on all replicas: %w", errors.Join(errs...))
+}
+
+func parseManifestAt(store *diskstore.Store, mds string, node int) (counts []int, reps [][]int, replicas int, err error) {
+	err = store.ReadPartitionAt(mds, 0, node, func(r io.Reader) error {
+		var magicBuf [4]byte
+		if _, err := io.ReadFull(r, magicBuf[:]); err != nil {
 			return fmt.Errorf("yelt: spill manifest: %w", err)
 		}
-		if [4]byte(hdr[:4]) != manifestMagic {
-			return fmt.Errorf("%w: spill manifest magic %q", ErrBadFormat, hdr[:4])
+		v3 := magicBuf == manifestMagic
+		if !v3 && magicBuf != manifestMagicV2 {
+			return fmt.Errorf("%w: spill manifest magic %q", ErrBadFormat, magicBuf[:])
 		}
-		parts := int(binary.LittleEndian.Uint32(hdr[4:8]))
-		trials := int(binary.LittleEndian.Uint32(hdr[8:12]))
+		hdrLen := 8
+		if v3 {
+			hdrLen = 12
+		}
+		hdr := make([]byte, hdrLen)
+		if _, err := io.ReadFull(r, hdr); err != nil {
+			return fmt.Errorf("yelt: spill manifest: %w", err)
+		}
+		parts := int(binary.LittleEndian.Uint32(hdr[0:4]))
+		trials := int(binary.LittleEndian.Uint32(hdr[4:8]))
+		replicas = 1
+		if v3 {
+			replicas = int(binary.LittleEndian.Uint32(hdr[8:12]))
+			if replicas < 1 || replicas > store.Nodes() {
+				return fmt.Errorf("%w: spill manifest replication factor %d (store has %d nodes)", ErrBadFormat, replicas, store.Nodes())
+			}
+		}
 		body := make([]byte, 4*parts)
 		if _, err := io.ReadFull(r, body); err != nil {
 			return fmt.Errorf("yelt: spill manifest shard table: %w", err)
@@ -129,9 +226,32 @@ func readManifest(store *diskstore.Store, dataset string) (counts []int, err err
 		if sum != trials {
 			return fmt.Errorf("%w: spill manifest shard counts sum to %d, header says %d", ErrBadFormat, sum, trials)
 		}
+		reps = make([][]int, parts)
+		if v3 {
+			rbody := make([]byte, 4*replicas*parts)
+			if _, err := io.ReadFull(r, rbody); err != nil {
+				return fmt.Errorf("yelt: spill manifest replica table: %w", err)
+			}
+			for i := range reps {
+				reps[i] = make([]int, replicas)
+				for k := range reps[i] {
+					n := int(binary.LittleEndian.Uint32(rbody[4*(i*replicas+k):]))
+					if n < 0 || n >= store.Nodes() {
+						return fmt.Errorf("%w: spill manifest shard %d replica node %d (store has %d nodes)", ErrBadFormat, i, n, store.Nodes())
+					}
+					reps[i][k] = n
+				}
+			}
+		} else {
+			// v2 predates replication: each shard has exactly its
+			// primary-placement copy.
+			for i := range reps {
+				reps[i] = []int{store.NodeOf(i)}
+			}
+		}
 		return nil
 	})
-	return counts, err
+	return counts, reps, replicas, err
 }
 
 // DefaultSpillNodes is the simulated storage-node count spills default
@@ -141,8 +261,9 @@ const DefaultSpillNodes = 4
 // SpillToDir is the one-call form of Spill shared by the pipeline,
 // CLIs, and benchmarks: it creates a diskstore rooted at dir with
 // nodes storage nodes (<= 0 means DefaultSpillNodes) and spills src
-// into its "yelt" dataset.
-func SpillToDir(ctx context.Context, src Source, dir string, nodes, parts, workers int) (*DiskSource, error) {
+// into its "yelt" dataset, replicating each shard to replicas nodes
+// (<= 1 means no replication).
+func SpillToDir(ctx context.Context, src Source, dir string, nodes, parts, replicas, workers int) (*DiskSource, error) {
 	if nodes <= 0 {
 		nodes = DefaultSpillNodes
 	}
@@ -150,7 +271,7 @@ func SpillToDir(ctx context.Context, src Source, dir string, nodes, parts, worke
 	if err != nil {
 		return nil, err
 	}
-	return Spill(ctx, src, store, "yelt", parts, workers)
+	return SpillReplicated(ctx, src, store, "yelt", parts, replicas, workers)
 }
 
 // DiskSource is a Source over the trial-range shards Spill wrote: any
@@ -159,13 +280,50 @@ func SpillToDir(ctx context.Context, src Source, dir string, nodes, parts, worke
 // workloads scan). It is safe for concurrent ReadTrials calls: every
 // call opens its own partition readers.
 type DiskSource struct {
-	store   *diskstore.Store
-	dataset string
-	ranges  []stream.Range // ranges[i] = global trials held by shard i
-	n       int
+	store    *diskstore.Store
+	dataset  string
+	ranges   []stream.Range // ranges[i] = global trials held by shard i
+	n        int
+	reps     [][]int // reps[i] = storage nodes holding shard i, failover order
+	replicas int     // replication factor the spill was written with
 	// scanned counts occurrences delivered through ReadTrials — the
 	// disk-scan analogue of Generator.Streamed for stage accounting.
 	scanned atomic.Int64
+	// failovers counts replica reads abandoned for the next replica —
+	// the price of staying correct through shard loss.
+	failovers atomic.Int64
+	flog      failoverLog
+}
+
+// failoverLog keeps a bounded record of replica failovers so operators
+// (and tests) can see which replica was bad and why, without an
+// unbounded allocation under sustained faults.
+type failoverLog struct {
+	mu      sync.Mutex
+	entries []string
+	dropped int
+}
+
+const failoverLogCap = 16
+
+func (l *failoverLog) add(msg string) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if len(l.entries) >= failoverLogCap {
+		l.dropped++
+		return
+	}
+	l.entries = append(l.entries, msg)
+}
+
+func (l *failoverLog) snapshot() []string {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := append([]string(nil), l.entries...)
+	if l.dropped > 0 {
+		out = append(out, fmt.Sprintf("(%d more failovers not logged)", l.dropped))
+	}
+	return out
 }
 
 // OpenDiskSource attaches to a previously spilled dataset, recovering
@@ -175,8 +333,12 @@ type DiskSource struct {
 // a spill completes — must match the shards found, so a crashed spill
 // (missing trailing shards, or no manifest at all) is refused instead
 // of silently opening truncated.
+// With replication, verification fails over: a shard whose primary
+// replica is torn, truncated, or lost attaches from any healthy
+// replica (the failover is counted and logged, naming the bad copy);
+// only a shard with no healthy replica at all refuses the attach.
 func OpenDiskSource(store *diskstore.Store, dataset string) (*DiskSource, error) {
-	wantCounts, err := readManifest(store, dataset)
+	wantCounts, reps, replicas, err := readManifest(store, dataset)
 	if err != nil {
 		return nil, fmt.Errorf("yelt: open %q (incomplete or pre-manifest spill?): %w", dataset, err)
 	}
@@ -185,8 +347,8 @@ func OpenDiskSource(store *diskstore.Store, dataset string) (*DiskSource, error)
 		return nil, err
 	}
 	// Diff the shard set against the manifest naming the first culprit:
-	// a shard file lost between spill and re-attach is reported by
-	// number, not as a bare count mismatch.
+	// a shard whose every replica was lost between spill and re-attach
+	// is reported by number, not as a bare count mismatch.
 	present := make(map[int]bool, len(parts))
 	for _, p := range parts {
 		if p >= len(wantCounts) {
@@ -199,29 +361,45 @@ func OpenDiskSource(store *diskstore.Store, dataset string) (*DiskSource, error)
 			return nil, fmt.Errorf("%w: dataset %s missing shard %d (manifest expects %d shards)", ErrBadFormat, dataset, i, len(wantCounts))
 		}
 	}
-	ds := &DiskSource{store: store, dataset: dataset}
+	ds := &DiskSource{store: store, dataset: dataset, reps: reps, replicas: replicas}
 	lo := 0
 	for i, want := range wantCounts {
-		var trials int
-		err := store.ReadPartition(dataset, i, func(r io.Reader) error {
-			var hdr [8]byte
-			if _, err := io.ReadFull(r, hdr[:]); err != nil {
-				return fmt.Errorf("yelt: shard %d header: %w", i, err)
+		var errs []error
+		verified := false
+		for ri, node := range reps[i] {
+			var trials int
+			err := store.ReadPartitionAt(dataset, i, node, func(r io.Reader) error {
+				var hdr [8]byte
+				if _, err := io.ReadFull(r, hdr[:]); err != nil {
+					return fmt.Errorf("yelt: shard %d header: %w", i, err)
+				}
+				if [4]byte(hdr[:4]) != magic {
+					return fmt.Errorf("%w: shard %d magic %q", ErrBadFormat, i, hdr[:4])
+				}
+				trials = int(binary.LittleEndian.Uint32(hdr[4:8]))
+				return nil
+			})
+			if err == nil && trials != want {
+				err = fmt.Errorf("%w: shard %d holds %d trials, manifest expects %d", ErrBadFormat, i, trials, want)
 			}
-			if [4]byte(hdr[:4]) != magic {
-				return fmt.Errorf("%w: shard %d magic %q", ErrBadFormat, i, hdr[:4])
+			if err == nil {
+				if ri > 0 {
+					ds.failovers.Add(int64(ri))
+					ds.flog.add(fmt.Sprintf("shard %d: attached from replica node %d (%v)", i, node, errors.Join(errs...)))
+				}
+				verified = true
+				break
 			}
-			trials = int(binary.LittleEndian.Uint32(hdr[4:8]))
-			return nil
-		})
-		if err != nil {
-			return nil, err
+			errs = append(errs, fmt.Errorf("replica node %d: %w", node, err))
 		}
-		if trials != want {
-			return nil, fmt.Errorf("%w: shard %d holds %d trials, manifest expects %d", ErrBadFormat, i, trials, want)
+		if !verified {
+			if len(errs) == 1 {
+				return nil, errs[0]
+			}
+			return nil, fmt.Errorf("yelt: shard %d unreadable on all replicas: %w", i, errors.Join(errs...))
 		}
-		ds.ranges = append(ds.ranges, stream.Range{Lo: lo, Hi: lo + trials})
-		lo += trials
+		ds.ranges = append(ds.ranges, stream.Range{Lo: lo, Hi: lo + want})
+		lo += want
 	}
 	ds.n = lo
 	return ds, nil
@@ -240,9 +418,43 @@ func (ds *DiskSource) Nodes() int { return ds.store.Nodes() }
 // boundaries shard-affine mappers align their splits to.
 func (ds *DiskSource) ShardRange(i int) stream.Range { return ds.ranges[i] }
 
-// ShardNode returns the storage node shard i lives on — where a
-// shard-affine mapper should run to scan it locally.
-func (ds *DiskSource) ShardNode(i int) int { return ds.store.NodeOf(i) }
+// ShardNode returns the storage node shard i primarily lives on —
+// where a shard-affine mapper should run to scan it locally.
+func (ds *DiskSource) ShardNode(i int) int { return ds.shardReplicas(i)[0] }
+
+// ShardNodes returns every storage node holding a replica of shard i,
+// in failover order. Affine placement treats any of them as local.
+// The returned slice is shared; callers must not modify it.
+func (ds *DiskSource) ShardNodes(i int) []int { return ds.shardReplicas(i) }
+
+// Replicas returns the replication factor the spill was written with.
+func (ds *DiskSource) Replicas() int {
+	if ds.replicas < 1 {
+		return 1
+	}
+	return ds.replicas
+}
+
+// Failovers returns how many replica reads were abandoned for the next
+// replica so far — zero on a healthy store.
+func (ds *DiskSource) Failovers() int64 { return ds.failovers.Load() }
+
+// FailoverLog returns a bounded log of the failovers so far, each
+// naming the shard, the bad replica, and why it was abandoned.
+func (ds *DiskSource) FailoverLog() []string { return ds.flog.snapshot() }
+
+// Store exposes the underlying diskstore — the seam where fault
+// injection (Store.SetReadFault) and replica-loss hooks attach.
+func (ds *DiskSource) Store() *diskstore.Store { return ds.store }
+
+func (ds *DiskSource) shardReplicas(i int) []int {
+	if ds.reps == nil {
+		// Pre-replication DiskSource (built by tests or old callers):
+		// primary placement only.
+		return []int{ds.store.NodeOf(i)}
+	}
+	return ds.reps[i]
+}
 
 // ShardSizeBytes returns the on-disk size of shard i — the data-motion
 // cost of scanning it from another node.
@@ -288,22 +500,48 @@ func (ds *DiskSource) ReadTrials(ctx context.Context, lo, hi int, buf *Table) (*
 			return nil, err
 		}
 		base := ds.ranges[si].Lo
-		err := ds.store.ReadPartition(ds.dataset, si, func(r io.Reader) error {
-			return StreamTrials(r, func(trial int, occs []Occurrence) error {
-				global := base + trial
-				if global < lo {
+		// Snapshot the fill level so a replica that fails mid-scan can be
+		// rolled back before the next replica re-scans: the failover read
+		// appends exactly what the healthy read would have, keeping
+		// results bit-identical to a fault-free run.
+		occ0, off0 := len(buf.Occs), len(buf.Offsets)
+		nodes := ds.shardReplicas(si)
+		var errs []error
+		scanned := false
+		for ri, node := range nodes {
+			if ri > 0 {
+				buf.Occs = buf.Occs[:occ0]
+				buf.Offsets = buf.Offsets[:off0]
+			}
+			err := ds.store.ReadPartitionAt(ds.dataset, si, node, func(r io.Reader) error {
+				return StreamTrials(r, func(trial int, occs []Occurrence) error {
+					global := base + trial
+					if global < lo {
+						return nil
+					}
+					if global >= hi {
+						return errStopScan
+					}
+					buf.Occs = append(buf.Occs, occs...)
+					buf.Offsets = append(buf.Offsets, int64(len(buf.Occs)))
 					return nil
-				}
-				if global >= hi {
-					return errStopScan
-				}
-				buf.Occs = append(buf.Occs, occs...)
-				buf.Offsets = append(buf.Offsets, int64(len(buf.Occs)))
-				return nil
+				})
 			})
-		})
-		if err != nil && !errors.Is(err, errStopScan) {
-			return nil, fmt.Errorf("yelt: scanning shard %d: %w", si, err)
+			if err == nil || errors.Is(err, errStopScan) {
+				if ri > 0 {
+					ds.failovers.Add(int64(ri))
+					ds.flog.add(fmt.Sprintf("shard %d: scanned replica node %d (%v)", si, node, errors.Join(errs...)))
+				}
+				scanned = true
+				break
+			}
+			errs = append(errs, fmt.Errorf("replica node %d: %w", node, err))
+		}
+		if !scanned {
+			if len(errs) == 1 {
+				return nil, fmt.Errorf("yelt: scanning shard %d: %w", si, errs[0])
+			}
+			return nil, fmt.Errorf("yelt: scanning shard %d: all replicas failed: %w", si, errors.Join(errs...))
 		}
 	}
 	if got := len(buf.Offsets) - 1; got != hi-lo {

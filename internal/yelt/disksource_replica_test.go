@@ -1,0 +1,314 @@
+package yelt
+
+import (
+	"context"
+	"encoding/binary"
+	"errors"
+	"io"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/diskstore"
+	"repro/internal/faultinject"
+)
+
+// spillReplicatedFixture spills a 301-trial table at r=2 across 4
+// nodes and returns (table, store, source).
+func spillReplicatedFixture(t *testing.T) (*Table, *diskstore.Store, *DiskSource) {
+	t.Helper()
+	ctx := context.Background()
+	cat := testCatalog(t, 500)
+	tbl, err := Generate(ctx, cat, Config{NumTrials: 301}, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := testStore(t, 4)
+	ds, err := SpillReplicated(ctx, tbl, store, "yelt", 7, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tbl, store, ds
+}
+
+func TestSpillReplicatedRoundTrip(t *testing.T) {
+	ctx := context.Background()
+	tbl, store, ds := spillReplicatedFixture(t)
+	if ds.Replicas() != 2 {
+		t.Fatalf("Replicas = %d, want 2", ds.Replicas())
+	}
+	for i := 0; i < ds.Shards(); i++ {
+		want := store.ReplicaNodesFor(i, 2)
+		if got := ds.ShardNodes(i); !reflect.DeepEqual(got, want) {
+			t.Fatalf("shard %d nodes = %v, want %v", i, got, want)
+		}
+		if ds.ShardNode(i) != want[0] {
+			t.Fatalf("shard %d primary = %d, want %d", i, ds.ShardNode(i), want[0])
+		}
+	}
+	want, err := tbl.Slice(0, 301)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.ReadTrials(ctx, 0, 301, &Table{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesEqual(t, "replicated spill", want, got)
+	if ds.Failovers() != 0 {
+		t.Fatalf("healthy store recorded %d failovers", ds.Failovers())
+	}
+
+	// Physical footprint is twice the logical one: every shard (and the
+	// manifest) exists on two nodes.
+	logical, err := store.SizeBytes("yelt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	physical, err := store.TotalSizeBytes("yelt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if physical != 2*logical {
+		t.Fatalf("physical %d, logical %d: replication factor not 2", physical, logical)
+	}
+}
+
+func TestOpenDiskSourceRecoversReplicaSets(t *testing.T) {
+	_, store, ds := spillReplicatedFixture(t)
+	re, err := OpenDiskSource(store, "yelt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Replicas() != 2 {
+		t.Fatalf("reattached Replicas = %d, want 2", re.Replicas())
+	}
+	for i := 0; i < ds.Shards(); i++ {
+		if !reflect.DeepEqual(re.ShardNodes(i), ds.ShardNodes(i)) {
+			t.Fatalf("shard %d: reattached nodes %v != spilled %v", i, re.ShardNodes(i), ds.ShardNodes(i))
+		}
+	}
+}
+
+// A replica that dies mid-scan (truncated file: the header reads fine,
+// the trial stream tears halfway) must roll back its partial progress
+// and fail over, yielding a batch bit-identical to the healthy read.
+func TestReadTrialsFailsOverTruncatedReplicaMidStream(t *testing.T) {
+	ctx := context.Background()
+	tbl, store, ds := spillReplicatedFixture(t)
+	want, err := tbl.Slice(0, 301)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tear shard 3's primary replica halfway through its body.
+	bad := ds.ShardNode(3)
+	if err := store.CorruptAt("yelt", 3, bad); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.ReadTrials(ctx, 0, 301, &Table{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesEqual(t, "failover batch", want, got)
+	if ds.Failovers() == 0 {
+		t.Fatal("no failover recorded for the torn replica")
+	}
+	log := strings.Join(ds.FailoverLog(), "\n")
+	if !strings.Contains(log, "shard 3") {
+		t.Fatalf("failover log does not name shard 3:\n%s", log)
+	}
+}
+
+// Injected read faults (healthy files, erroring disk) exercise the
+// same failover, and the plan's per-node scoping pins which replica
+// the scan lands on.
+func TestReadTrialsFailsOverInjectedFault(t *testing.T) {
+	ctx := context.Background()
+	tbl, store, ds := spillReplicatedFixture(t)
+	bad := ds.ShardNode(2)
+	plan := faultinject.New(7, faultinject.FailShardRead{
+		Shard: 2, Node: bad, Attempts: 1000,
+	})
+	store.SetReadFault(plan.DiskRead)
+	defer store.SetReadFault(nil)
+
+	want, err := tbl.Slice(0, 301)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.ReadTrials(ctx, 0, 301, &Table{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesEqual(t, "injected-fault batch", want, got)
+	if ds.Failovers() == 0 || plan.Injected() == 0 {
+		t.Fatalf("failovers=%d injected=%d, want both > 0", ds.Failovers(), plan.Injected())
+	}
+	log := strings.Join(ds.FailoverLog(), "\n")
+	if !strings.Contains(log, "injected") {
+		t.Fatalf("failover log does not name the injected fault:\n%s", log)
+	}
+}
+
+// When every replica of a shard fails, ReadTrials must report the
+// shard and each replica's failure instead of returning short data.
+func TestReadTrialsAllReplicasFail(t *testing.T) {
+	ctx := context.Background()
+	_, store, ds := spillReplicatedFixture(t)
+	plan := faultinject.New(7, faultinject.FailShardRead{
+		Shard: 1, Node: faultinject.Any, Attempts: 1000,
+	})
+	store.SetReadFault(plan.DiskRead)
+	defer store.SetReadFault(nil)
+	_, err := ds.ReadTrials(ctx, 0, 301, &Table{})
+	if err == nil {
+		t.Fatal("scan should fail when every replica errors")
+	}
+	for _, wantSub := range []string{"shard 1", "all replicas failed", "injected"} {
+		if !strings.Contains(err.Error(), wantSub) {
+			t.Fatalf("error %q does not mention %q", err, wantSub)
+		}
+	}
+}
+
+// Losing one replica of a shard — and the manifest's primary copy —
+// must not stop a re-attach: OpenDiskSource verifies from survivors
+// and logs which replica was bad.
+func TestOpenDiskSourceFailsOverLostReplica(t *testing.T) {
+	ctx := context.Background()
+	tbl, store, ds := spillReplicatedFixture(t)
+	if err := store.RemoveAt("yelt", 2, ds.ShardNode(2)); err != nil {
+		t.Fatal(err)
+	}
+	if err := store.RemoveAt("yelt.manifest", 0, store.NodeOf(0)); err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDiskSource(store, "yelt")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.Failovers() == 0 {
+		t.Fatal("no failover recorded for the lost replica")
+	}
+	log := strings.Join(re.FailoverLog(), "\n")
+	if !strings.Contains(log, "shard 2") {
+		t.Fatalf("failover log does not name shard 2:\n%s", log)
+	}
+	want, err := tbl.Slice(0, 301)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.ReadTrials(ctx, 0, 301, &Table{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesEqual(t, "post-loss reattach", want, got)
+}
+
+// Losing every replica of a shard is unrecoverable and must be
+// refused by name, exactly like the unreplicated missing-shard case.
+func TestOpenDiskSourceRefusesWhenAllReplicasLost(t *testing.T) {
+	_, store, ds := spillReplicatedFixture(t)
+	for _, node := range ds.ShardNodes(4) {
+		if err := store.RemoveAt("yelt", 4, node); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wantOpenError(t, store, "yelt", "missing shard 4")
+}
+
+// A v2 (pre-replication) manifest still attaches: replica sets default
+// to the primary placement.
+func TestOpenDiskSourceReadsV2Manifest(t *testing.T) {
+	ctx := context.Background()
+	cat := testCatalog(t, 500)
+	tbl, err := Generate(ctx, cat, Config{NumTrials: 120}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := testStore(t, 2)
+	ds, err := Spill(ctx, tbl, store, "ds", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, ds.Shards())
+	for i := range counts {
+		counts[i] = ds.ShardRange(i).Len()
+	}
+	// Replace the manifest with the v2 encoding PR-8 spills wrote.
+	if err := store.Delete(manifestDataset("ds")); err != nil {
+		t.Fatal(err)
+	}
+	err = store.WritePartition(manifestDataset("ds"), 0, func(w io.Writer) error {
+		buf := make([]byte, 12+4*len(counts))
+		copy(buf[:4], manifestMagicV2[:])
+		binary.LittleEndian.PutUint32(buf[4:8], uint32(len(counts)))
+		binary.LittleEndian.PutUint32(buf[8:12], 120)
+		for i, c := range counts {
+			binary.LittleEndian.PutUint32(buf[12+4*i:], uint32(c))
+		}
+		_, err := w.Write(buf)
+		return err
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	re, err := OpenDiskSource(store, "ds")
+	if err != nil {
+		t.Fatalf("v2 manifest should still attach: %v", err)
+	}
+	if re.Replicas() != 1 {
+		t.Fatalf("v2 Replicas = %d, want 1", re.Replicas())
+	}
+	for i := 0; i < re.Shards(); i++ {
+		if got := re.ShardNodes(i); len(got) != 1 || got[0] != store.NodeOf(i) {
+			t.Fatalf("v2 shard %d nodes = %v, want [%d]", i, got, store.NodeOf(i))
+		}
+	}
+	want, err := tbl.Slice(0, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := re.ReadTrials(ctx, 0, 120, &Table{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesEqual(t, "v2 reattach", want, got)
+}
+
+// An unreplicated source hit by a mid-stream read error has nowhere to
+// fail over — the scan must surface the error, not return short data.
+func TestReadTrialsUnreplicatedMidStreamError(t *testing.T) {
+	ctx := context.Background()
+	cat := testCatalog(t, 500)
+	tbl, err := Generate(ctx, cat, Config{NumTrials: 120}, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	store := testStore(t, 2)
+	ds, err := Spill(ctx, tbl, store, "ds", 4, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plan := faultinject.New(3, faultinject.FailShardRead{
+		Shard: 1, Node: faultinject.Any, Attempts: 1,
+	})
+	store.SetReadFault(plan.DiskRead)
+	defer store.SetReadFault(nil)
+	if _, err := ds.ReadTrials(ctx, 0, 120, &Table{}); err == nil {
+		t.Fatal("unreplicated scan under an injected fault should fail")
+	} else if !errors.Is(err, faultinject.ErrInjected) {
+		t.Fatalf("error should wrap ErrInjected: %v", err)
+	}
+	// The injected fault burned its budget: the next scan succeeds —
+	// the retry behaviour mapreduce's attempt loop relies on.
+	want, err := tbl.Slice(0, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ds.ReadTrials(ctx, 0, 120, &Table{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tablesEqual(t, "post-fault retry", want, got)
+}

@@ -165,7 +165,7 @@ func TestSpillToDir(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ds, err := SpillToDir(ctx, tbl, t.TempDir(), 0, 3, 1)
+	ds, err := SpillToDir(ctx, tbl, t.TempDir(), 0, 3, 1, 1)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -211,22 +211,32 @@ func TestOpenDiskSourceRefusesIncompleteSpill(t *testing.T) {
 	// Manifest present but trailing shards missing (each remaining
 	// shard individually valid) — the refusal must name the first
 	// shard that isn't there.
-	if err := writeManifest(store, "ds", []int{30, 30, 30, 30, 40, 40}); err != nil {
+	if err := writeTestManifest(store, "ds", []int{30, 30, 30, 30, 40, 40}); err != nil {
 		t.Fatal(err)
 	}
 	wantOpenError(t, store, "ds", "missing shard 4")
 	// Shard count right, per-shard trial counts wrong.
-	if err := writeManifest(store, "ds", []int{50, 50, 10, 10}); err != nil {
+	if err := writeTestManifest(store, "ds", []int{50, 50, 10, 10}); err != nil {
 		t.Fatal(err)
 	}
 	wantOpenError(t, store, "ds", "shard 0")
 	// Restoring the true manifest opens cleanly again.
-	if err := writeManifest(store, "ds", []int{30, 30, 30, 30}); err != nil {
+	if err := writeTestManifest(store, "ds", []int{30, 30, 30, 30}); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := OpenDiskSource(store, "ds"); err != nil {
 		t.Fatal(err)
 	}
+}
+
+// writeTestManifest writes an unreplicated manifest with the given
+// per-shard counts and primary placement.
+func writeTestManifest(store *diskstore.Store, dataset string, counts []int) error {
+	reps := make([][]int, len(counts))
+	for i := range reps {
+		reps[i] = []int{store.NodeOf(i)}
+	}
+	return writeManifest(store, dataset, counts, reps, 1)
 }
 
 // wantOpenError asserts OpenDiskSource refuses the dataset with an

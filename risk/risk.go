@@ -25,6 +25,7 @@ import (
 	"repro/internal/cluster"
 	"repro/internal/core"
 	"repro/internal/dfa"
+	"repro/internal/faultinject"
 	"repro/internal/layers"
 	"repro/internal/lossindex"
 	"repro/internal/metrics"
@@ -139,11 +140,29 @@ type Config struct {
 	// means the engine default. Shard-affine engines (EngineMapReduce
 	// over a spilled source) place mappers against these nodes.
 	SpillNodes int
+	// SpillReplicas writes each spilled shard to this many distinct
+	// storage nodes (clamped to SpillNodes; 0 or 1 means no
+	// replication). With 2 or more, stage 2 survives the loss of any
+	// single replica by failing over to a survivor.
+	SpillReplicas int
 	// SpillAttach runs stage 2 over shards an earlier process spilled
 	// into SpillDir (required), re-attached via the spill manifest
 	// instead of generated — the aggregate half of a two-process
 	// spill/aggregate handoff. The trial count comes from the shards.
 	SpillAttach bool
+	// FaultSpec injects deterministic faults into stage 2 (see
+	// faultinject.Parse): comma-separated rules like
+	// "rate=0.1,shard=3@2,kill=1@4,delay=2@50ms". Results must stay
+	// bit-identical to a fault-free run; FaultStats reports the
+	// recoveries. "" injects nothing.
+	FaultSpec string
+	// FaultSeed seeds the fault plan's random draws; 0 falls back to
+	// Seed so a study is chaos-reproducible by default.
+	FaultSeed uint64
+	// Speculate turns on speculative re-execution of straggling map
+	// tasks (EngineMapReduce only): backups launch for tasks running
+	// well past the completed-task percentile, first finisher wins.
+	Speculate bool
 	// Provision drives per-stage worker counts from an elasticity
 	// policy instead of the static Workers bound: "static:N" (fixed
 	// fleet) or "elastic:N" (scale to each stage's demand, capped at
@@ -205,6 +224,29 @@ type StageStats struct {
 	Name        string
 	Duration    time.Duration
 	OutputBytes int64
+	// Faults counts the stage's fault recoveries (stage 2 under a
+	// FaultSpec or Speculate; zero elsewhere).
+	Faults FaultStats
+}
+
+// FaultStats accounts how much chaos a run absorbed: failed map
+// attempts and the retries that recovered them, speculative backups
+// launched and won, shard reads failed over to a surviving replica,
+// and lane workers lost to node kills. Counters are observability
+// only — any study that completes is bit-identical to its fault-free
+// twin.
+type FaultStats struct {
+	MapFailures    int64
+	MapRetries     int64
+	SpecLaunched   int64
+	SpecWins       int64
+	ShardFailovers int64
+	WorkersLost    int64
+}
+
+// Any reports whether any fault-model event occurred.
+func (f FaultStats) Any() bool {
+	return f.MapFailures+f.MapRetries+f.SpecLaunched+f.SpecWins+f.ShardFailovers+f.WorkersLost > 0
 }
 
 // Report is the result of a full study run.
@@ -238,6 +280,11 @@ type Study struct {
 	quoteMu   sync.Mutex
 	quoteIdx  map[int]*lossindex.Index
 	quoteFlat map[int]*lossindex.Flat
+	// faultMu guards faults, the fault-recovery counters latched by the
+	// last completed Run, so a serving tier can poll FaultStats
+	// concurrently with a run in flight.
+	faultMu sync.Mutex
+	faults  FaultStats
 }
 
 // NewStudy returns an unexecuted study.
@@ -261,6 +308,17 @@ func (s *Study) pipeline() (*core.Pipeline, error) {
 	if err != nil {
 		return nil, fmt.Errorf("risk: %w", err)
 	}
+	var plan *faultinject.Plan
+	if s.cfg.FaultSpec != "" {
+		seed := s.cfg.FaultSeed
+		if seed == 0 {
+			seed = s.cfg.Seed
+		}
+		plan, err = faultinject.Parse(s.cfg.FaultSpec, seed)
+		if err != nil {
+			return nil, fmt.Errorf("risk: %w", err)
+		}
+	}
 	s.p = core.New(core.Config{
 		Seed:                 s.cfg.Seed,
 		NumEvents:            s.cfg.Events,
@@ -278,7 +336,10 @@ func (s *Study) pipeline() (*core.Pipeline, error) {
 		SpillDir:             s.cfg.SpillDir,
 		SpillParts:           s.cfg.SpillParts,
 		SpillNodes:           s.cfg.SpillNodes,
+		SpillReplicas:        s.cfg.SpillReplicas,
 		SpillAttach:          s.cfg.SpillAttach,
+		Faults:               plan,
+		Speculate:            s.cfg.Speculate,
 		Provision:            policy,
 		Rho:                  s.cfg.Rho,
 		Workers:              s.cfg.Workers,
@@ -302,12 +363,41 @@ func (s *Study) Run(ctx context.Context) (*Report, error) {
 		Catastrophe: toSummary(rep.Catastrophe),
 		Enterprise:  toSummary(rep.Enterprise),
 	}
+	var total FaultStats
 	for _, st := range rep.Stages {
+		f := FaultStats{
+			MapFailures:    st.Faults.MapFailures,
+			MapRetries:     st.Faults.MapRetries,
+			SpecLaunched:   st.Faults.SpecLaunched,
+			SpecWins:       st.Faults.SpecWins,
+			ShardFailovers: st.Faults.ShardFailovers,
+			WorkersLost:    st.Faults.WorkersLost,
+		}
 		out.Stages = append(out.Stages, StageStats{
 			Name: st.Name, Duration: st.Duration, OutputBytes: st.OutputBytes,
+			Faults: f,
 		})
+		total.MapFailures += f.MapFailures
+		total.MapRetries += f.MapRetries
+		total.SpecLaunched += f.SpecLaunched
+		total.SpecWins += f.SpecWins
+		total.ShardFailovers += f.ShardFailovers
+		total.WorkersLost += f.WorkersLost
 	}
+	s.faultMu.Lock()
+	s.faults = total
+	s.faultMu.Unlock()
 	return out, nil
+}
+
+// FaultStats returns the fault-recovery counters latched by the last
+// completed Run (zero before any run, or for fault-free studies).
+// Safe to call concurrently with other methods, so a serving tier can
+// surface chaos counters on its stats endpoint.
+func (s *Study) FaultStats() FaultStats {
+	s.faultMu.Lock()
+	defer s.faultMu.Unlock()
+	return s.faults
 }
 
 // CatastropheLosses returns a copy of the per-trial catastrophe
