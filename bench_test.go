@@ -1,5 +1,5 @@
 // Root benchmark harness: one benchmark (family) per experiment
-// E1–E17 from EXPERIMENTS.md. Absolute numbers are machine-dependent; the
+// E1–E18 from EXPERIMENTS.md. Absolute numbers are machine-dependent; the
 // *shapes* asserted in EXPERIMENTS.md (who wins, by roughly what
 // factor) are what reproduce the paper. cmd/benchtables prints the
 // richer tables; these benches give `go test -bench` one-line
@@ -30,7 +30,9 @@ import (
 	"repro/internal/rdbms"
 	"repro/internal/serve"
 	"repro/internal/synth"
+	"repro/internal/warehouse"
 	"repro/internal/yelt"
+	"repro/internal/ylt"
 	"repro/risk"
 )
 
@@ -911,4 +913,133 @@ func BenchmarkE15QuoteLatency(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "quotes/s")
+}
+
+// --- E18: incremental warehouse cube — build, delta update, query ---
+
+var (
+	e18Once sync.Once
+	e18PC   []*ylt.Table
+	e18Err  error
+)
+
+// e18Tables runs stage 2 once over the cached scenario and returns
+// the per-contract YLT registry every E18 benchmark builds from.
+func e18Tables(b *testing.B) []*ylt.Table {
+	b.Helper()
+	s, _ := scenarios(b)
+	e18Once.Do(func() {
+		cfg := aggregate.Config{Seed: 1, Sampling: true, PerContract: true,
+			Workers: runtime.GOMAXPROCS(0)}
+		res, err := aggregate.Parallel{}.Run(context.Background(), aggInput(s), cfg)
+		if err != nil {
+			e18Err = err
+			return
+		}
+		e18PC = res.PerContract
+	})
+	if e18Err != nil {
+		b.Fatal(e18Err)
+	}
+	return e18PC
+}
+
+func BenchmarkE18BatchBuild(b *testing.B) {
+	pc := e18Tables(b)
+	in := &warehouse.Input{Tables: pc, Attrs: warehouse.DefaultAttrs(len(pc))}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := warehouse.Build(context.Background(), in, warehouse.DefaultDims(), runtime.GOMAXPROCS(0)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE18IncrementalBuild(b *testing.B) {
+	pc := e18Tables(b)
+	attrs := warehouse.DefaultAttrs(len(pc))
+	const batch = 1_000
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		bld, err := warehouse.NewBuilder(warehouse.DefaultDims(), attrs, benchTrials, runtime.GOMAXPROCS(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		for lo := 0; lo < benchTrials; lo += batch {
+			k := batch
+			if lo+k > benchTrials {
+				k = benchTrials - lo
+			}
+			agg := make([][]float64, len(pc))
+			occ := make([][]float64, len(pc))
+			for ci, t := range pc {
+				agg[ci] = t.Agg[lo : lo+k]
+				occ[ci] = t.OccMax[lo : lo+k]
+			}
+			if err := bld.IngestBatch(lo, agg, occ); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if _, err := bld.Finalize(context.Background(), pc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE18Replace(b *testing.B) {
+	pc := e18Tables(b)
+	in := &warehouse.Input{Tables: pc, Attrs: warehouse.DefaultAttrs(len(pc))}
+	cube, err := warehouse.Build(context.Background(), in, warehouse.DefaultDims(), runtime.GOMAXPROCS(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	target := len(pc) / 2
+	cur := cube.Contract(target)
+	next := &ylt.Table{Name: cur.Name,
+		Agg: make([]float64, benchTrials), OccMax: make([]float64, benchTrials)}
+	for i := range next.Agg {
+		next.Agg[i] = cur.Agg[i] * 1.25
+		next.OccMax[i] = cur.OccMax[i] * 1.25
+	}
+	b.ResetTimer()
+	// Each iteration swaps the live table for the scaled one (or
+	// back), so Replace always sees the registry's current bits.
+	for i := 0; i < b.N; i++ {
+		if _, err := cube.Replace(context.Background(), target, cur, next); err != nil {
+			b.Fatal(err)
+		}
+		cur, next = next, cur
+	}
+}
+
+func BenchmarkE18CubeQuery(b *testing.B) {
+	pc := e18Tables(b)
+	in := &warehouse.Input{Tables: pc, Attrs: warehouse.DefaultAttrs(len(pc))}
+	cube, err := warehouse.Build(context.Background(), in, warehouse.DefaultDims(), runtime.GOMAXPROCS(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	filter := map[string]string{"region": "coastal"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cube.Query(filter); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkE18DirectQuery(b *testing.B) {
+	pc := e18Tables(b)
+	in := &warehouse.Input{Tables: pc, Attrs: warehouse.DefaultAttrs(len(pc))}
+	cube, err := warehouse.Build(context.Background(), in, warehouse.DefaultDims(), runtime.GOMAXPROCS(0))
+	if err != nil {
+		b.Fatal(err)
+	}
+	filter := map[string]string{"region": "coastal"}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := cube.RecomputeCell(filter); err != nil {
+			b.Fatal(err)
+		}
+	}
 }

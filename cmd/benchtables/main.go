@@ -1,5 +1,5 @@
 // Command benchtables regenerates the tables for every experiment
-// E1–E17 in EXPERIMENTS.md — the quantitative claims of Varghese &
+// E1–E18 in EXPERIMENTS.md — the quantitative claims of Varghese &
 // Rau-Chaplin (SC 2012) reproduced on this machine, plus the
 // streaming-stage-2 memory envelope (E10), the partitioned
 // (spill + MapReduce) stage 2 (E11), the flat SoA trial kernel (E12),
@@ -9,7 +9,9 @@
 // the locality-aware distributed stage 2 — shard-affine mapper
 // placement × process topology plus elastic provisioning (E16) — and
 // the fault-tolerant stage 2: deterministic chaos over replicated
-// shards with retries, replica failover, and speculation (E17).
+// shards with retries, replica failover, and speculation (E17), and
+// the incrementally-built, delta-updatable warehouse cube with served
+// queries (E18).
 //
 // Usage:
 //
@@ -17,7 +19,7 @@
 //
 // -json additionally writes the run's measurements as a
 // machine-readable document (ns/op, bytes, speedups per experiment
-// row) — the format CI tracks as the BENCH_E10.json … BENCH_E17.json
+// row) — the format CI tracks as the BENCH_E10.json … BENCH_E18.json
 // artifacts.
 package main
 
@@ -27,6 +29,7 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"math"
 	"net/http/httptest"
 	"os"
 	"runtime"
@@ -51,7 +54,9 @@ import (
 	"repro/internal/serve"
 	"repro/internal/serve/loadgen"
 	"repro/internal/synth"
+	"repro/internal/warehouse"
 	"repro/internal/yelt"
+	"repro/internal/ylt"
 	"repro/risk"
 )
 
@@ -119,13 +124,13 @@ func main() {
 
 	want := map[int]bool{}
 	if *flagExperiments == "all" {
-		for i := 1; i <= 17; i++ {
+		for i := 1; i <= 18; i++ {
 			want[i] = true
 		}
 	} else {
 		for _, tok := range strings.Split(*flagExperiments, ",") {
 			n, err := strconv.Atoi(strings.TrimSpace(tok))
-			if err != nil || n < 1 || n > 17 {
+			if err != nil || n < 1 || n > 18 {
 				fmt.Fprintf(os.Stderr, "benchtables: bad experiment %q\n", tok)
 				os.Exit(2)
 			}
@@ -148,6 +153,7 @@ func main() {
 		15: e15QuoteService,
 		16: e16LocalityPlacement,
 		17: e17FaultTolerance,
+		18: e18WarehouseCube,
 	}
 	keys := make([]int, 0, len(want))
 	for k := range want {
@@ -1691,5 +1697,266 @@ func e17FaultTolerance(ctx context.Context) error {
 	}
 	fmt.Printf("equivalence: all %d cells bit-identical to the fault-free sequential engine (%d trials)\n",
 		len(cells), trials)
+	return nil
+}
+
+// e18WarehouseCube measures the incremental warehouse cube end to
+// end. Build cost: batch Build over the finished per-contract tables
+// vs an incremental Builder fed the same trials in streamed batches
+// (what the pipeline's warehouse stage does), gated on bit-identical
+// cubes. Delta re-pricing: Replace of one contract's YLT vs a full
+// rebuild, again bit-identical. Serving: /v1/cube query latency
+// (dictionary lookup of a pre-computed summary) vs check=direct
+// (re-combining the cell from the registry) vs a direct per-contract
+// quote simulation — the paper's pre-computation-vs-simulation
+// trade-off measured on the wire.
+func e18WarehouseCube(ctx context.Context) error {
+	events, contracts, locs, trials := 2_000, 12, 150, 20_000
+	queries, quoteTrials := 200, 2_000
+	if *flagQuick {
+		events, contracts, locs, trials = 600, 6, 60, 2_000
+		queries, quoteTrials = 40, 500
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if *flagWorkers > 0 {
+		workers = *flagWorkers
+	}
+	dims := warehouse.DefaultDims()
+
+	fmt.Printf("## E18 — incremental warehouse cube (%d contracts, %d trials, dims %s)\n",
+		contracts, trials, strings.Join(dims, ","))
+
+	// One pipeline run supplies both the per-contract registry and the
+	// pipeline-built cube (streamed through the stage-2 batch sink).
+	p := core.New(core.Config{
+		Seed: *flagSeed, NumEvents: events, NumContracts: contracts,
+		LocationsPerContract: locs, NumTrials: trials,
+		Engine: aggregate.Parallel{}, Sampling: true, Rho: 0.2,
+		Workers: workers, TwoLayers: true, CubeDims: dims,
+	})
+	if _, err := p.Run(ctx); err != nil {
+		return err
+	}
+	pc := p.AggResult.PerContract
+	attrs := warehouse.DefaultAttrs(contracts)
+	in := &warehouse.Input{Tables: pc, Attrs: attrs}
+
+	t0 := time.Now()
+	batchCube, err := warehouse.Build(ctx, in, dims, workers)
+	if err != nil {
+		return err
+	}
+	batchDur := time.Since(t0)
+
+	const batchSize = 1_000
+	t0 = time.Now()
+	bld, err := warehouse.NewBuilder(dims, attrs, trials, workers)
+	if err != nil {
+		return err
+	}
+	for lo := 0; lo < trials; lo += batchSize {
+		k := batchSize
+		if lo+k > trials {
+			k = trials - lo
+		}
+		agg := make([][]float64, contracts)
+		occ := make([][]float64, contracts)
+		for ci, t := range pc {
+			agg[ci] = t.Agg[lo : lo+k]
+			occ[ci] = t.OccMax[lo : lo+k]
+		}
+		if err := bld.IngestBatch(lo, agg, occ); err != nil {
+			return err
+		}
+	}
+	incCube, err := bld.Finalize(ctx, pc)
+	if err != nil {
+		return err
+	}
+	incDur := time.Since(t0)
+	if err := cubesEqual(batchCube, incCube); err != nil {
+		return fmt.Errorf("E18: incremental vs batch: %w", err)
+	}
+	if err := cubesEqual(batchCube, p.Cube); err != nil {
+		return fmt.Errorf("E18: pipeline-built vs batch: %w", err)
+	}
+
+	fmt.Printf("%-22s %12s %14s %8s\n", "build", "duration", "resident", "cells")
+	fmt.Printf("%-22s %12v %14s %8d\n", "batch", batchDur.Round(time.Millisecond),
+		yelt.HumanBytes(float64(batchCube.SizeBytes())), batchCube.Cells())
+	fmt.Printf("%-22s %12v %14s %8d  (bit-identical, %d-trial batches)\n", "incremental",
+		incDur.Round(time.Millisecond), yelt.HumanBytes(float64(incCube.SizeBytes())),
+		incCube.Cells(), batchSize)
+	record("E18", "batch-build", batchDur, batchCube.SizeBytes(), 0)
+	record("E18", "incremental-build", incDur, incCube.SizeBytes(),
+		batchDur.Seconds()/incDur.Seconds())
+
+	// Delta re-pricing: one contract's YLT changes; Replace refolds
+	// only the touched cells, a rebuild refolds everything.
+	target := contracts / 2
+	old := incCube.Contract(target)
+	next := &ylt.Table{Name: old.Name,
+		Agg: make([]float64, trials), OccMax: make([]float64, trials)}
+	for i := range next.Agg {
+		next.Agg[i] = old.Agg[i] * 1.25
+		next.OccMax[i] = old.OccMax[i] * 1.25
+	}
+	t0 = time.Now()
+	touched, err := incCube.Replace(ctx, target, old, next)
+	if err != nil {
+		return err
+	}
+	repDur := time.Since(t0)
+	swapped := append([]*ylt.Table(nil), pc...)
+	swapped[target] = next
+	t0 = time.Now()
+	rebuilt, err := warehouse.Build(ctx, &warehouse.Input{Tables: swapped, Attrs: attrs}, dims, workers)
+	if err != nil {
+		return err
+	}
+	rebuildDur := time.Since(t0)
+	if err := cubesEqual(rebuilt, incCube); err != nil {
+		return fmt.Errorf("E18: post-Replace vs rebuild: %w", err)
+	}
+	fmt.Printf("%-22s %12v  (%d/%d cells touched, bit-identical to %v rebuild, %.1fx)\n",
+		"replace contract", repDur.Round(time.Microsecond), touched, incCube.Cells(),
+		rebuildDur.Round(time.Millisecond), rebuildDur.Seconds()/repDur.Seconds())
+	record("E18", "replace", repDur, int64(touched), rebuildDur.Seconds()/repDur.Seconds())
+	record("E18", "rebuild", rebuildDur, int64(rebuilt.Cells()), 0)
+
+	// Served queries: pre-computed cell vs registry recompute vs a
+	// direct per-contract quote simulation, over HTTP.
+	study := risk.NewStudy(risk.Config{
+		Seed: *flagSeed, Events: events, Contracts: contracts,
+		LocationsPerContract: locs, Trials: trials,
+		MeanEventsPerYear: 10, Rho: 0.2, Sampling: true,
+		Workers: 1, CubeDims: dims,
+	})
+	srv := serve.New(study, serve.Config{Workers: workers, DefaultTrials: quoteTrials})
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	get := func(query string) ([]byte, time.Duration, error) {
+		t0 := time.Now()
+		resp, err := ts.Client().Get(ts.URL + "/v1/cube" + query)
+		if err != nil {
+			return nil, 0, err
+		}
+		defer resp.Body.Close()
+		body, err := io.ReadAll(resp.Body)
+		if err == nil && resp.StatusCode != 200 {
+			err = fmt.Errorf("E18: /v1/cube%s: status %d (%s)", query, resp.StatusCode, body)
+		}
+		return body, time.Since(t0), err
+	}
+	// First query triggers the full study run and cube build.
+	t0 = time.Now()
+	servedBody, _, err := get("?region=coastal")
+	if err != nil {
+		return err
+	}
+	firstDur := time.Since(t0)
+	directBody, _, err := get("?region=coastal&check=direct")
+	if err != nil {
+		return err
+	}
+	if string(servedBody) != string(directBody) {
+		return fmt.Errorf("E18: served cell differs from check=direct recompute")
+	}
+	record("E18", "first-query-inc-run", firstDur, 0, 0)
+
+	quantiles := func(lat []time.Duration) (p50, p99 time.Duration) {
+		sort.Slice(lat, func(i, j int) bool { return lat[i] < lat[j] })
+		return lat[len(lat)/2], lat[int(0.99*float64(len(lat)-1))]
+	}
+	var cubeLat, checkLat, simLat []time.Duration
+	for i := 0; i < queries; i++ {
+		if _, d, err := get("?region=coastal"); err != nil {
+			return err
+		} else {
+			cubeLat = append(cubeLat, d)
+		}
+		if _, d, err := get("?region=coastal&check=direct"); err != nil {
+			return err
+		} else {
+			checkLat = append(checkLat, d)
+		}
+	}
+	simQueries := queries / 4
+	if simQueries < 4 {
+		simQueries = 4
+	}
+	for i := 0; i < simQueries; i++ {
+		t0 := time.Now()
+		body := fmt.Sprintf(`{"contract": %d, "trials": %d}`, i%contracts, quoteTrials)
+		resp, err := ts.Client().Post(ts.URL+"/v1/quote", "application/json", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		if resp.StatusCode != 200 {
+			return fmt.Errorf("E18: /v1/quote: status %d", resp.StatusCode)
+		}
+		simLat = append(simLat, time.Since(t0))
+	}
+
+	fmt.Printf("%-22s %12s %12s %8s\n", "query path", "p50", "p99", "n")
+	for _, row := range []struct {
+		name string
+		lat  []time.Duration
+	}{
+		{"cube (pre-computed)", cubeLat},
+		{"cube check=direct", checkLat},
+		{"quote simulation", simLat},
+	} {
+		p50, p99 := quantiles(row.lat)
+		fmt.Printf("%-22s %12v %12v %8d\n", row.name,
+			p50.Round(10*time.Microsecond), p99.Round(10*time.Microsecond), len(row.lat))
+		slug := strings.NewReplacer(" ", "-", "(", "", ")", "", "=", "-").Replace(row.name)
+		record("E18", slug+"/p50", p50, 0, 0)
+		record("E18", slug+"/p99", p99, 0, 0)
+	}
+	p50c, _ := quantiles(cubeLat)
+	p50s, _ := quantiles(simLat)
+	fmt.Printf("pre-computed cell answers %.0fx faster than a %d-trial quote simulation\n",
+		p50s.Seconds()/p50c.Seconds(), quoteTrials)
+
+	srv.BeginDrain()
+	ts.Close()
+	return srv.Drain(ctx)
+}
+
+// cubesEqual reports whether two cubes hold exactly the same cells
+// with bitwise-identical per-trial columns.
+func cubesEqual(a, b *warehouse.Cube) error {
+	ka, kb := a.Keys(), b.Keys()
+	if len(ka) != len(kb) {
+		return fmt.Errorf("%d cells vs %d", len(ka), len(kb))
+	}
+	for i, key := range ka {
+		if key != kb[i] {
+			return fmt.Errorf("cell key %q vs %q", key, kb[i])
+		}
+		filter := map[string]string{}
+		for _, part := range strings.Split(key, ",") {
+			k, v, _ := strings.Cut(part, "=")
+			filter[k] = v
+		}
+		ca, err := a.Query(filter)
+		if err != nil {
+			return err
+		}
+		cb, err := b.Query(filter)
+		if err != nil {
+			return err
+		}
+		for t := range ca.Table.Agg {
+			if math.Float64bits(ca.Table.Agg[t]) != math.Float64bits(cb.Table.Agg[t]) ||
+				math.Float64bits(ca.Table.OccMax[t]) != math.Float64bits(cb.Table.OccMax[t]) {
+				return fmt.Errorf("cell %s trial %d differs", key, t)
+			}
+		}
+	}
 	return nil
 }

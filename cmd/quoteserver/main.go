@@ -14,8 +14,13 @@
 // load balancers stop routing), the HTTP layer stops accepting, and
 // in-flight quotes run to completion before exit.
 //
-// Endpoints: POST /v1/quote, GET /v1/portfolio, GET /v1/healthz,
-// GET /v1/statz.
+// With -cube-dims the first /v1/portfolio or /v1/cube request also
+// materializes the warehouse cube over those dimensions, after which
+// GET /v1/cube?region=...&lob=... answers from pre-computed summaries
+// — a dictionary lookup, no simulation.
+//
+// Endpoints: POST /v1/quote, GET /v1/portfolio, GET /v1/cube,
+// GET /v1/healthz, GET /v1/statz.
 package main
 
 import (
@@ -27,6 +32,7 @@ import (
 	"os"
 	"os/signal"
 	"runtime"
+	"strings"
 	"syscall"
 	"time"
 
@@ -53,6 +59,7 @@ func main() {
 		maxTrials = flag.Int("max-quote-trials", 2_000_000, "cap on requested trials per quote")
 		warm      = flag.Bool("warm", true, "pre-run stage 1 and build all quote layouts before listening")
 		drainWait = flag.Duration("drain-timeout", time.Minute, "grace period for in-flight quotes on shutdown")
+		cubeDims  = flag.String("cube-dims", "", "comma-separated warehouse cube dimensions (e.g. region,lob); empty disables /v1/cube")
 	)
 	flag.Parse()
 
@@ -67,7 +74,8 @@ func main() {
 		Trials:               *trials,
 		// Each quote simulates single-threaded; the worker pool carries
 		// the parallelism across concurrent requests.
-		Workers: 1,
+		Workers:  1,
+		CubeDims: splitDims(*cubeDims),
 	})
 	srv := serve.New(study, serve.Config{
 		Workers:       *workers,
@@ -121,4 +129,16 @@ func main() {
 		os.Exit(1)
 	}
 	fmt.Println("drained cleanly")
+}
+
+// splitDims parses a comma-separated dimension list, dropping empty
+// segments so "-cube-dims region," means {region}.
+func splitDims(s string) []string {
+	var dims []string
+	for _, d := range strings.Split(s, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			dims = append(dims, d)
+		}
+	}
+	return dims
 }

@@ -10,6 +10,11 @@
 // shards and runs stages 2–3 over them — the paper's write-once/
 // scan-many file lifecycle across real process boundaries, with
 // bit-identical results to the fused run.
+//
+// -cube-dims materializes the warehouse cube over those dimensions
+// while stage 2 runs (a "warehouse" stage line appears in the table),
+// and -cube-query prints one pre-computed cell, e.g.
+// -cube-dims region,lob -cube-query region=coastal.
 package main
 
 import (
@@ -17,6 +22,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strings"
 
 	"repro/internal/aggregate"
 	"repro/internal/cluster"
@@ -52,8 +58,20 @@ func main() {
 		chaos     = flag.String("chaos", "", "deterministic fault injection into stage 2, e.g. rate=0.1,shard=3@2,kill=1@4,delay=2@50ms (bit-identical results)")
 		faultSeed = flag.Uint64("fault-seed", 0, "fault-plan seed (0 = -seed)")
 		speculate = flag.Bool("speculate", false, "speculative re-execution of straggling map tasks (mapreduce engine)")
+		cubeDims  = flag.String("cube-dims", "", "comma-separated warehouse cube dimensions (e.g. region,lob); empty skips the cube")
+		cubeQuery = flag.String("cube-query", "", "print one cube cell, as dim=value pairs joined by commas (requires -cube-dims)")
 	)
 	flag.Parse()
+
+	cubeFilter, err := parseCubeQuery(*cubeQuery)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "riskpipeline: %v\n", err)
+		os.Exit(2)
+	}
+	if cubeFilter != nil && *cubeDims == "" {
+		fmt.Fprintln(os.Stderr, "riskpipeline: -cube-query requires -cube-dims")
+		os.Exit(2)
+	}
 
 	var place aggregate.Placement
 	switch *placement {
@@ -133,6 +151,7 @@ func main() {
 		Rho:                  *rho,
 		Workers:              *workers,
 		TwoLayers:            true,
+		CubeDims:             splitDims(*cubeDims),
 	}
 
 	ctx := context.Background()
@@ -211,12 +230,57 @@ func main() {
 		fmt.Printf("reinstatement premium (standard terms): total=%.0f mean/trial=%.2f\n",
 			total, total/float64(len(reinst.LastPremium)))
 	}
+	if cube := p.Cube; cube != nil {
+		fmt.Printf("warehouse cube: %d cells over dims %s (%s resident)\n",
+			cube.Cells(), strings.Join(cube.Dims(), ","), yelt.HumanBytes(float64(cube.SizeBytes())))
+		if cubeFilter != nil {
+			cell, err := cube.Query(cubeFilter)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "riskpipeline: cube query: %v\n", err)
+				os.Exit(1)
+			}
+			fmt.Printf("=== cube cell %s ===\n", *cubeQuery)
+			printSummary(cell.Summary)
+		}
+	}
 	fmt.Println()
 
 	fmt.Println("=== catastrophe book ===")
 	printSummary(rep.Catastrophe)
 	fmt.Println("=== enterprise (after DFA) ===")
 	printSummary(rep.Enterprise)
+}
+
+// splitDims parses a comma-separated dimension list, dropping empty
+// segments.
+func splitDims(s string) []string {
+	var dims []string
+	for _, d := range strings.Split(s, ",") {
+		if d = strings.TrimSpace(d); d != "" {
+			dims = append(dims, d)
+		}
+	}
+	return dims
+}
+
+// parseCubeQuery turns "region=coastal,lob=marine" into a warehouse
+// Query filter. Empty input means no query.
+func parseCubeQuery(s string) (map[string]string, error) {
+	if s == "" {
+		return nil, nil
+	}
+	filter := map[string]string{}
+	for _, pair := range strings.Split(s, ",") {
+		k, v, ok := strings.Cut(pair, "=")
+		if !ok || k == "" || v == "" {
+			return nil, fmt.Errorf("malformed -cube-query pair %q (want dim=value)", pair)
+		}
+		if _, dup := filter[k]; dup {
+			return nil, fmt.Errorf("-cube-query repeats dimension %q", k)
+		}
+		filter[k] = v
+	}
+	return filter, nil
 }
 
 // printStages prints the stage table; under a provisioning policy it

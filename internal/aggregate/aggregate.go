@@ -87,6 +87,22 @@ type Config struct {
 	// reorders an addition within a trial — so it is purely a
 	// performance lever, like BatchTrials.
 	TrialBlock int
+	// BatchSink, when set, receives each trial batch's per-contract
+	// results as the engine completes it: agg[ci][j] and occ[ci][j]
+	// are contract ci's annual aggregate recovery and largest
+	// single-occurrence recovery for global trial lo+j. The rows are
+	// views into the run's result tables — read-only for the sink,
+	// valid beyond the call. Calls may arrive from concurrent workers
+	// but always cover disjoint trial ranges, each exactly once.
+	//
+	// Setting a sink implies per-contract result tables. Only the
+	// engines whose batches complete exactly once honor it (Sequential
+	// and Parallel); MapReduce clears it — failed-split retries and
+	// speculative backup mappers replay batches — and the device and
+	// by-contract engines do not produce contract-major batches.
+	// Consumers of the other engines feed from Result.PerContract
+	// after the run instead.
+	BatchSink func(lo int, agg, occ [][]float64)
 }
 
 // DefaultBatchTrials is the default trial-batch granularity: large
@@ -445,6 +461,7 @@ func runBatch(idx *lossindex.Index, in *Input, cfg Config, batch *yelt.Table, ba
 		// batch into TrialBlock-sized blocks and fills the same result
 		// slots with bit-identical values (see blocked.go).
 		runBatchBlocked(in.Flat, in, cfg, batch, base, res, scratch, slotOff)
+		emitBatch(cfg, res, base, batch.NumTrials, slotOff)
 		return
 	}
 	nc := len(in.Portfolio.Contracts)
@@ -481,6 +498,25 @@ func runBatch(idx *lossindex.Index, in *Input, cfg Config, batch *yelt.Table, ba
 			}
 		}
 	}
+	emitBatch(cfg, res, base, batch.NumTrials, slotOff)
+}
+
+// emitBatch delivers a completed batch's per-contract rows to the
+// configured BatchSink as views into the result tables. The row
+// headers are fresh per call (cheap: per batch, not per trial) so a
+// sink may hold them.
+func emitBatch(cfg Config, res *Result, base, n, slotOff int) {
+	if cfg.BatchSink == nil || res.PerContract == nil || n == 0 {
+		return
+	}
+	lo := base - slotOff
+	agg := make([][]float64, len(res.PerContract))
+	occ := make([][]float64, len(res.PerContract))
+	for ci, t := range res.PerContract {
+		agg[ci] = t.Agg[lo : lo+n]
+		occ[ci] = t.OccMax[lo : lo+n]
+	}
+	cfg.BatchSink(base, agg, occ)
 }
 
 // residentTracker measures the peak bytes of trial data concurrently
@@ -578,7 +614,7 @@ func newResult(in *Input, cfg Config) *Result {
 // engine's segment tables.
 func newResultN(in *Input, cfg Config, n int) *Result {
 	res := &Result{Portfolio: ylt.New("portfolio", n)}
-	if cfg.PerContract {
+	if cfg.PerContract || cfg.BatchSink != nil {
 		res.PerContract = make([]*ylt.Table, len(in.Portfolio.Contracts))
 		for i, c := range in.Portfolio.Contracts {
 			res.PerContract[i] = ylt.New(fmt.Sprintf("contract-%d", c.ID), n)

@@ -149,6 +149,14 @@ func (m MapReduce) Run(ctx context.Context, in *Input, cfg Config) (*Result, err
 	if err := in.Validate(); err != nil {
 		return nil, err
 	}
+	if cfg.BatchSink != nil {
+		// A live sink needs exactly-once batch completion; this
+		// engine's failure model replays batches (failed-split retries,
+		// speculative backup mappers). Keep the per-contract tables the
+		// sink implies and let the caller feed from Result.PerContract.
+		cfg.BatchSink = nil
+		cfg.PerContract = true
+	}
 	idx, err := in.ensureKernelData(cfg)
 	if err != nil {
 		return nil, err

@@ -1,0 +1,134 @@
+package core
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/aggregate"
+	"repro/internal/warehouse"
+)
+
+// TestPipelineCubeStage pins the warehouse stage line and the
+// cross-engine equivalence of the pipeline-built cube: the live-sink
+// engines (Sequential, Parallel) and the replay engines (MapReduce)
+// must materialize bit-identical cubes, registry-bearing for delta
+// updates.
+func TestPipelineCubeStage(t *testing.T) {
+	run := func(eng aggregate.Engine, streaming bool) *Pipeline {
+		t.Helper()
+		cfg := smallConfig(5)
+		cfg.Engine = eng
+		cfg.Streaming = streaming
+		cfg.Sampling = true
+		cfg.CubeDims = warehouse.DefaultDims()
+		p := New(cfg)
+		if _, err := p.Run(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		if p.Cube == nil {
+			t.Fatal("pipeline did not materialize a cube")
+		}
+		return p
+	}
+
+	ref := run(aggregate.Parallel{}, false)
+	var wh *StageReport
+	for i := range ref.Stages {
+		if ref.Stages[i].Name == "warehouse" {
+			wh = &ref.Stages[i]
+		}
+	}
+	if wh == nil {
+		t.Fatalf("no warehouse stage line: %+v", ref.Stages)
+	}
+	if wh.Duration <= 0 || wh.OutputBytes <= 0 || wh.Items != int64(ref.Cube.Cells()) {
+		t.Fatalf("warehouse line not accounted: %+v", wh)
+	}
+	if ref.Cube.NumContracts() != ref.Cfg.NumContracts {
+		t.Fatalf("cube registry has %d contracts", ref.Cube.NumContracts())
+	}
+
+	for _, alt := range []struct {
+		name      string
+		eng       aggregate.Engine
+		streaming bool
+	}{
+		{"sequential-streaming", aggregate.Sequential{}, true},
+		{"mapreduce-replay", aggregate.MapReduce{}, false},
+	} {
+		p := run(alt.eng, alt.streaming)
+		if got, want := p.Cube.Keys(), ref.Cube.Keys(); len(got) != len(want) {
+			t.Fatalf("%s: %d cells vs %d", alt.name, len(got), len(want))
+		}
+		for _, key := range ref.Cube.Keys() {
+			a, err := p.Cube.Query(keyFilter(t, p.Cube, key))
+			if err != nil {
+				t.Fatalf("%s: %v", alt.name, err)
+			}
+			b, _ := ref.Cube.Query(keyFilter(t, ref.Cube, key))
+			for i := range b.Table.Agg {
+				if math.Float64bits(a.Table.Agg[i]) != math.Float64bits(b.Table.Agg[i]) ||
+					math.Float64bits(a.Table.OccMax[i]) != math.Float64bits(b.Table.OccMax[i]) {
+					t.Fatalf("%s: cell %s trial %d differs from parallel reference", alt.name, key, i)
+				}
+			}
+		}
+	}
+
+	// A cube-less re-run drops the stage line and the cube.
+	cfg := ref.Cfg
+	cfg.CubeDims = nil
+	p2 := New(cfg)
+	if _, err := p2.Run(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if p2.Cube != nil {
+		t.Fatal("cube-less run left a cube")
+	}
+	for _, s := range p2.Stages {
+		if s.Name == "warehouse" {
+			t.Fatal("cube-less run left a warehouse stage line")
+		}
+	}
+}
+
+// keyFilter reverses a cell key into a Query filter through the
+// cube's own dimensions — enough for test keys without hostile
+// characters.
+func keyFilter(t *testing.T, c *warehouse.Cube, key string) map[string]string {
+	t.Helper()
+	filter := map[string]string{}
+	for _, part := range splitList(key, ',') {
+		kv := splitList(part, '=')
+		if len(kv) != 2 {
+			t.Fatalf("unparseable key %q", key)
+		}
+		filter[kv[0]] = kv[1]
+	}
+	return filter
+}
+
+func splitList(s string, sep byte) []string {
+	var out []string
+	start := 0
+	for i := 0; i < len(s); i++ {
+		if s[i] == sep {
+			out = append(out, s[start:i])
+			start = i + 1
+		}
+	}
+	return append(out, s[start:])
+}
+
+// TestPipelineCubeRejectsEngineWithoutPerContract pins the clear
+// error for engines that cannot produce per-contract tables.
+func TestPipelineCubeRejectsEngineWithoutPerContract(t *testing.T) {
+	cfg := smallConfig(5)
+	cfg.Engine = &aggregate.Reinstatements{}
+	cfg.CubeDims = warehouse.DefaultDims()
+	p := New(cfg)
+	if _, err := p.Run(context.Background()); err == nil {
+		t.Fatal("reinstatements engine cannot feed the cube; expected an error")
+	}
+}

@@ -28,7 +28,9 @@ import (
 	"repro/internal/layers"
 	"repro/internal/lossindex"
 	"repro/internal/metrics"
+	"repro/internal/stream"
 	"repro/internal/synth"
+	"repro/internal/warehouse"
 	"repro/internal/yelt"
 	"repro/internal/ylt"
 )
@@ -109,6 +111,19 @@ type Config struct {
 	// allocated-vs-busy processor-time — the paper's §II elasticity
 	// story measured in the real pipeline, not just the E7 simulation.
 	Provision cluster.Policy
+	// CubeDims, when non-empty, materializes the warehouse data cube
+	// over the stage-2 per-contract YLTs as a fourth stage line
+	// ("warehouse"): the engines that complete batches exactly once
+	// (Sequential, Parallel) feed the incremental warehouse.Builder
+	// live as trial batches finish; the others replay their
+	// Result.PerContract tables into it after the run — bit-identical
+	// either way. The cube lands on Pipeline.Cube with a per-contract
+	// registry for delta updates.
+	CubeDims []string
+	// CubeAttrs maps each contract to its dimension values
+	// (CubeAttrs[i] for contract i); nil derives deterministic
+	// synthetic attributes via warehouse.DefaultAttrs.
+	CubeAttrs []map[string]string
 	// Stage 3.
 	Sources []dfa.Source // nil = StandardSources scaled to the cat AAL
 	Rho     float64      // copula equicorrelation
@@ -205,6 +220,10 @@ type Pipeline struct {
 	YELT      *yelt.Table
 	CatYLT    *ylt.Table
 	AggResult *aggregate.Result
+	// Cube is the materialized warehouse cube when Cfg.CubeDims is set
+	// (nil otherwise), registry-bearing so contracts can be re-priced
+	// in place via Cube.Replace.
+	Cube      *warehouse.Cube
 	DFAResult *dfa.Result
 
 	Stages []StageReport
@@ -458,19 +477,58 @@ func (p *Pipeline) RunStage2(ctx context.Context) error {
 		mr.Speculate = mr.Speculate || p.Cfg.Speculate
 		engine = mr
 	}
-	res, err := engine.Run(ctx, in, aggregate.Config{
+	aggCfg := aggregate.Config{
 		Seed:        p.Cfg.Seed + 13,
 		Sampling:    p.Cfg.Sampling,
 		Workers:     workers,
 		BatchTrials: p.Cfg.BatchTrials,
 		Kernel:      p.Cfg.Kernel,
 		TrialBlock:  p.Cfg.TrialBlock,
-	})
+	}
+	// The cube builder is created here, after the source switch: a
+	// spill attach fixes NumTrials from the shards, and the builder's
+	// cell columns are sized by the final trial count.
+	var builder *warehouse.Builder
+	liveSink := false
+	if len(p.Cfg.CubeDims) > 0 {
+		attrs := p.Cfg.CubeAttrs
+		if attrs == nil {
+			attrs = warehouse.DefaultAttrs(p.Cfg.NumContracts)
+		}
+		b, err := warehouse.NewBuilder(p.Cfg.CubeDims, attrs, p.Cfg.NumTrials, workers)
+		if err != nil {
+			return fmt.Errorf("core: stage 2 warehouse: %w", err)
+		}
+		builder = b
+		aggCfg.PerContract = true
+		// Only the exactly-once engines may feed the builder live;
+		// engines with replay semantics (MapReduce retries and
+		// speculative backups) or without contract-major batches feed
+		// from Result.PerContract after the run.
+		switch engine.(type) {
+		case aggregate.Sequential, aggregate.Parallel:
+			liveSink = true
+			aggCfg.BatchSink = func(lo int, agg, occ [][]float64) {
+				// Errors are latched in the builder and surface from
+				// Finalize with full context.
+				_ = b.IngestBatch(lo, agg, occ)
+			}
+		}
+	}
+	res, err := engine.Run(ctx, in, aggCfg)
 	if err != nil {
 		return fmt.Errorf("core: stage 2 aggregate: %w", err)
 	}
 	p.AggResult = res
 	p.CatYLT = res.Portfolio
+	if builder != nil {
+		if err := p.buildCube(ctx, builder, res, liveSink, workers); err != nil {
+			return err
+		}
+	} else {
+		p.Cube = nil
+		p.dropStage("warehouse")
+	}
 	rep := StageReport{Name: "portfolio-risk", Duration: time.Since(start)}
 	switch {
 	case ds != nil:
@@ -498,6 +556,53 @@ func (p *Pipeline) RunStage2(ctx context.Context) error {
 		WorkersLost:    res.WorkersLost,
 	}
 	account(&rep, workers, demand, res.BusySeconds)
+	p.setStage(rep)
+	return nil
+}
+
+// buildCube finalizes the incremental warehouse cube after the engine
+// run and records the "warehouse" stage line. When the engine could
+// not feed the builder live, the per-contract result tables are
+// replayed through IngestBatch in batch-sized disjoint ranges — the
+// same fold order as the live path, so the cube is bit-identical. The
+// stage's duration sums the cumulative fold busy-time and the
+// finalize (summarize) wall time; OutputBytes is the materialized
+// cube footprint.
+func (p *Pipeline) buildCube(ctx context.Context, builder *warehouse.Builder, res *aggregate.Result, liveSink bool, workers int) error {
+	if res.PerContract == nil {
+		return fmt.Errorf("core: stage 2 warehouse: engine %q produced no per-contract tables", p.Cfg.Engine.Name())
+	}
+	if !liveSink {
+		batch := p.Cfg.BatchTrials
+		if batch <= 0 {
+			batch = aggregate.DefaultBatchTrials
+		}
+		nc := len(res.PerContract)
+		for _, r := range stream.Chunks(p.Cfg.NumTrials, batch) {
+			agg := make([][]float64, nc)
+			occ := make([][]float64, nc)
+			for ci, t := range res.PerContract {
+				agg[ci] = t.Agg[r.Lo:r.Hi]
+				occ[ci] = t.OccMax[r.Lo:r.Hi]
+			}
+			if err := builder.IngestBatch(r.Lo, agg, occ); err != nil {
+				return fmt.Errorf("core: stage 2 warehouse replay: %w", err)
+			}
+		}
+	}
+	finStart := time.Now()
+	cube, err := builder.Finalize(ctx, res.PerContract)
+	if err != nil {
+		return fmt.Errorf("core: stage 2 warehouse: %w", err)
+	}
+	p.Cube = cube
+	rep := StageReport{
+		Name:        "warehouse",
+		Duration:    builder.FoldDuration() + time.Since(finStart),
+		OutputBytes: cube.SizeBytes(),
+		Items:       int64(cube.Cells()),
+	}
+	account(&rep, workers, cube.Cells(), 0)
 	p.setStage(rep)
 	return nil
 }

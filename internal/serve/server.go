@@ -16,8 +16,17 @@
 //
 //	POST /v1/quote     {"contract": N, "trials": T} → quote JSON
 //	GET  /v1/portfolio full-study portfolio report (computed once)
+//	GET  /v1/cube      pre-computed warehouse cell (?region=...&lob=...)
 //	GET  /v1/healthz   liveness + warm/draining state
-//	GET  /v1/statz     counters, queue state, latency quantiles
+//	GET  /v1/statz     counters, queue state, latency quantiles, cube stats
+//
+// /v1/cube serves dashboard-scale read traffic from the warehouse
+// cube materialized during the study run (risk.Config.CubeDims): the
+// query parameters form the dimension filter and the answer is the
+// cell's pre-computed summary — a dictionary lookup, no simulation.
+// Appending check=direct re-derives the summary from the cube's
+// per-contract registry instead, which must match the pre-computed
+// answer byte-for-byte (the CI smoke step diffs the two).
 package serve
 
 import (
@@ -134,6 +143,7 @@ func New(q Quoter, cfg Config) *Server {
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("POST /v1/quote", s.handleQuote)
 	s.mux.HandleFunc("GET /v1/portfolio", s.handlePortfolio)
+	s.mux.HandleFunc("GET /v1/cube", s.handleCube)
 	s.mux.HandleFunc("GET /v1/healthz", s.handleHealthz)
 	s.mux.HandleFunc("GET /v1/statz", s.handleStatz)
 	s.workerWG.Add(cfg.Workers)
@@ -379,27 +389,33 @@ type stageLine struct {
 	OutputBytes int64   `json:"output_bytes"`
 }
 
+// ensureReport runs the full study once, on first demand; quotes
+// continue concurrently — after warm-up the idempotent Run only
+// touches stage-2/3 state the quote path never reads. Both the
+// portfolio and cube endpoints gate on it.
+func (s *Server) ensureReport(ctx context.Context) (*risk.Report, error) {
+	s.portMu.Lock()
+	defer s.portMu.Unlock()
+	if s.portRep == nil {
+		rep, err := s.study.Run(ctx)
+		if err != nil {
+			return nil, err
+		}
+		s.portRep = rep
+	}
+	return s.portRep, nil
+}
+
 func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
 	if s.study == nil {
 		httpError(w, http.StatusNotImplemented, "portfolio endpoint requires a risk.Study-backed server")
 		return
 	}
-	// The full study runs once, on first demand; quotes continue
-	// concurrently — after warm-up the idempotent Run only touches
-	// stage-2/3 state the quote path never reads.
-	s.portMu.Lock()
-	rep := s.portRep
-	if rep == nil {
-		var err error
-		rep, err = s.study.Run(r.Context())
-		if err != nil {
-			s.portMu.Unlock()
-			httpError(w, http.StatusInternalServerError, err.Error())
-			return
-		}
-		s.portRep = rep
+	rep, err := s.ensureReport(r.Context())
+	if err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
 	}
-	s.portMu.Unlock()
 	out := portfolioResponse{Catastrophe: toSummaryJSON(rep.Catastrophe), Enterprise: toSummaryJSON(rep.Enterprise)}
 	for _, st := range rep.Stages {
 		out.Stages = append(out.Stages, stageLine{
@@ -409,6 +425,67 @@ func (s *Server) handlePortfolio(w http.ResponseWriter, r *http.Request) {
 		})
 	}
 	writeJSON(w, http.StatusOK, out)
+}
+
+// handleCube serves a pre-computed warehouse cell. The URL query
+// parameters are the dimension filter; the reserved check=direct
+// parameter re-derives the summary from the cube's registry instead
+// of reading the pre-computed cell (for self-checks and CI diffs).
+func (s *Server) handleCube(w http.ResponseWriter, r *http.Request) {
+	if s.study == nil {
+		httpError(w, http.StatusNotImplemented, "cube endpoint requires a risk.Study-backed server")
+		return
+	}
+	direct := false
+	filter := map[string]string{}
+	for k, vs := range r.URL.Query() {
+		if k == "check" {
+			switch {
+			case len(vs) == 1 && vs[0] == "direct":
+				direct = true
+			default:
+				httpError(w, http.StatusBadRequest, "unknown check mode (want check=direct)")
+				return
+			}
+			continue
+		}
+		if len(vs) != 1 {
+			httpError(w, http.StatusBadRequest, fmt.Sprintf("dimension %q repeated", k))
+			return
+		}
+		filter[k] = vs[0]
+	}
+	if len(filter) == 0 {
+		httpError(w, http.StatusBadRequest, "empty cube filter (pass dimension=value query parameters)")
+		return
+	}
+	// The cube materializes with the full study; first query triggers
+	// the run like /v1/portfolio does.
+	if _, err := s.ensureReport(r.Context()); err != nil {
+		httpError(w, http.StatusInternalServerError, err.Error())
+		return
+	}
+	var sum risk.Summary
+	var err error
+	if direct {
+		sum, err = s.study.CubeQueryDirect(filter)
+	} else {
+		sum, err = s.study.CubeQuery(filter)
+	}
+	if err != nil {
+		s.stats.cubeMisses.Add(1)
+		switch {
+		case errors.Is(err, risk.ErrCubeNotBuilt):
+			httpError(w, http.StatusNotFound, err.Error()+" (start the server with cube dimensions configured)")
+		case errors.Is(err, risk.ErrNoCubeCell):
+			httpError(w, http.StatusNotFound, err.Error())
+		default:
+			httpError(w, http.StatusInternalServerError, err.Error())
+		}
+		return
+	}
+	s.stats.cubeQueries.Add(1)
+	writeJSON(w, http.StatusOK, toSummaryJSON(sum))
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

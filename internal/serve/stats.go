@@ -20,6 +20,8 @@ type stats struct {
 	badRequests atomic.Int64 // 400s
 	failed      atomic.Int64 // 500s
 	inflight    atomic.Int64 // quotes currently simulating
+	cubeQueries atomic.Int64 // /v1/cube 200s
+	cubeMisses  atomic.Int64 // /v1/cube 404s/500s (unbuilt cube or no cell)
 	lat         *reservoir
 }
 
@@ -48,12 +50,22 @@ type statzResponse struct {
 	SpecWins       int64 `json:"spec_wins"`
 	ShardFailovers int64 `json:"shard_failovers"`
 	WorkersLost    int64 `json:"workers_lost"`
+	// Warehouse-cube state and counters (zero/false until the backing
+	// study's first full run materializes a cube).
+	CubeBuilt     bool     `json:"cube_built"`
+	CubeDims      []string `json:"cube_dims,omitempty"`
+	CubeCells     int      `json:"cube_cells"`
+	CubeSizeBytes int64    `json:"cube_size_bytes"`
+	CubeQueries   int64    `json:"cube_queries"`
+	CubeMisses    int64    `json:"cube_misses"`
 }
 
 func (st *stats) snapshot(s *Server) statzResponse {
 	var f risk.FaultStats
+	var cube risk.CubeInfo
 	if s.study != nil {
 		f = s.study.FaultStats()
+		cube = s.study.CubeInfo()
 	}
 	return statzResponse{
 		UptimeMS:    float64(time.Since(s.start)) / float64(time.Millisecond),
@@ -78,6 +90,13 @@ func (st *stats) snapshot(s *Server) statzResponse {
 		SpecWins:       f.SpecWins,
 		ShardFailovers: f.ShardFailovers,
 		WorkersLost:    f.WorkersLost,
+
+		CubeBuilt:     cube.Built,
+		CubeDims:      cube.Dims,
+		CubeCells:     cube.Cells,
+		CubeSizeBytes: cube.SizeBytes,
+		CubeQueries:   st.cubeQueries.Load(),
+		CubeMisses:    st.cubeMisses.Load(),
 	}
 }
 

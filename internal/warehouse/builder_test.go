@@ -1,0 +1,325 @@
+package warehouse
+
+import (
+	"context"
+	"errors"
+	"math"
+	"reflect"
+	"testing"
+
+	"repro/internal/rng"
+	"repro/internal/stream"
+	"repro/internal/ylt"
+)
+
+// testBook builds an occurrence-bearing per-contract book with three
+// attribute dimensions, for the equivalence matrix.
+func testBook(nc, n int) ([]*ylt.Table, []map[string]string) {
+	st := rng.New(99)
+	tables := make([]*ylt.Table, nc)
+	for i := range tables {
+		t := ylt.New("c", n)
+		for j := range t.Agg {
+			t.Agg[j] = st.Pareto(1000, 2.5)
+			t.OccMax[j] = t.Agg[j] * 0.8
+		}
+		tables[i] = t
+	}
+	return tables, DefaultAttrs(nc)
+}
+
+// ingestAll feeds the full trial space to a builder in batches of the
+// given size, in parallel across the given worker count — the same
+// disjoint-range delivery the pipeline performs.
+func ingestAll(t *testing.T, b *Builder, tables []*ylt.Table, batch, workers int) {
+	t.Helper()
+	n := b.NumTrials()
+	ranges := stream.Chunks(n, batch)
+	err := stream.ForEach(context.Background(), len(ranges), workers, func(_ context.Context, i int) error {
+		r := ranges[i]
+		agg := make([][]float64, len(tables))
+		occ := make([][]float64, len(tables))
+		for ci, tbl := range tables {
+			agg[ci] = tbl.Agg[r.Lo:r.Hi]
+			occ[ci] = tbl.OccMax[r.Lo:r.Hi]
+		}
+		return b.IngestBatch(r.Lo, agg, occ)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// requireCubesIdentical asserts bit-identical cells: same keys, same
+// member counts, Float64bits-equal columns, equal summaries.
+func requireCubesIdentical(t *testing.T, got, want *Cube) {
+	t.Helper()
+	if !reflect.DeepEqual(got.Keys(), want.Keys()) {
+		t.Fatalf("cell keys differ: %v vs %v", got.Keys(), want.Keys())
+	}
+	for _, key := range want.Keys() {
+		g, w := got.cells[key], want.cells[key]
+		if g.Members != w.Members {
+			t.Fatalf("%s: members %d vs %d", key, g.Members, w.Members)
+		}
+		if len(g.Table.Agg) != len(w.Table.Agg) || len(g.Table.OccMax) != len(w.Table.OccMax) {
+			t.Fatalf("%s: column shapes differ", key)
+		}
+		for i := range w.Table.Agg {
+			if math.Float64bits(g.Table.Agg[i]) != math.Float64bits(w.Table.Agg[i]) {
+				t.Fatalf("%s: Agg[%d] = %x vs %x", key, i,
+					math.Float64bits(g.Table.Agg[i]), math.Float64bits(w.Table.Agg[i]))
+			}
+			if math.Float64bits(g.Table.OccMax[i]) != math.Float64bits(w.Table.OccMax[i]) {
+				t.Fatalf("%s: OccMax[%d] = %x vs %x", key, i,
+					math.Float64bits(g.Table.OccMax[i]), math.Float64bits(w.Table.OccMax[i]))
+			}
+		}
+		if !reflect.DeepEqual(g.Summary, w.Summary) {
+			t.Fatalf("%s: summaries differ: %+v vs %+v", key, g.Summary, w.Summary)
+		}
+	}
+}
+
+// TestIncrementalMatchesBatch is the equivalence suite: the
+// incremental Builder cube is bit-identical to batch Build across
+// dimension counts, worker counts, and batch sizes that do not divide
+// the trial space.
+func TestIncrementalMatchesBatch(t *testing.T) {
+	const n = 1000
+	tables, attrs := testBook(8, n)
+	allDims := []string{"region", "lob", "peril"}
+	for nd := 1; nd <= len(allDims); nd++ {
+		dims := allDims[:nd]
+		batchRef, err := Build(context.Background(), &Input{Tables: tables, Attrs: attrs}, dims, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{1, 4} {
+			for _, batch := range []int{7, 997, n} {
+				b, err := NewBuilder(dims, attrs, n, workers)
+				if err != nil {
+					t.Fatal(err)
+				}
+				ingestAll(t, b, tables, batch, workers)
+				cube, err := b.Finalize(context.Background(), tables)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if b.FoldDuration() <= 0 {
+					t.Fatal("fold duration not accounted")
+				}
+				requireCubesIdentical(t, cube, batchRef)
+			}
+		}
+	}
+}
+
+// TestReplaceMatchesRebuild pins delta updates: after Replace, the
+// cube is bit-identical to a batch rebuild with the new table, and
+// untouched cells keep their original materializations.
+func TestReplaceMatchesRebuild(t *testing.T) {
+	const n = 600
+	tables, attrs := testBook(9, n)
+	dims := []string{"region", "lob"}
+	cube, err := Build(context.Background(), &Input{Tables: tables, Attrs: attrs}, dims, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-price contract 2: scale its losses.
+	const target = 2
+	old := cube.Contract(target)
+	repriced := ylt.New(old.Name, n)
+	for i := range old.Agg {
+		repriced.Agg[i] = old.Agg[i] * 1.17
+		repriced.OccMax[i] = old.OccMax[i] * 1.17
+	}
+
+	// Remember an untouched cell's materialization (a region that
+	// contract 2 does not belong to).
+	otherRegion := map[string]string{"region": attrs[(target+1)%len(attrs)]["region"]}
+	if otherRegion["region"] == attrs[target]["region"] {
+		otherRegion["region"] = attrs[(target+2)%len(attrs)]["region"]
+	}
+	before, err := cube.Query(otherRegion)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	touched, err := cube.Replace(context.Background(), target, old, repriced)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if touched <= 0 || touched >= cube.Cells() {
+		t.Fatalf("touched %d of %d cells", touched, cube.Cells())
+	}
+
+	after, err := cube.Query(otherRegion)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after != before {
+		t.Fatal("untouched cell was rematerialized")
+	}
+
+	newTables := append([]*ylt.Table(nil), tables...)
+	newTables[target] = repriced
+	rebuilt, err := Build(context.Background(), &Input{Tables: newTables, Attrs: attrs}, dims, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	requireCubesIdentical(t, cube, rebuilt)
+}
+
+func TestReplaceValidation(t *testing.T) {
+	const n = 100
+	tables, attrs := testBook(4, n)
+	dims := []string{"region"}
+	cube, err := Build(context.Background(), &Input{Tables: tables, Attrs: attrs}, dims, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh := ylt.New("x", n)
+
+	if _, err := cube.Replace(context.Background(), -1, tables[0], fresh); err == nil {
+		t.Fatal("out-of-range contract should error")
+	}
+	if _, err := cube.Replace(context.Background(), 0, tables[1], fresh); !errors.Is(err, ErrStaleTable) {
+		t.Fatalf("stale old table: err = %v", err)
+	}
+	if _, err := cube.Replace(context.Background(), 0, tables[0], ylt.New("x", n+1)); !errors.Is(err, ylt.ErrTrialMismatch) {
+		t.Fatalf("trial mismatch: err = %v", err)
+	}
+	if _, err := cube.Replace(context.Background(), 0, tables[0], ylt.NewAggOnly("x", n)); !errors.Is(err, ylt.ErrOccurrenceMismatch) {
+		t.Fatalf("occurrence mismatch: err = %v", err)
+	}
+
+	// A bitwise-equal copy (not the same pointer) is an acceptable
+	// oldYLT — callers may hold a deserialized view.
+	copyOld := ylt.New(tables[0].Name, n)
+	copy(copyOld.Agg, tables[0].Agg)
+	copy(copyOld.OccMax, tables[0].OccMax)
+	if _, err := cube.Replace(context.Background(), 0, copyOld, fresh); err != nil {
+		t.Fatalf("bitwise-equal old table rejected: %v", err)
+	}
+
+	// A query-only cube (no registry) cannot Replace or RecomputeCell.
+	b, err := NewBuilder(dims, attrs, n, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, b, tables, n, 1)
+	qonly, err := b.Finalize(context.Background(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := qonly.Replace(context.Background(), 0, tables[0], fresh); !errors.Is(err, ErrNoRegistry) {
+		t.Fatalf("query-only Replace: err = %v", err)
+	}
+	if _, err := qonly.RecomputeCell(map[string]string{"region": attrs[0]["region"]}); !errors.Is(err, ErrNoRegistry) {
+		t.Fatalf("query-only RecomputeCell: err = %v", err)
+	}
+}
+
+func TestRecomputeCellMatchesPrecomputed(t *testing.T) {
+	tables, attrs := testBook(6, 400)
+	cube, err := Build(context.Background(), &Input{Tables: tables, Attrs: attrs}, []string{"region", "lob"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	filter := map[string]string{"region": attrs[0]["region"]}
+	cell, err := cube.Query(filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := cube.RecomputeCell(filter)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cell.Summary, direct) {
+		t.Fatalf("precomputed %+v != recomputed %+v", cell.Summary, direct)
+	}
+	if _, err := cube.RecomputeCell(map[string]string{"region": "atlantis"}); !errors.Is(err, ErrNoCell) {
+		t.Fatalf("missing cell: err = %v", err)
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	tables, attrs := testBook(3, 50)
+	if _, err := NewBuilder([]string{"region", "region"}, attrs, 50, 1); err == nil {
+		t.Fatal("duplicate dims should error")
+	}
+	if _, err := NewBuilder([]string{"region"}, attrs, 0, 1); err == nil {
+		t.Fatal("zero trials should error")
+	}
+	if _, err := NewBuilder([]string{"region"}, nil, 50, 1); err == nil {
+		t.Fatal("no attrs should error")
+	}
+	if _, err := NewBuilder([]string{"zone"}, attrs, 50, 1); err == nil {
+		t.Fatal("missing dimension should error")
+	}
+
+	b, err := NewBuilder([]string{"region"}, attrs, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkRows := func(k int) ([][]float64, [][]float64) {
+		agg := make([][]float64, len(tables))
+		occ := make([][]float64, len(tables))
+		for ci := range tables {
+			agg[ci] = make([]float64, k)
+			occ[ci] = make([]float64, k)
+		}
+		return agg, occ
+	}
+	agg, occ := mkRows(10)
+	if err := b.IngestBatch(45, agg, occ); err == nil {
+		t.Fatal("out-of-range batch should error")
+	}
+	if err := b.IngestBatch(0, agg[:1], occ); err == nil {
+		t.Fatal("short contract rows should error")
+	}
+	// The latched error must surface from Finalize even if later
+	// ingests are clean.
+	if _, err := b.Finalize(context.Background(), nil); err == nil {
+		t.Fatal("Finalize should report latched ingest error")
+	}
+
+	// Incomplete coverage: only half the trial space folded.
+	b2, err := NewBuilder([]string{"region"}, attrs, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	agg, occ = mkRows(25)
+	if err := b2.IngestBatch(0, agg, occ); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := b2.Finalize(context.Background(), tables); err == nil {
+		t.Fatal("partial coverage should error")
+	}
+
+	// Ingest after Finalize is rejected.
+	b3, err := NewBuilder([]string{"region"}, attrs, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, b3, tables, 50, 1)
+	if _, err := b3.Finalize(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	agg, occ = mkRows(10)
+	if err := b3.IngestBatch(0, agg, occ); err == nil {
+		t.Fatal("ingest after Finalize should error")
+	}
+
+	// Registry misalignment.
+	b4, err := NewBuilder([]string{"region"}, attrs, 50, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ingestAll(t, b4, tables, 50, 1)
+	if _, err := b4.Finalize(context.Background(), tables[:2]); err == nil {
+		t.Fatal("short registry should error")
+	}
+}

@@ -5,12 +5,21 @@
 // group-by over the configured dimensions is combined and summarized
 // once, in parallel, so that analyst queries become dictionary
 // lookups instead of trial-level scans.
+//
+// The cube can be built two ways with bit-identical results: Build
+// combines fully-resident per-contract YLTs in one pass, and Builder
+// folds streamed per-contract trial batches into running cell columns
+// as stage 2 produces them (bounded memory). A built cube retains a
+// per-contract table registry — one table per contract, linear in the
+// book — so Replace can re-price a single contract by re-folding only
+// the cells it belongs to instead of rebuilding the whole cube.
 package warehouse
 
 import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 	"sync"
@@ -28,15 +37,31 @@ type Input struct {
 	Attrs []map[string]string
 }
 
-// Validate checks alignment and dimension coverage.
-func (in *Input) Validate(dims []string) error {
-	if len(in.Tables) == 0 {
-		return errors.New("warehouse: no tables")
+// validateDims checks the dimension list itself: non-empty, bounded
+// (the cube is 2^d group-bys), and free of duplicates — a repeated
+// name would enumerate the same logical subset more than once and
+// double-count its members.
+func validateDims(dims []string) error {
+	if len(dims) == 0 {
+		return errors.New("warehouse: no dimensions")
 	}
-	if len(in.Tables) != len(in.Attrs) {
-		return fmt.Errorf("warehouse: %d tables vs %d attr sets", len(in.Tables), len(in.Attrs))
+	if len(dims) > 6 {
+		return fmt.Errorf("warehouse: %d dimensions would materialize %d group-bys", len(dims), 1<<len(dims))
 	}
-	for i, a := range in.Attrs {
+	seen := make(map[string]bool, len(dims))
+	for _, d := range dims {
+		if seen[d] {
+			return fmt.Errorf("warehouse: duplicate dimension %q", d)
+		}
+		seen[d] = true
+	}
+	return nil
+}
+
+// validateAttrs checks that every attribute set covers every
+// dimension.
+func validateAttrs(attrs []map[string]string, dims []string) error {
+	for i, a := range attrs {
 		for _, d := range dims {
 			if _, ok := a[d]; !ok {
 				return fmt.Errorf("warehouse: table %d missing dimension %q", i, d)
@@ -44,6 +69,21 @@ func (in *Input) Validate(dims []string) error {
 		}
 	}
 	return nil
+}
+
+// Validate checks the dimension list, alignment, and dimension
+// coverage.
+func (in *Input) Validate(dims []string) error {
+	if err := validateDims(dims); err != nil {
+		return err
+	}
+	if len(in.Tables) == 0 {
+		return errors.New("warehouse: no tables")
+	}
+	if len(in.Tables) != len(in.Attrs) {
+		return fmt.Errorf("warehouse: %d tables vs %d attr sets", len(in.Tables), len(in.Attrs))
+	}
+	return validateAttrs(in.Attrs, dims)
 }
 
 // Cell is one materialized group: the combined YLT and its
@@ -55,17 +95,36 @@ type Cell struct {
 	Summary *metrics.Summary
 }
 
-// Cube is the materialized set of group-bys over the dimensions.
+// Cube is the materialized set of group-bys over the dimensions. When
+// built with a table registry (Build, or Builder.Finalize given the
+// per-contract tables) it also supports Replace and RecomputeCell.
 type Cube struct {
 	dims  []string
 	cells map[string]*Cell
+	// members[key] lists the cell's member contract indices in
+	// ascending order — the canonical fold order shared by Build,
+	// Builder, and Replace, which is what makes the three
+	// bit-identical.
+	members map[string][]int
+	// tables is the per-contract YLT registry backing delta updates:
+	// one table per contract (linear in the book), vs duplicating
+	// members per cell (each contract appears in 2^dims-ish cells).
+	// Nil for query-only cubes.
+	tables  []*ylt.Table
+	workers int
 }
+
+// keyEscaper makes groupKey injective: the joiners (`,`, `=`) and the
+// escape prefix itself are percent-encoded in a single pass, so
+// attribute values containing separator characters cannot collide
+// with or be parsed as other dimension combinations.
+var keyEscaper = strings.NewReplacer("%", "%25", "=", "%3D", ",", "%2C")
 
 // groupKey renders a canonical key for a subset of dimensions.
 func groupKey(subset []string, attrs map[string]string) string {
 	parts := make([]string, len(subset))
 	for i, d := range subset {
-		parts[i] = d + "=" + attrs[d]
+		parts[i] = keyEscaper.Replace(d) + "=" + keyEscaper.Replace(attrs[d])
 	}
 	return strings.Join(parts, ",")
 }
@@ -87,74 +146,114 @@ func subsets(dims []string) [][]string {
 	return out
 }
 
+// cellMembers enumerates every cell key and its member contract
+// indices (ascending) for the given dimensions and attribute sets.
+// Both Build and Builder derive their cell structure from this one
+// enumeration, so member order — and therefore fold order — agrees.
+func cellMembers(dims []string, attrs []map[string]string) (keys []string, members map[string][]int) {
+	members = make(map[string][]int)
+	for _, subset := range subsets(dims) {
+		for i, a := range attrs {
+			key := groupKey(subset, a)
+			if _, ok := members[key]; !ok {
+				keys = append(keys, key)
+			}
+			members[key] = append(members[key], i)
+		}
+	}
+	return keys, members
+}
+
+// combineCell folds the registry tables of one cell's members, in
+// member order, and summarizes the result. Replace and RecomputeCell
+// share this with the batch Build path so a re-fold is bit-identical
+// to the original build.
+func (c *Cube) combineCell(key string) (*Cell, error) {
+	idxs := c.members[key]
+	tbls := make([]*ylt.Table, len(idxs))
+	for i, ci := range idxs {
+		tbls[i] = c.tables[ci]
+	}
+	combined, err := ylt.Combine(key, tbls...)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: combining %q: %w", key, err)
+	}
+	summary, err := metrics.Summarize(combined)
+	if err != nil {
+		return nil, fmt.Errorf("warehouse: summarizing %q: %w", key, err)
+	}
+	return &Cell{Key: key, Members: len(idxs), Table: combined, Summary: summary}, nil
+}
+
 // Build materializes the cube: for every subset of dims and every
 // value combination, the member YLTs are combined and summarized.
 // Groups are processed in parallel (the "parallel data warehousing"
-// of the paper).
+// of the paper). The input tables are retained as the cube's delta
+// registry (see Replace).
 func Build(ctx context.Context, in *Input, dims []string, workers int) (*Cube, error) {
-	if len(dims) == 0 {
-		return nil, errors.New("warehouse: no dimensions")
-	}
-	if len(dims) > 6 {
-		return nil, fmt.Errorf("warehouse: %d dimensions would materialize %d group-bys", len(dims), 1<<len(dims))
-	}
 	if err := in.Validate(dims); err != nil {
 		return nil, err
 	}
-
-	// Partition tables into groups for every dimension subset.
-	type group struct {
-		key     string
-		members []*ylt.Table
+	keys, members := cellMembers(dims, in.Attrs)
+	cube := &Cube{
+		dims:    append([]string(nil), dims...),
+		cells:   make(map[string]*Cell, len(keys)),
+		members: members,
+		tables:  append([]*ylt.Table(nil), in.Tables...),
+		workers: workers,
 	}
-	var groups []group
-	index := map[string]int{}
-	for _, subset := range subsets(dims) {
-		for i, tbl := range in.Tables {
-			key := groupKey(subset, in.Attrs[i])
-			gi, ok := index[key]
-			if !ok {
-				gi = len(groups)
-				index[key] = gi
-				groups = append(groups, group{key: key})
-			}
-			groups[gi].members = append(groups[gi].members, tbl)
-		}
-	}
-
-	cube := &Cube{dims: append([]string(nil), dims...), cells: make(map[string]*Cell, len(groups))}
-	var mu sync.Mutex
-	err := stream.ForEach(ctx, len(groups), workers, func(_ context.Context, gi int) error {
-		g := groups[gi]
-		combined, err := ylt.Combine(g.key, g.members...)
-		if err != nil {
-			return fmt.Errorf("warehouse: combining %q: %w", g.key, err)
-		}
-		summary, err := metrics.Summarize(combined)
-		if err != nil {
-			return fmt.Errorf("warehouse: summarizing %q: %w", g.key, err)
-		}
-		cell := &Cell{Key: g.key, Members: len(g.members), Table: combined, Summary: summary}
-		mu.Lock()
-		cube.cells[g.key] = cell
-		mu.Unlock()
-		return nil
-	})
-	if err != nil {
+	if err := cube.refold(ctx, keys); err != nil {
 		return nil, err
 	}
 	return cube, nil
 }
 
+// refold recomputes the given cells from the registry, in parallel.
+func (c *Cube) refold(ctx context.Context, keys []string) error {
+	var mu sync.Mutex
+	return stream.ForEach(ctx, len(keys), c.workers, func(_ context.Context, i int) error {
+		cell, err := c.combineCell(keys[i])
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		c.cells[cell.Key] = cell
+		mu.Unlock()
+		return nil
+	})
+}
+
 // ErrNoCell is returned by Query when no materialized group matches.
 var ErrNoCell = errors.New("warehouse: no such cell")
+
+// ErrNoRegistry is returned by Replace and RecomputeCell on a
+// query-only cube (one finalized without its per-contract tables).
+var ErrNoRegistry = errors.New("warehouse: cube has no table registry")
+
+// ErrStaleTable is returned by Replace when oldYLT does not match the
+// registry's current table for the contract — the caller is holding
+// an outdated view and folding its delta would corrupt the cube.
+var ErrStaleTable = errors.New("warehouse: old table does not match registry")
 
 // Query returns the pre-computed cell for the given dimension filter,
 // e.g. {"region": "CoastalPeak", "lob": "property"}. All filter keys
 // must be cube dimensions.
 func (c *Cube) Query(filter map[string]string) (*Cell, error) {
+	key, err := c.filterKey(filter)
+	if err != nil {
+		return nil, err
+	}
+	cell, ok := c.cells[key]
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrNoCell, key)
+	}
+	return cell, nil
+}
+
+// filterKey canonicalizes a dimension filter into a cell key.
+func (c *Cube) filterKey(filter map[string]string) (string, error) {
 	if len(filter) == 0 {
-		return nil, errors.New("warehouse: empty filter")
+		return "", errors.New("warehouse: empty filter")
 	}
 	subset := make([]string, 0, len(filter))
 	for _, d := range c.dims {
@@ -163,18 +262,134 @@ func (c *Cube) Query(filter map[string]string) (*Cell, error) {
 		}
 	}
 	if len(subset) != len(filter) {
-		return nil, fmt.Errorf("%w: filter uses non-cube dimensions", ErrNoCell)
+		return "", fmt.Errorf("%w: filter uses non-cube dimensions", ErrNoCell)
 	}
-	key := groupKey(subset, filter)
-	cell, ok := c.cells[key]
-	if !ok {
+	return groupKey(subset, filter), nil
+}
+
+// RecomputeCell re-derives a cell's summary from the member registry,
+// bypassing the pre-computed columns — the self-check behind the
+// serving tier's check=direct mode and the CI smoke diff. Requires a
+// registry-bearing cube.
+func (c *Cube) RecomputeCell(filter map[string]string) (*metrics.Summary, error) {
+	if c.tables == nil {
+		return nil, ErrNoRegistry
+	}
+	key, err := c.filterKey(filter)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := c.cells[key]; !ok {
 		return nil, fmt.Errorf("%w: %s", ErrNoCell, key)
 	}
-	return cell, nil
+	cell, err := c.combineCell(key)
+	if err != nil {
+		return nil, err
+	}
+	return cell.Summary, nil
 }
+
+// Replace swaps one contract's YLT for a re-priced one and updates
+// only the cells that contract belongs to, re-folding each from the
+// registry in canonical member order — O(cells touched), bit-identical
+// to a full rebuild with the new table. Subtract-then-add would be
+// neither: float addition is not associative, and the element-wise
+// OccMax maximum is not invertible at all. oldYLT must match the
+// registry's current table for the contract (pointer or bitwise).
+// Replace is not safe to run concurrently with Query on the same cube.
+// It returns the number of cells updated.
+func (c *Cube) Replace(ctx context.Context, contract int, oldYLT, newYLT *ylt.Table) (int, error) {
+	if c.tables == nil {
+		return 0, ErrNoRegistry
+	}
+	if contract < 0 || contract >= len(c.tables) {
+		return 0, fmt.Errorf("warehouse: contract %d out of range [0,%d)", contract, len(c.tables))
+	}
+	cur := c.tables[contract]
+	if oldYLT == nil || !sameBits(cur, oldYLT) {
+		return 0, fmt.Errorf("%w: contract %d", ErrStaleTable, contract)
+	}
+	if newYLT == nil {
+		return 0, errors.New("warehouse: nil replacement table")
+	}
+	if newYLT.NumTrials() != cur.NumTrials() {
+		return 0, fmt.Errorf("%w: replacement has %d trials, cube has %d", ylt.ErrTrialMismatch, newYLT.NumTrials(), cur.NumTrials())
+	}
+	if newYLT.HasOccurrence() != cur.HasOccurrence() {
+		return 0, fmt.Errorf("%w: replacement occurrence coverage differs from registry", ylt.ErrOccurrenceMismatch)
+	}
+	var touched []string
+	for key, idxs := range c.members {
+		for _, ci := range idxs {
+			if ci == contract {
+				touched = append(touched, key)
+				break
+			}
+		}
+	}
+	sort.Strings(touched)
+	c.tables[contract] = newYLT
+	if err := c.refold(ctx, touched); err != nil {
+		// The cube may hold a mix of old and new cells now; restore
+		// the registry so the caller can retry or rebuild from it.
+		c.tables[contract] = cur
+		return 0, err
+	}
+	return len(touched), nil
+}
+
+// sameBits reports whether two tables carry identical loss columns
+// (bitwise, so NaN payloads and signed zeros count too).
+func sameBits(a, b *ylt.Table) bool {
+	if a == b {
+		return true
+	}
+	if a == nil || b == nil || len(a.Agg) != len(b.Agg) || len(a.OccMax) != len(b.OccMax) {
+		return false
+	}
+	for i, v := range a.Agg {
+		if math.Float64bits(v) != math.Float64bits(b.Agg[i]) {
+			return false
+		}
+	}
+	for i, v := range a.OccMax {
+		if math.Float64bits(v) != math.Float64bits(b.OccMax[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+// Contract returns the registry's current YLT for a contract (nil for
+// query-only cubes). Callers pass it back to Replace as oldYLT.
+func (c *Cube) Contract(i int) *ylt.Table {
+	if c.tables == nil || i < 0 || i >= len(c.tables) {
+		return nil
+	}
+	return c.tables[i]
+}
+
+// NumContracts returns the registry size (0 for query-only cubes).
+func (c *Cube) NumContracts() int { return len(c.tables) }
+
+// Dims returns a copy of the cube's dimension list.
+func (c *Cube) Dims() []string { return append([]string(nil), c.dims...) }
 
 // Cells returns the number of materialized groups.
 func (c *Cube) Cells() int { return len(c.cells) }
+
+// SizeBytes returns the encoded footprint of the materialized cell
+// tables plus the delta registry.
+func (c *Cube) SizeBytes() int64 {
+	var n int64
+	for _, cell := range c.cells {
+		n += cell.Table.SizeBytes()
+	}
+	for _, t := range c.tables {
+		n += t.SizeBytes()
+	}
+	return n
+}
 
 // Keys returns all materialized group keys, sorted (for reports).
 func (c *Cube) Keys() []string {
@@ -184,4 +399,30 @@ func (c *Cube) Keys() []string {
 	}
 	sort.Strings(keys)
 	return keys
+}
+
+// DefaultDims is the dimension set the pipeline uses when the caller
+// asks for a cube without naming dimensions.
+func DefaultDims() []string { return []string{"region", "lob"} }
+
+var (
+	defaultRegions = []string{"coastal", "interior", "lakes", "alpine"}
+	defaultLobs    = []string{"property", "marine", "energy"}
+	defaultPerils  = []string{"wind", "quake"}
+)
+
+// DefaultAttrs assigns deterministic synthetic reporting attributes
+// (region, lob, peril) to an n-contract book by cycling each
+// dimension's values at a different period, so any two dimensions
+// jointly spread contracts across their value combinations.
+func DefaultAttrs(n int) []map[string]string {
+	out := make([]map[string]string, n)
+	for i := range out {
+		out[i] = map[string]string{
+			"region": defaultRegions[i%len(defaultRegions)],
+			"lob":    defaultLobs[i%len(defaultLobs)],
+			"peril":  defaultPerils[i%len(defaultPerils)],
+		}
+	}
+	return out
 }

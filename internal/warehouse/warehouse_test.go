@@ -116,6 +116,82 @@ func TestBuildValidation(t *testing.T) {
 	}
 }
 
+// TestKeyCollisionRegression pins the escaped key scheme: an
+// attribute value containing the separator characters must not
+// collide with the key of a different dimension combination. Before
+// escaping, {"region": "a,lob=b"} under the {region} subset rendered
+// the same key as {"region": "a", "lob": "b"} under {region, lob}.
+func TestKeyCollisionRegression(t *testing.T) {
+	n := 50
+	mk := func(v float64) *ylt.Table {
+		tbl := ylt.New("c", n)
+		for j := range tbl.Agg {
+			tbl.Agg[j] = v
+			tbl.OccMax[j] = v
+		}
+		return tbl
+	}
+	in := &Input{
+		Tables: []*ylt.Table{mk(1), mk(100)},
+		Attrs: []map[string]string{
+			{"region": "a", "lob": "b"},
+			{"region": "a,lob=b", "lob": "z"},
+		},
+	}
+	cube, err := Build(context.Background(), in, []string{"region", "lob"}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// {region: a, lob: b} must hold only table 0...
+	pair, err := cube.Query(map[string]string{"region": "a", "lob": "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pair.Members != 1 || pair.Table.Agg[0] != 1 {
+		t.Fatalf("collided cell: members=%d agg0=%v", pair.Members, pair.Table.Agg[0])
+	}
+	// ...and the hostile single-dimension value must resolve to its
+	// own distinct cell holding only table 1.
+	hostile, err := cube.Query(map[string]string{"region": "a,lob=b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if hostile.Members != 1 || hostile.Table.Agg[0] != 100 {
+		t.Fatalf("hostile cell: members=%d agg0=%v", hostile.Members, hostile.Table.Agg[0])
+	}
+	// Values differing only by escape-looking text stay distinct too.
+	in2 := &Input{
+		Tables: []*ylt.Table{mk(1), mk(2)},
+		Attrs: []map[string]string{
+			{"region": "x%2C"},
+			{"region": "x,"},
+		},
+	}
+	cube2, err := Build(context.Background(), in2, []string{"region"}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cube2.Cells() != 2 {
+		t.Fatalf("escape-prefix values collided: %v", cube2.Keys())
+	}
+}
+
+// TestDuplicateDimsRejected pins the duplicate-dimension bugfix:
+// {"region","region"} used to enumerate the region subset twice and
+// double-count every member.
+func TestDuplicateDimsRejected(t *testing.T) {
+	in := testInput(4, 50)
+	if _, err := Build(context.Background(), in, []string{"region", "region"}, 1); err == nil {
+		t.Fatal("duplicate dims should be rejected by Build")
+	}
+	if err := in.Validate([]string{"region", "lob", "region"}); err == nil {
+		t.Fatal("duplicate dims should be rejected by Validate")
+	}
+	if err := in.Validate([]string{"region", "lob"}); err != nil {
+		t.Fatalf("clean dims rejected: %v", err)
+	}
+}
+
 func TestBuildTrialMismatch(t *testing.T) {
 	in := testInput(4, 100)
 	// Tables 0 and 2 share region "coastal"; shortening table 2 makes

@@ -79,24 +79,40 @@ func (t *Table) SizeBytes() int64 {
 // pre-simulated years.
 var ErrTrialMismatch = errors.New("ylt: trial count mismatch")
 
+// ErrOccurrenceMismatch is returned by Combine when the inputs mix
+// occurrence-bearing and aggregate-only tables. Silently dropping the
+// OccMax columns (the old behaviour) made occurrence metrics vanish
+// from a combined table depending on which members happened to be in
+// it; callers that genuinely want an aggregate-only combination of
+// mixed inputs must opt in via CombineAggOnly.
+var ErrOccurrenceMismatch = errors.New("ylt: occurrence coverage mismatch")
+
 // Combine returns the aligned per-trial sum of the given tables. For
 // OccMax the element-wise maximum of the inputs is used — a documented
 // lower bound on the true combined occurrence maximum (exact
 // combination would need event-level detail that the YLT, by design,
-// no longer carries). If any input lacks occurrence data the result is
-// aggregate-only.
+// no longer carries). The inputs must agree on occurrence coverage:
+// all carry OccMax (result does too) or none do (result is
+// aggregate-only). Mixed coverage returns ErrOccurrenceMismatch; use
+// CombineAggOnly to deliberately discard occurrence structure.
 func Combine(name string, tables ...*Table) (*Table, error) {
 	if len(tables) == 0 {
 		return nil, errors.New("ylt: nothing to combine")
 	}
 	n := tables[0].NumTrials()
-	occ := true
+	withOcc := 0
 	for _, t := range tables {
 		if t.NumTrials() != n {
 			return nil, fmt.Errorf("%w: %d vs %d", ErrTrialMismatch, t.NumTrials(), n)
 		}
-		occ = occ && t.HasOccurrence()
+		if t.HasOccurrence() {
+			withOcc++
+		}
 	}
+	if withOcc != 0 && withOcc != len(tables) {
+		return nil, fmt.Errorf("%w: %d of %d tables carry occurrence data", ErrOccurrenceMismatch, withOcc, len(tables))
+	}
+	occ := withOcc == len(tables)
 	var out *Table
 	if occ {
 		out = New(name, n)
@@ -113,6 +129,30 @@ func Combine(name string, tables ...*Table) (*Table, error) {
 					out.OccMax[i] = v
 				}
 			}
+		}
+	}
+	return out, nil
+}
+
+// CombineAggOnly returns the aligned per-trial sum of the given
+// tables as an aggregate-only YLT, regardless of the inputs'
+// occurrence coverage. This is the explicit opt-in for mixed inputs:
+// occurrence maxima, where present, are deliberately dropped (an
+// occurrence basis over a partial member set would be misleading).
+func CombineAggOnly(name string, tables ...*Table) (*Table, error) {
+	if len(tables) == 0 {
+		return nil, errors.New("ylt: nothing to combine")
+	}
+	n := tables[0].NumTrials()
+	for _, t := range tables {
+		if t.NumTrials() != n {
+			return nil, fmt.Errorf("%w: %d vs %d", ErrTrialMismatch, t.NumTrials(), n)
+		}
+	}
+	out := NewAggOnly(name, n)
+	for _, t := range tables {
+		for i, v := range t.Agg {
+			out.Agg[i] += v
 		}
 	}
 	return out, nil

@@ -74,15 +74,46 @@ func TestCombineMismatch(t *testing.T) {
 	}
 }
 
-func TestCombineDropsOccWhenAnyAggOnly(t *testing.T) {
+func TestCombineRejectsMixedOccurrence(t *testing.T) {
 	a := New("a", 2)
+	copy(a.Agg, []float64{1, 2})
+	copy(a.OccMax, []float64{3, 4})
 	b := NewAggOnly("b", 2)
-	c, err := Combine("c", a, b)
+	copy(b.Agg, []float64{10, 20})
+	if _, err := Combine("c", a, b); !errors.Is(err, ErrOccurrenceMismatch) {
+		t.Fatalf("mixed combine: err = %v, want ErrOccurrenceMismatch", err)
+	}
+	// Uniform agg-only inputs are still fine (DFA-style tables).
+	c, err := Combine("c", b, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.HasOccurrence() || c.Agg[1] != 40 {
+		t.Fatalf("agg-only combine wrong: occ=%v agg=%v", c.HasOccurrence(), c.Agg)
+	}
+}
+
+func TestCombineAggOnlyOptIn(t *testing.T) {
+	a := New("a", 2)
+	copy(a.Agg, []float64{1, 2})
+	copy(a.OccMax, []float64{3, 4})
+	b := NewAggOnly("b", 2)
+	copy(b.Agg, []float64{10, 20})
+	c, err := CombineAggOnly("c", a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.HasOccurrence() {
-		t.Fatal("mixed combine should be agg-only")
+		t.Fatal("CombineAggOnly must drop occurrence structure")
+	}
+	if c.Agg[0] != 11 || c.Agg[1] != 22 {
+		t.Fatalf("Agg = %v", c.Agg)
+	}
+	if _, err := CombineAggOnly("c", a, New("d", 3)); !errors.Is(err, ErrTrialMismatch) {
+		t.Fatalf("err = %v", err)
+	}
+	if _, err := CombineAggOnly("c"); err == nil {
+		t.Fatal("empty combine should error")
 	}
 }
 

@@ -30,6 +30,7 @@ import (
 	"repro/internal/lossindex"
 	"repro/internal/metrics"
 	"repro/internal/postevent"
+	"repro/internal/warehouse"
 	"repro/internal/yelt"
 )
 
@@ -168,6 +169,11 @@ type Config struct {
 	// fleet) or "elastic:N" (scale to each stage's demand, capped at
 	// N). "" keeps static Workers.
 	Provision string
+	// CubeDims, when non-empty, materializes the warehouse data cube
+	// over the named contract-attribute dimensions during Run (e.g.
+	// {"region", "lob"}); cube cells are then served by CubeQuery
+	// without touching the simulation. Empty = no cube.
+	CubeDims []string
 	// Rho correlates the DFA risk sources with the catastrophe book.
 	Rho float64
 	// Workers bounds parallelism everywhere; 0 means all cores.
@@ -285,6 +291,11 @@ type Study struct {
 	// concurrently with a run in flight.
 	faultMu sync.Mutex
 	faults  FaultStats
+	// cubeMu guards cube, the warehouse cube latched by the last
+	// completed Run, so a serving tier can answer CubeQuery and
+	// CubeInfo concurrently with a run in flight.
+	cubeMu sync.Mutex
+	cube   *warehouse.Cube
 }
 
 // NewStudy returns an unexecuted study.
@@ -341,6 +352,7 @@ func (s *Study) pipeline() (*core.Pipeline, error) {
 		Faults:               plan,
 		Speculate:            s.cfg.Speculate,
 		Provision:            policy,
+		CubeDims:             s.cfg.CubeDims,
 		Rho:                  s.cfg.Rho,
 		Workers:              s.cfg.Workers,
 		TwoLayers:            true,
@@ -387,7 +399,85 @@ func (s *Study) Run(ctx context.Context) (*Report, error) {
 	s.faultMu.Lock()
 	s.faults = total
 	s.faultMu.Unlock()
+	s.cubeMu.Lock()
+	s.cube = p.Cube
+	s.cubeMu.Unlock()
 	return out, nil
+}
+
+// ErrCubeNotBuilt is returned by the cube query methods before a cube
+// exists: the study has not run yet, or Config.CubeDims is empty.
+var ErrCubeNotBuilt = errors.New("risk: no cube built (set Config.CubeDims and run the study)")
+
+// ErrNoCubeCell is returned when no materialized cube cell matches a
+// query filter — an unknown dimension value, a non-cube dimension, or
+// an empty filter.
+var ErrNoCubeCell = errors.New("risk: no cube cell matches the filter")
+
+// cubeHandle returns the cube latched by the last completed Run.
+func (s *Study) cubeHandle() (*warehouse.Cube, error) {
+	s.cubeMu.Lock()
+	defer s.cubeMu.Unlock()
+	if s.cube == nil {
+		return nil, ErrCubeNotBuilt
+	}
+	return s.cube, nil
+}
+
+// CubeQuery serves a pre-computed risk summary from the warehouse
+// cube for a dimension filter such as {"region": "coastal"} — a
+// dictionary lookup, no simulation. Safe to call concurrently with
+// other methods once a Run has completed.
+func (s *Study) CubeQuery(filter map[string]string) (Summary, error) {
+	cube, err := s.cubeHandle()
+	if err != nil {
+		return Summary{}, err
+	}
+	cell, err := cube.Query(filter)
+	if err != nil {
+		return Summary{}, fmt.Errorf("%w: %v", ErrNoCubeCell, err)
+	}
+	return toSummary(cell.Summary), nil
+}
+
+// CubeQueryDirect re-derives the same summary from the cube's
+// per-contract registry, bypassing the pre-computed cell — the
+// self-check behind the serving tier's check=direct mode. It must
+// match CubeQuery exactly.
+func (s *Study) CubeQueryDirect(filter map[string]string) (Summary, error) {
+	cube, err := s.cubeHandle()
+	if err != nil {
+		return Summary{}, err
+	}
+	sum, err := cube.RecomputeCell(filter)
+	if err != nil {
+		if errors.Is(err, warehouse.ErrNoCell) {
+			return Summary{}, fmt.Errorf("%w: %v", ErrNoCubeCell, err)
+		}
+		return Summary{}, err
+	}
+	return toSummary(sum), nil
+}
+
+// CubeInfo describes the study's materialized cube for stats
+// endpoints.
+type CubeInfo struct {
+	Built     bool
+	Dims      []string
+	Cells     int
+	SizeBytes int64
+}
+
+// CubeInfo reports the cube's shape (zero value before a cube
+// exists). Safe to call concurrently with other methods.
+func (s *Study) CubeInfo() CubeInfo {
+	s.cubeMu.Lock()
+	cube := s.cube
+	s.cubeMu.Unlock()
+	if cube == nil {
+		return CubeInfo{}
+	}
+	return CubeInfo{Built: true, Dims: cube.Dims(), Cells: cube.Cells(), SizeBytes: cube.SizeBytes()}
 }
 
 // FaultStats returns the fault-recovery counters latched by the last
